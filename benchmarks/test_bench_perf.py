@@ -1,0 +1,96 @@
+"""Performance benchmarks of the library's hot paths.
+
+These are conventional pytest-benchmark timings (many rounds) for the
+operations the sweep/analysis pipeline leans on; they guard against
+regressions that would make paper-scale (full-grid) sweeps impractical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.machines import MILAN
+from repro.core.envspace import EnvSpace
+from repro.desim.stealing import TaskGraph, WorkStealingSimulator
+from repro.frame.table import Table
+from repro.mlkit.logreg import LogisticRegression
+from repro.mlkit.preprocess import Standardizer
+from repro.runtime.executor import RuntimeExecutor
+from repro.runtime.icv import EnvConfig
+from repro.stats.wilcoxon import wilcoxon_signed_rank
+from repro.workloads.base import get_workload
+
+
+def test_perf_executor_loop_workload(benchmark):
+    """One CG execution: the sweep's unit of work for loop apps."""
+    program = get_workload("cg").program("A")
+    executor = RuntimeExecutor(MILAN, EnvConfig())
+    result = benchmark(executor.execute, program)
+    assert result > 0
+
+
+def test_perf_executor_task_workload(benchmark):
+    """One NQueens execution (analytic task model)."""
+    program = get_workload("nqueens").program("large")
+    executor = RuntimeExecutor(MILAN, EnvConfig())
+    result = benchmark(executor.execute, program)
+    assert result > 0
+
+
+def test_perf_executor_construction(benchmark):
+    """ICV resolution + placement: paid once per config in a sweep."""
+    benchmark(RuntimeExecutor, MILAN, EnvConfig(places="ll_caches",
+                                                proc_bind="spread"))
+
+
+def test_perf_full_grid_enumeration(benchmark):
+    """Enumerating the full 9,216-point Milan grid."""
+    space = EnvSpace()
+    configs = benchmark(lambda: list(space.full_grid(MILAN)))
+    assert len(configs) == 9216
+
+
+def test_perf_work_stealing_des(benchmark):
+    """DES simulation of a ~3k-task tree on 48 workers."""
+    graph = TaskGraph.balanced_tree(depth=7, branching=3, leaf_work=2e-6,
+                                    node_work=3e-7)
+    sim = WorkStealingSimulator(n_workers=48, seed=0)
+    result = benchmark(sim.run, graph)
+    assert result.n_tasks == graph.n_tasks
+
+
+def test_perf_logistic_fit(benchmark):
+    """Logistic fit on a sweep-sized design (10k x 10)."""
+    rng = np.random.default_rng(0)
+    X = Standardizer().fit_transform(rng.normal(size=(10_000, 10)))
+    w = rng.normal(size=10)
+    y = (X @ w + rng.logistic(size=10_000) > 0).astype(float)
+
+    def fit():
+        return LogisticRegression(l2=1.0).fit(X, y)
+
+    model = benchmark(fit)
+    assert model.score(X, y) > 0.6
+
+
+def test_perf_wilcoxon_large(benchmark):
+    """Wilcoxon on 10k paired measurements (Table III scale)."""
+    rng = np.random.default_rng(1)
+    x = rng.lognormal(size=10_000)
+    y = x * rng.lognormal(sigma=0.05, size=10_000)
+    result = benchmark(wilcoxon_signed_rank, x, y)
+    assert result.n_used == 10_000
+
+
+def test_perf_table_groupby(benchmark):
+    """Group-by over a 20k-row dataset (the analysis inner loop)."""
+    rng = np.random.default_rng(2)
+    n = 20_000
+    table = Table(
+        {
+            "app": rng.choice(["cg", "bt", "mg", "ft"], size=n).astype(object),
+            "arch": rng.choice(["a", "b", "c"], size=n).astype(object),
+            "speedup": rng.lognormal(size=n),
+        }
+    )
+    groups = benchmark(table.group_by, ["app", "arch"])
+    assert len(groups) == 12

@@ -1,0 +1,113 @@
+"""Regenerate Table VII (best-performing variables/values) and the
+Sec. V-4 worst-trend finding."""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+
+from repro.core.recommend import best_variable_values, worst_trends
+from repro.frame.ops import concat_tables
+from repro.frame.table import Table
+
+
+@pytest.fixture(scope="module")
+def combined_dataset(all_arch_datasets):
+    return concat_tables(list(all_arch_datasets.values()))
+
+
+def test_table7_best_variables(benchmark, combined_dataset, output_dir):
+    """Table VII: per-app/arch enriched variable-value pairs.
+
+    The paper's headline rows:
+    - NQueens: KMP_LIBRARY=turnaround (all architectures),
+    - CG on Skylake: KMP_FORCE_REDUCTION in {tree, atomic} (+ alignment).
+    """
+
+    def mine():
+        return best_variable_values(combined_dataset, quantile=0.05)
+
+    recs = benchmark.pedantic(mine, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "app": r.app,
+            "arch": r.arch,
+            "variable": r.variable,
+            "values": "/".join(r.values),
+            "lift": r.lift,
+            "best_speedup": r.best_speedup,
+        }
+        for r in recs
+        if r.app in ("nqueens", "cg")
+    ]
+    emit(
+        "Table VII: Best performing environment variables and values",
+        Table.from_records(rows).to_text(float_fmt="{:.2f}"),
+        output_dir,
+        "table7.txt",
+    )
+
+    # NQueens: active waiting (turnaround or its blocktime=infinite twin)
+    # enriched in the top slice on every architecture.
+    for arch in ("a64fx", "skylake", "milan"):
+        group = [r for r in recs if r.app == "nqueens" and r.arch == arch]
+        active_values = set()
+        for r in group:
+            if r.variable in ("library", "blocktime"):
+                active_values |= set(r.values)
+        assert "turnaround" in active_values or "infinite" in active_values, (
+            arch,
+            group,
+        )
+
+    # CG on Skylake: the reduction method appears among the enriched
+    # variables with tree and/or atomic values (never critical).
+    cg_sky = [
+        r
+        for r in recs
+        if r.app == "cg" and r.arch == "skylake" and r.variable == "force_reduction"
+    ]
+    if cg_sky:  # enrichment can fall below threshold at tiny scales
+        assert set(cg_sky[0].values) <= {"tree", "atomic", "unset"}
+
+
+def test_worst_trend_master_binding(benchmark, combined_dataset, output_dir):
+    """Sec. V-4: master binding at large thread counts is the worst trend."""
+
+    def mine():
+        return worst_trends(combined_dataset, quantile=0.05)
+
+    trends = benchmark.pedantic(mine, rounds=1, iterations=1)
+    rows = [
+        {
+            "variable": t.variable,
+            "value": t.value,
+            "lift": t.lift,
+            "mean_speedup": t.mean_speedup,
+        }
+        for t in trends
+    ]
+    emit(
+        "Sec. V-4: Worst-performance trends",
+        Table.from_records(rows).to_text(float_fmt="{:.3f}"),
+        output_dir,
+        "worst_trends.txt",
+    )
+
+    assert trends, "no worst trends mined"
+    top = trends[0]
+    assert top.variable == "proc_bind" and top.value == "master"
+    assert top.mean_speedup < 0.5  # catastrophic, not merely slow
+
+    # And the mechanism: it is the large-thread-count runs that sink.
+    table = combined_dataset
+    master = table.filter(
+        np.asarray([b == "master" for b in table["proc_bind"]])
+    )
+    threads = np.asarray(master["num_threads"], int)
+    speedup = np.asarray(master["speedup"], float)
+    big = speedup[threads >= np.median(threads)]
+    small = speedup[threads < np.median(threads)]
+    if small.size and big.size:
+        assert np.median(big) <= np.median(small)

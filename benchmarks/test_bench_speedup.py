@@ -1,0 +1,178 @@
+"""Regenerate Table V (per-arch speedup ranges for Alignment & XSBench),
+Table VI (per-application speedup ranges) and the Sec. V-1 headline
+speedup statistics."""
+
+import numpy as np
+import pytest
+
+from conftest import all_arch_datasets, bench_dataset, emit
+
+from repro.frame.table import Table
+
+#: Paper Table VI ranges (min-max across architectures of the best
+#: per-setting speedup), for side-by-side reporting.
+PAPER_TABLE6 = {
+    "alignment": (1.022, 1.186),
+    "bt": (1.027, 1.185),
+    "cg": (1.000, 1.857),
+    "ep": (1.000, 1.090),
+    "ft": (1.010, 1.545),
+    "health": (1.282, 2.218),
+    "lu": (1.020, 1.121),
+    "lulesh": (1.004, 1.062),
+    "mg": (1.011, 2.167),
+    "nqueens": (2.342, 4.851),
+    "rsbench": (1.004, 1.213),
+    "sort": (1.174, 1.180),
+    "strassen": (1.023, 1.025),
+    "su3bench": (1.002, 2.279),
+    "xsbench": (1.001, 2.602),
+}
+
+
+def _per_setting_max(dataset) -> dict[tuple, float]:
+    """Best speedup at each (app, input, threads) setting."""
+    out = {}
+    for (app, inp, threads), sub in dataset.group_by(
+        ["app", "input_size", "num_threads"]
+    ):
+        out[(app, inp, threads)] = float(
+            np.max(np.asarray(sub["speedup"], float))
+        )
+    return out
+
+
+def test_headline_ranges(benchmark, all_arch_datasets, output_dir):
+    """Sec. V-1: per-architecture range and median of best speedups.
+
+    Paper: A64FX 1.0-4.85 median 1.02; Milan 1.011-2.6 median 1.15;
+    Skylake 1.0-3.47 median 1.065.
+    """
+
+    def compute():
+        rows = []
+        for arch, dataset in all_arch_datasets.items():
+            maxima = np.array(list(_per_setting_max(dataset).values()))
+            rows.append(
+                {
+                    "arch": arch,
+                    "min_best": float(maxima.min()),
+                    "max_best": float(maxima.max()),
+                    "median_best": float(np.median(maxima)),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "Sec. V-1 headline: best-speedup range and median per architecture",
+        Table.from_records(rows).to_text(float_fmt="{:.3f}"),
+        output_dir,
+        "headline_ranges.txt",
+    )
+    by_arch = {r["arch"]: r for r in rows}
+
+    # Medians: a64fx ~1.02, skylake ~1.05-1.07, milan ~1.1-1.2.
+    assert by_arch["a64fx"]["median_best"] < 1.06
+    assert by_arch["milan"]["median_best"] > by_arch["a64fx"]["median_best"]
+    # Maxima: a64fx largest overall (NQueens ~4.9), skylake next (~3.4),
+    # milan smallest (~2.6) — the paper's exact ordering.
+    assert by_arch["a64fx"]["max_best"] > 4.0
+    assert by_arch["skylake"]["max_best"] > 2.5
+    assert 2.0 < by_arch["milan"]["max_best"] < 3.5
+    # Every architecture shows near-1.0 minima: some settings barely move.
+    for r in rows:
+        assert r["min_best"] < 1.1
+
+
+def test_table5_alignment_xsbench(benchmark, all_arch_datasets, output_dir):
+    """Table V: speedup ranges for Alignment and XSBench per architecture.
+
+    Shape: Alignment consistent across machines; XSBench big on Milan
+    only.
+    """
+
+    def compute():
+        rows = []
+        for app in ("alignment", "xsbench"):
+            for arch, dataset in all_arch_datasets.items():
+                maxima = [
+                    v
+                    for (a, _i, _t), v in _per_setting_max(dataset).items()
+                    if a == app
+                ]
+                rows.append(
+                    {
+                        "application": app,
+                        "architecture": arch,
+                        "speedup_lo": float(min(maxima)),
+                        "speedup_hi": float(max(maxima)),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "Table V: Speedup range for Alignment and XSBench per architecture",
+        Table.from_records(rows).to_text(float_fmt="{:.3f}"),
+        output_dir,
+        "table5.txt",
+    )
+
+    by_key = {(r["application"], r["architecture"]): r for r in rows}
+    # XSBench: >1.5x on Milan, <1.15x elsewhere (paper: 2.60 vs ~1.0).
+    assert by_key[("xsbench", "milan")]["speedup_hi"] > 1.5
+    assert by_key[("xsbench", "skylake")]["speedup_hi"] < 1.15
+    assert by_key[("xsbench", "a64fx")]["speedup_hi"] < 1.15
+    # Alignment: modest (1.02-1.20) and consistent everywhere.
+    for arch in ("a64fx", "skylake", "milan"):
+        hi = by_key[("alignment", arch)]["speedup_hi"]
+        assert 1.01 < hi < 1.35, arch
+
+
+def test_table6_per_application(benchmark, all_arch_datasets, output_dir):
+    """Table VI: best-speedup range per application across architectures."""
+
+    def compute():
+        per_app_arch: dict[str, list[float]] = {}
+        for dataset in all_arch_datasets.values():
+            best_by_app: dict[str, float] = {}
+            for (app, _i, _t), v in _per_setting_max(dataset).items():
+                best_by_app[app] = max(best_by_app.get(app, 0.0), v)
+            for app, v in best_by_app.items():
+                per_app_arch.setdefault(app, []).append(v)
+        rows = []
+        for app in sorted(per_app_arch):
+            values = per_app_arch[app]
+            lo, hi = PAPER_TABLE6[app]
+            rows.append(
+                {
+                    "application": app,
+                    "speedup_lo": float(min(values)),
+                    "speedup_hi": float(max(values)),
+                    "paper_lo": lo,
+                    "paper_hi": hi,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "Table VI: Speedup range per application (vs paper)",
+        Table.from_records(rows).to_text(float_fmt="{:.3f}"),
+        output_dir,
+        "table6.txt",
+    )
+
+    by_app = {r["application"]: r for r in rows}
+    assert set(by_app) == set(PAPER_TABLE6)
+
+    # Shape assertions: the winners win, the flat apps stay flat.
+    assert by_app["nqueens"]["speedup_hi"] > 3.5  # biggest headroom overall
+    for app in ("ep", "strassen", "lulesh"):
+        assert by_app[app]["speedup_hi"] < 1.25, app
+    for app in ("health", "mg", "su3bench", "xsbench", "cg"):
+        assert by_app[app]["speedup_hi"] > 1.4, app
+    # Ordering of headroom matches the paper's top-4.
+    ours = sorted(by_app, key=lambda a: -by_app[a]["speedup_hi"])
+    assert ours[0] == "nqueens"

@@ -1,0 +1,75 @@
+"""Regenerate Table I (hardware configuration) and Table II (dataset
+description)."""
+
+import pytest
+
+from conftest import BENCH_SCALE, bench_sweep, emit
+
+from repro.arch.machines import hardware_table
+from repro.frame.table import Table
+
+#: The paper's Table II sample counts, for side-by-side reporting.
+PAPER_TABLE2 = {"a64fx": (15, 53822), "milan": (13, 99707), "skylake": (12, 90230)}
+
+
+def test_table1_hardware_configuration(benchmark, output_dir):
+    """Table I: the three machine models."""
+    rows = benchmark(hardware_table)
+    table = Table.from_records(rows)
+    emit("Table I: Hardware configuration", table.to_text(), output_dir,
+         "table1.txt")
+
+    by_arch = {r["architecture"]: r for r in rows}
+    assert by_arch["a64fx"]["cores"] == 48
+    assert by_arch["skylake"]["cores"] == 40 and by_arch["skylake"]["sockets"] == 2
+    assert by_arch["milan"]["cores"] == 96 and by_arch["milan"]["numa_nodes"] == 8
+
+
+def test_table2_dataset_description(benchmark, output_dir):
+    """Table II: applications and unique samples per architecture.
+
+    At ``REPRO_BENCH_SCALE=full`` the sample counts land in the same range
+    as the paper's (tens of thousands per machine, A64FX smallest because
+    its KMP_ALIGN_ALLOC domain is half the size); scaled runs report
+    proportionally fewer.
+    """
+
+    def collect():
+        return {arch: bench_sweep(arch) for arch in PAPER_TABLE2}
+
+    sweeps = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    rows = []
+    for arch, sweep in sweeps.items():
+        paper_apps, paper_samples = PAPER_TABLE2[arch]
+        rows.append(
+            {
+                "architecture": arch,
+                "applications": len(sweep.apps()),
+                "samples": sweep.n_samples,
+                "paper_applications": paper_apps,
+                "paper_samples": paper_samples,
+            }
+        )
+    table = Table.from_records(rows)
+    emit(
+        f"Table II: Dataset description (scale={BENCH_SCALE})",
+        table.to_text(),
+        output_dir,
+        "table2.txt",
+    )
+
+    by_arch = {r["architecture"]: r for r in rows}
+    # App counts match the paper exactly at any scale.
+    assert by_arch["a64fx"]["applications"] == 15
+    assert by_arch["milan"]["applications"] == 13
+    assert by_arch["skylake"]["applications"] == 12
+    if BENCH_SCALE == "full":
+        # With the full grids the paper's sample-count ordering emerges:
+        # the x86 machines sweep twice the configs per setting (4 vs 2
+        # KMP_ALIGN_ALLOC values), outweighing A64FX's two extra apps.
+        assert (
+            by_arch["milan"]["samples"]
+            > by_arch["skylake"]["samples"]
+            > by_arch["a64fx"]["samples"]
+        )

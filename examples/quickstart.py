@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: what does tuning the LLVM/OpenMP runtime buy on each machine?
+
+Runs a handful of the paper's benchmarks on all three simulated machines
+(Table I), compares the default configuration against a few hand-picked
+environment settings, and prints the speedups — a five-second tour of the
+study's core question.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ALL_MACHINES, EnvConfig, execute, get_workload
+from repro.frame.table import Table
+
+# The configurations a practitioner might try first (paper Sec. III).
+CANDIDATES = {
+    "default": EnvConfig(),
+    "turnaround": EnvConfig(library="turnaround"),
+    "bind spread": EnvConfig(places="ll_caches", proc_bind="spread"),
+    "half threads": None,  # filled per machine below
+    "master (bad!)": EnvConfig(proc_bind="master"),
+}
+
+APPS = ("nqueens", "xsbench", "cg", "ep")
+
+
+def main() -> None:
+    rows = []
+    for arch, machine in ALL_MACHINES.items():
+        for app_name in APPS:
+            workload = get_workload(app_name)
+            if not workload.runs_on(arch):
+                continue
+            program = workload.program(workload.default_input)
+            default = execute(program, machine, EnvConfig())
+            row = {"arch": arch, "app": app_name, "default_s": default}
+            for label, config in CANDIDATES.items():
+                if label == "default":
+                    continue
+                if config is None:
+                    config = EnvConfig(num_threads=machine.n_cores // 2)
+                runtime = execute(program, machine, config)
+                row[label] = default / runtime  # speedup over default
+            rows.append(row)
+
+    table = Table.from_records(rows)
+    print("Speedup over the default configuration (x):\n")
+    print(table.to_text(float_fmt="{:.3f}"))
+    print(
+        "\nReadings: NQueens wants spin-waiting (turnaround) everywhere;"
+        "\nXSBench only has headroom on Milan (NUMA congestion); EP has"
+        "\nnothing to tune; master binding is always catastrophic."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Thin setup.py shim.
+
+Kept so `pip install -e .` works on environments whose setuptools predates
+PEP 660 editable-wheel support (metadata lives in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Machine models for the three CPU architectures of the study (Table I).
+
+- :mod:`~repro.arch.topology` — core/socket/NUMA/LLC topology with place
+  partitioning and a NUMA distance matrix,
+- :mod:`~repro.arch.machines` — the Fujitsu A64FX, Intel Skylake 6148 and
+  AMD Milan 7643 definitions plus a registry,
+- :mod:`~repro.arch.noise` — per-architecture measurement-noise models
+  reproducing the consistency contrast of Tables III/IV (A64FX stationary,
+  X86 drifting and heavier-tailed).
+"""
+
+from repro.arch.topology import MachineTopology, Place, PlaceKind
+from repro.arch.machines import (
+    A64FX,
+    MILAN,
+    SKYLAKE,
+    ALL_MACHINES,
+    get_machine,
+    machine_names,
+    hardware_table,
+)
+from repro.arch.noise import NoiseModel, NOISE_MODELS, get_noise_model
+
+__all__ = [
+    "MachineTopology",
+    "Place",
+    "PlaceKind",
+    "A64FX",
+    "MILAN",
+    "SKYLAKE",
+    "ALL_MACHINES",
+    "get_machine",
+    "machine_names",
+    "hardware_table",
+    "NoiseModel",
+    "NOISE_MODELS",
+    "get_noise_model",
+]

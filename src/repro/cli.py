@@ -1,0 +1,456 @@
+"""``repro-omp`` command-line interface.
+
+Subcommands mirror the study's workflow:
+
+- ``machines`` — print Table I (the machine models),
+- ``sweep`` — run a sweep and write the dataset CSV,
+- ``analyze`` — read a dataset CSV, print speedup summaries and influence
+  heat maps (text), optionally write SVG figures,
+- ``recommend`` — print per-app/arch tuning recommendations and worst
+  trends from a dataset CSV,
+- ``tune`` — hill-climb one workload on one machine, optionally with
+  influence-guided pruning,
+- ``release`` — package a dataset CSV as the per-(arch, app) file tree
+  the paper open-sources,
+- ``energy`` — runtime/energy/EDP profile of one workload across the
+  headline configurations,
+- ``microbench`` — EPCC-style per-construct overhead probes of the
+  simulated runtime,
+- ``trace`` — phase timeline of one run, optionally exported as Chrome
+  trace JSON,
+- ``workloads`` — the 15 benchmark models and their experimental design,
+- ``figures`` — regenerate the paper's figure gallery (violins + heat
+  maps) from a fresh sweep in one command,
+- ``report`` — assemble a full Markdown study report from a dataset CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.arch.machines import get_machine, hardware_table, machine_names
+from repro.core.dataset import (
+    aggregate_runs,
+    enrich_with_speedup,
+    records_to_table,
+    speedup_summary,
+)
+from repro.core.envspace import EnvSpace
+from repro.core.influence import (
+    influence_by_application,
+    influence_by_arch_application,
+    influence_by_architecture,
+)
+from repro.core.labeling import label_optimal
+from repro.core.pruning import hill_climb
+from repro.core.recommend import best_variable_values, worst_trends
+from repro.core.sweep import SweepPlan, run_sweep
+from repro.errors import ReproError
+from repro.frame.io import read_csv, write_csv
+from repro.frame.table import Table
+from repro.viz.heatmap import influence_heatmap
+from repro.viz.text import text_heatmap
+from repro.workloads.base import get_workload, workload_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-omp",
+        description="LLVM/OpenMP runtime tuning study (SC 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="print the machine models (Table I)")
+
+    p_sweep = sub.add_parser("sweep", help="run a sweep, write dataset CSV")
+    p_sweep.add_argument("--arch", required=True, choices=machine_names())
+    p_sweep.add_argument(
+        "--workloads", nargs="*", default=None,
+        help=f"subset of {workload_names()} (default: all for the arch)",
+    )
+    p_sweep.add_argument("--scale", default="small",
+                         choices=EnvSpace.SCALES)
+    p_sweep.add_argument("--repetitions", type=int, default=3)
+    p_sweep.add_argument("--processes", type=int, default=1)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("-o", "--output", required=True,
+                         help="dataset CSV path")
+
+    p_an = sub.add_parser("analyze", help="analyze a dataset CSV")
+    p_an.add_argument("dataset", help="CSV written by 'sweep'")
+    p_an.add_argument("--figures-dir", default=None,
+                      help="write SVG heat maps here")
+
+    p_rec = sub.add_parser("recommend", help="recommendations from a dataset")
+    p_rec.add_argument("dataset")
+    p_rec.add_argument("--app", default=None)
+    p_rec.add_argument("--quantile", type=float, default=0.05)
+
+    p_tune = sub.add_parser("tune", help="hill-climb one workload")
+    p_tune.add_argument("--arch", required=True, choices=machine_names())
+    p_tune.add_argument("--workload", required=True)
+    p_tune.add_argument("--input", default=None)
+    p_tune.add_argument("--threads", type=int, default=None)
+    p_tune.add_argument("--restarts", type=int, default=2)
+    p_tune.add_argument("--seed", type=int, default=0)
+
+    p_rel = sub.add_parser("release", help="package a dataset for release")
+    p_rel.add_argument("dataset", help="CSV written by 'sweep'")
+    p_rel.add_argument("-o", "--output", required=True,
+                       help="release directory")
+    p_rel.add_argument("--version", default="1.0")
+
+    p_en = sub.add_parser("energy", help="energy/EDP profile of a workload")
+    p_en.add_argument("--arch", required=True, choices=machine_names())
+    p_en.add_argument("--workload", required=True)
+    p_en.add_argument("--input", default=None)
+
+    p_mb = sub.add_parser("microbench",
+                          help="EPCC-style runtime overhead probes")
+    p_mb.add_argument("--library", default=None,
+                      choices=(None, "throughput", "turnaround"))
+    p_mb.add_argument("--threads", type=int, default=None)
+
+    p_wl = sub.add_parser("workloads", help="list the benchmark models")
+    p_wl.add_argument("--arch", default="milan", choices=machine_names())
+
+    p_rep = sub.add_parser("report",
+                           help="write REPORT.md from a dataset CSV")
+    p_rep.add_argument("dataset", help="CSV written by 'sweep'")
+    p_rep.add_argument("-o", "--output", required=True,
+                       help="report directory")
+    p_rep.add_argument("--title", default="LLVM/OpenMP tuning study")
+
+    p_fig = sub.add_parser("figures",
+                           help="regenerate the paper figure gallery")
+    p_fig.add_argument("-o", "--output", required=True,
+                       help="directory for the SVGs")
+    p_fig.add_argument("--scale", default="small", choices=EnvSpace.SCALES)
+    p_fig.add_argument("--apps", nargs="*",
+                       default=("alignment", "bt", "health", "rsbench"),
+                       help="violin-figure applications (paper: Figs 1, 5-7)")
+    p_fig.add_argument("--repetitions", type=int, default=2)
+
+    p_tr = sub.add_parser("trace", help="phase timeline of one run")
+    p_tr.add_argument("--arch", required=True, choices=machine_names())
+    p_tr.add_argument("--workload", required=True)
+    p_tr.add_argument("--input", default=None)
+    p_tr.add_argument("--library", default=None,
+                      choices=(None, "throughput", "turnaround"))
+    p_tr.add_argument("-o", "--output", default=None,
+                      help="write Chrome trace JSON here")
+    return parser
+
+
+def _cmd_machines() -> int:
+    print(Table.from_records(hardware_table()).to_text())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    plan = SweepPlan(
+        arch=args.arch,
+        workload_names=tuple(args.workloads) if args.workloads else None,
+        scale=args.scale,
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    def progress(done: int, total: int, app: str, inp: str, threads: int) -> None:
+        print(f"  [{done:3d}/{total}] {app}.{inp} T={threads}", flush=True)
+
+    result = run_sweep(plan, n_processes=args.processes, progress=progress)
+    table = enrich_with_speedup(aggregate_runs(records_to_table(result.records)))
+    write_csv(table, args.output)
+    print(
+        f"{result.n_samples} samples ({result.n_measurements} measurements) "
+        f"for {len(result.apps())} applications on {args.arch} "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def _prepare(table: Table) -> Table:
+    from repro.core.dataset import validate_dataset
+
+    table = validate_dataset(table)
+    if "speedup" not in table:
+        table = enrich_with_speedup(table)
+    if "optimal" not in table:
+        table = label_optimal(table)
+    return table
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    table = _prepare(read_csv(args.dataset))
+    print("# Best speedup per application")
+    print(speedup_summary(table, by=("arch", "app")).to_text())
+    print()
+
+    analyses = [
+        ("per-application (Fig. 2)", influence_by_application(table)),
+        ("per-architecture (Fig. 3)", influence_by_architecture(table)),
+        ("per-arch-application (Fig. 4)", influence_by_arch_application(table)),
+    ]
+    for title, inf in analyses:
+        print(f"# Influence, {title}  [mean accuracy "
+              f"{inf.mean_accuracy():.2f}]")
+        print(
+            text_heatmap(
+                inf.matrix(), inf.row_labels, list(inf.feature_names)
+            )
+        )
+        print()
+        if args.figures_dir:
+            out = Path(args.figures_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            name = inf.grouping.replace("-", "_") + ".svg"
+            influence_heatmap(inf).save(str(out / name))
+            print(f"wrote {out / name}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    table = _prepare(read_csv(args.dataset))
+    recs = best_variable_values(table, quantile=args.quantile)
+    if args.app:
+        recs = [r for r in recs if r.app == args.app]
+    print("# Best-performing variables and values (Table VII analogue)")
+    for r in recs:
+        print(
+            f"  {r.app:10s} {r.arch:8s} {r.variable:16s} "
+            f"{'/'.join(r.values):24s} lift={r.lift:5.2f} "
+            f"best={r.best_speedup:5.2f}x"
+        )
+    print("\n# Worst trends (Sec. V-4)")
+    for t in worst_trends(table):
+        print(
+            f"  {t.variable}={t.value}: lift={t.lift:.2f}, "
+            f"mean speedup {t.mean_speedup:.3f}x"
+        )
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    machine = get_machine(args.arch)
+    workload = get_workload(args.workload)
+    input_name = args.input or workload.default_input
+    program = workload.program(input_name)
+    space = EnvSpace()
+
+    result = hill_climb(
+        program,
+        machine,
+        space,
+        num_threads=args.threads,
+        restarts=args.restarts,
+        seed=args.seed,
+    )
+    print(f"workload  : {workload.name}.{input_name} on {args.arch}")
+    print(f"default   : {result.start_runtime:.6f} s")
+    print(f"tuned     : {result.best_runtime:.6f} s "
+          f"({result.speedup:.3f}x, {result.evaluations} evaluations)")
+    env = result.best_config.as_env()
+    print("config    :", " ".join(f"{k}={v}" for k, v in env.items()) or
+          "(defaults)")
+    return 0
+
+
+def _cmd_release(args: argparse.Namespace) -> int:
+    from repro.core.release import write_release
+
+    table = _prepare(read_csv(args.dataset))
+    manifest = write_release(table, args.output, version=args.version)
+    print(
+        f"released {manifest.n_samples} samples "
+        f"({len(manifest.files)} files, "
+        f"{len(manifest.architectures)} architectures, "
+        f"{len(manifest.applications)} applications) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from repro.runtime.icv import EnvConfig
+    from repro.runtime.power import energy_profile
+
+    machine = get_machine(args.arch)
+    workload = get_workload(args.workload)
+    program = workload.program(args.input or workload.default_input)
+    configs = [
+        ("default", EnvConfig()),
+        ("turnaround", EnvConfig(library="turnaround")),
+        ("blocktime=0", EnvConfig(blocktime="0")),
+        ("half threads", EnvConfig(num_threads=machine.n_cores // 2)),
+    ]
+    rows = []
+    for label, cfg in configs:
+        p = energy_profile(program, machine, cfg)
+        rows.append(
+            {
+                "config": label,
+                "runtime_s": p.runtime_s,
+                "energy_j": p.energy_j,
+                "avg_power_w": p.avg_power_w,
+                "edp_js": p.edp,
+            }
+        )
+    print(Table.from_records(rows).to_text(float_fmt="{:.4g}"))
+    return 0
+
+
+def _cmd_microbench(args: argparse.Namespace) -> int:
+    from repro.runtime.icv import EnvConfig
+    from repro.runtime.microbench import overhead_table
+
+    kwargs = {}
+    if args.library:
+        kwargs["library"] = args.library
+    if args.threads:
+        kwargs["num_threads"] = args.threads
+    print(overhead_table(EnvConfig(**kwargs)).to_text(float_fmt="{:.2f}"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.report import generate_report
+
+    table = _prepare(read_csv(args.dataset))
+    path = generate_report(table, args.output, title=args.title)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.frame.ops import concat_tables
+    from repro.viz.violin import violin_plot
+
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+
+    apps = tuple(args.apps)
+    tables = []
+    for arch in machine_names():
+        names = tuple(
+            a for a in apps
+            if get_workload(a).runs_on(arch)
+        )
+        if not names:
+            continue  # e.g. Sort/Strassen never ran on the x86 machines
+        print(f"sweeping {names} on {arch} (scale={args.scale}) ...",
+              flush=True)
+        result = run_sweep(
+            SweepPlan(arch=arch, workload_names=names, scale=args.scale,
+                      repetitions=args.repetitions)
+        )
+        tables.append(records_to_table(result.records))
+    dataset = label_optimal(enrich_with_speedup(concat_tables(tables)))
+
+    # Violin figures: one per app, violins per (arch, setting).
+    for app in apps:
+        mask = np.asarray([a == app for a in dataset["app"]])
+        sub = dataset.filter(mask)
+        samples, labels = [], []
+        for (arch, inp, thr), group in sub.group_by(
+            ["arch", "input_size", "num_threads"]
+        ):
+            samples.append(np.asarray(group["runtime_mean"], float))
+            varies_threads = (
+                get_workload(app).varies == "threads"
+            )
+            labels.append(
+                f"{arch}/T={thr}" if varies_threads else f"{arch}/{inp}"
+            )
+        path = out / f"violin_{app}.svg"
+        violin_plot(
+            samples, labels, log_scale=True,
+            title=f"{app}: runtime distribution over the sweep",
+            width=max(900.0, 60.0 * len(samples)),
+            markers=[float(s.min()) for s in samples],
+        ).save(str(path))
+        print(f"wrote {path}")
+
+    # Influence heat maps (Figs. 2-4).
+    for name, inf in (
+        ("fig2_by_application", influence_by_application(dataset)),
+        ("fig3_by_architecture", influence_by_architecture(dataset)),
+        ("fig4_by_arch_application", influence_by_arch_application(dataset)),
+    ):
+        path = out / f"{name}.svg"
+        influence_heatmap(inf).save(str(path))
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads.base import WORKLOADS
+
+    machine = get_machine(args.arch)
+    rows = [
+        w.describe(machine)
+        for w in sorted(WORKLOADS.values(), key=lambda w: (w.suite, w.name))
+    ]
+    print(Table.from_records(rows).to_text())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.runtime.icv import EnvConfig
+    from repro.runtime.trace import trace_execution
+
+    machine = get_machine(args.arch)
+    workload = get_workload(args.workload)
+    program = workload.program(args.input or workload.default_input)
+    kwargs = {"library": args.library} if args.library else {}
+    trace = trace_execution(program, machine, EnvConfig(**kwargs))
+    print(f"{trace.program} on {trace.arch}: {trace.total_s:.6f} s, "
+          f"{trace.parallel_fraction:.1%} parallel")
+    print(trace.to_table().to_text(float_fmt="{:.4g}"))
+    if args.output:
+        trace.save_chrome_trace(args.output)
+        print(f"chrome trace -> {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "machines":
+            return _cmd_machines()
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "recommend":
+            return _cmd_recommend(args)
+        if args.command == "tune":
+            return _cmd_tune(args)
+        if args.command == "release":
+            return _cmd_release(args)
+        if args.command == "energy":
+            return _cmd_energy(args)
+        if args.command == "microbench":
+            return _cmd_microbench(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "workloads":
+            return _cmd_workloads(args)
+        if args.command == "figures":
+            return _cmd_figures(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        raise AssertionError(f"unhandled command {args.command}")
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""The paper's primary contribution: sweep orchestration + influence analysis.
+
+- :mod:`~repro.core.envspace` — the swept environment-variable space with
+  per-architecture value sets and grid enumeration,
+- :mod:`~repro.core.sweep` — batched full-factorial sweep execution over
+  (workload, setting, config, repetition),
+- :mod:`~repro.core.dataset` — raw records -> tabular datasets, run
+  averaging, default-config enrichment, speedup computation,
+- :mod:`~repro.core.labeling` — the optimal/sub-optimal classification
+  labels (speedup > 1.01),
+- :mod:`~repro.core.influence` — logistic-regression coefficient influence
+  under the three grouping strategies (Figs. 2-4),
+- :mod:`~repro.core.recommend` — best variable/value extraction (Table
+  VII) and worst-trend detection (Sec. V-4),
+- :mod:`~repro.core.pruning` — influence-guided search-space pruning and
+  the hill-climbing tuner the conclusion sketches.
+"""
+
+from repro.core.envspace import (EnvSpace, VariableSpec, SWEPT_VARIABLES,
+                                 chunked_schedule_variables,
+                                 extended_variables, wait_policy_variables)
+from repro.core.sweep import SweepPlan, SweepResult, run_sweep
+from repro.core.dataset import (
+    aggregate_runs,
+    enrich_with_speedup,
+    records_to_table,
+    speedup_summary,
+    validate_dataset,
+)
+from repro.core.labeling import OPTIMAL_THRESHOLD, label_optimal
+from repro.core.influence import (
+    FEATURE_COLUMNS,
+    GroupInfluence,
+    InfluenceMatrix,
+    influence_by_application,
+    influence_by_arch_application,
+    influence_by_architecture,
+)
+from repro.core.recommend import (
+    Recommendation,
+    best_variable_values,
+    recommend,
+    worst_trends,
+)
+from repro.core.pruning import HillClimbResult, hill_climb, prune_space
+from repro.core.search import (
+    TunerResult,
+    exhaustive_search,
+    greedy_ofat,
+    random_search,
+    simulated_annealing,
+)
+from repro.core.nonlinear import ModelComparison, compare_models, forest_influence
+from repro.core.transfer import (
+    TransferResult,
+    UnseenRecommendation,
+    fine_tune,
+    leave_one_app_out,
+    recommend_for_unseen,
+)
+from repro.core.release import ReleaseManifest, load_release, write_release
+from repro.core.interactions import (
+    PairInteraction,
+    interaction_matrix,
+    strongest_interactions,
+)
+from repro.core.report import generate_report
+from repro.core.perkernel import PerKernelResult, RegionTuning, per_kernel_tune
+from repro.core.threads import ThreadRecommendation, recommend_threads
+
+__all__ = [
+    "EnvSpace",
+    "VariableSpec",
+    "SWEPT_VARIABLES",
+    "SweepPlan",
+    "SweepResult",
+    "run_sweep",
+    "records_to_table",
+    "aggregate_runs",
+    "enrich_with_speedup",
+    "speedup_summary",
+    "validate_dataset",
+    "OPTIMAL_THRESHOLD",
+    "label_optimal",
+    "FEATURE_COLUMNS",
+    "GroupInfluence",
+    "InfluenceMatrix",
+    "influence_by_application",
+    "influence_by_architecture",
+    "influence_by_arch_application",
+    "Recommendation",
+    "recommend",
+    "best_variable_values",
+    "worst_trends",
+    "HillClimbResult",
+    "hill_climb",
+    "prune_space",
+    "extended_variables",
+    "wait_policy_variables",
+    "chunked_schedule_variables",
+    "TunerResult",
+    "random_search",
+    "simulated_annealing",
+    "greedy_ofat",
+    "exhaustive_search",
+    "ModelComparison",
+    "compare_models",
+    "forest_influence",
+    "TransferResult",
+    "UnseenRecommendation",
+    "leave_one_app_out",
+    "recommend_for_unseen",
+    "fine_tune",
+    "ReleaseManifest",
+    "write_release",
+    "load_release",
+    "PairInteraction",
+    "interaction_matrix",
+    "strongest_interactions",
+    "generate_report",
+    "PerKernelResult",
+    "RegionTuning",
+    "per_kernel_tune",
+    "ThreadRecommendation",
+    "recommend_threads",
+]

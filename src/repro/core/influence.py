@@ -1,0 +1,232 @@
+"""Feature-influence analysis via logistic regression (paper Sec. IV-D, V).
+
+For each group (per architecture-application, per application, per
+architecture) a logistic classifier separates optimal from sub-optimal
+samples; the weight-normalized absolute coefficients of the fitted model
+are read as each feature's *influence* on tuning outcome.  Those rows,
+stacked, are the heat maps of Figs. 2-4.
+
+Features follow the paper: input size, thread count and the seven swept
+environment variables everywhere, plus an application and/or architecture
+code depending on grouping, all via the "naive numeric scheme" (ordinal
+label encoding) and z-score standardization so coefficient magnitudes are
+comparable.
+
+A feature that is constant within a group (e.g. "architecture" for Sort,
+which only ran on A64FX) standardizes to zero and receives zero influence
+— exactly the paper's "no reliance" observation for Sort/Strassen.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.frame.table import Table
+from repro.mlkit.linreg import LinearRegression
+from repro.mlkit.logreg import LogisticRegression
+from repro.mlkit.preprocess import LabelEncoder, Standardizer
+
+__all__ = [
+    "FEATURE_COLUMNS",
+    "GroupInfluence",
+    "InfluenceMatrix",
+    "influence_by_arch_application",
+    "influence_by_application",
+    "influence_by_architecture",
+    "linear_fit_quality",
+]
+
+#: Dataset column -> heat-map feature label, in presentation order.
+FEATURE_COLUMNS: dict[str, str] = {
+    "arch": "Architecture",
+    "app": "Application",
+    "input_size": "Input Size",
+    "num_threads": "OMP_NUM_THREADS",
+    "places": "OMP_PLACES",
+    "proc_bind": "OMP_PROC_BIND",
+    "schedule": "OMP_SCHEDULE",
+    "library": "KMP_LIBRARY",
+    "blocktime": "KMP_BLOCKTIME",
+    "force_reduction": "KMP_FORCE_REDUCTION",
+    "align_alloc": "KMP_ALIGN_ALLOC",
+}
+
+_NUMERIC_COLUMNS = {"num_threads", "align_alloc"}
+
+
+@dataclass(frozen=True)
+class GroupInfluence:
+    """One heat-map row."""
+
+    label: tuple
+    feature_names: tuple[str, ...]
+    importances: np.ndarray = field(repr=False)
+    accuracy: float
+    n_samples: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Feature label -> influence."""
+        return dict(zip(self.feature_names, self.importances.tolist()))
+
+    def top_features(self, k: int = 3) -> list[str]:
+        """The ``k`` most influential feature labels, descending."""
+        order = np.argsort(self.importances)[::-1]
+        return [self.feature_names[i] for i in order[:k]]
+
+
+@dataclass(frozen=True)
+class InfluenceMatrix:
+    """A full heat map: one :class:`GroupInfluence` per row."""
+
+    grouping: str
+    rows: tuple[GroupInfluence, ...]
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """Heat-map column labels (shared by every row)."""
+        return self.rows[0].feature_names if self.rows else ()
+
+    @property
+    def row_labels(self) -> list[str]:
+        """Heat-map row labels ("arch/app" style for composite keys)."""
+        return ["/".join(str(p) for p in r.label) for r in self.rows]
+
+    def matrix(self) -> np.ndarray:
+        """(n_rows, n_features) influence array."""
+        return np.stack([r.importances for r in self.rows])
+
+    def mean_accuracy(self) -> float:
+        """Average in-sample accuracy across groups."""
+        return float(np.mean([r.accuracy for r in self.rows]))
+
+    def to_table(self) -> Table:
+        """Render as a :class:`~repro.frame.Table` (one row per group)."""
+        records = []
+        for r in self.rows:
+            rec: dict = {"group": "/".join(str(p) for p in r.label)}
+            rec.update(r.as_dict())
+            rec["accuracy"] = r.accuracy
+            rec["n_samples"] = r.n_samples
+            records.append(rec)
+        return Table.from_records(records)
+
+    def column_mean(self, feature: str) -> float:
+        """Average influence of one feature across all rows."""
+        idx = self.feature_names.index(feature)
+        return float(self.matrix()[:, idx].mean())
+
+
+def _encode_features(
+    table: Table, columns: Sequence[str]
+) -> tuple[np.ndarray, list[str]]:
+    """Design matrix from dataset columns (naive ordinal encoding)."""
+    cols = []
+    names = []
+    for col in columns:
+        values = table.column(col)
+        if col in _NUMERIC_COLUMNS:
+            cols.append(np.asarray(values, dtype=float))
+        else:
+            enc = LabelEncoder()
+            cols.append(enc.fit_transform(list(values)).astype(float))
+        names.append(FEATURE_COLUMNS.get(col, col))
+    return np.stack(cols, axis=1), names
+
+
+def _group_influence(
+    label: tuple, sub: Table, columns: Sequence[str], l2: float
+) -> GroupInfluence:
+    if "optimal" not in sub:
+        raise SchemaError("influence analysis needs the 'optimal' column")
+    X_raw, names = _encode_features(sub, columns)
+    y = np.asarray(sub.column("optimal"), dtype=float)
+    if np.unique(y).shape[0] < 2:
+        # Degenerate group: nothing separates optimal from sub-optimal.
+        return GroupInfluence(
+            label=label,
+            feature_names=tuple(names),
+            importances=np.zeros(len(names)),
+            accuracy=1.0,
+            n_samples=sub.num_rows,
+        )
+    X = Standardizer().fit_transform(X_raw)
+    model = LogisticRegression(l2=l2, solver="newton", max_iter=100, tol=1e-7)
+    model.fit(X, y)
+    return GroupInfluence(
+        label=label,
+        feature_names=tuple(names),
+        importances=model.normalized_importances(),
+        accuracy=model.score(X, y),
+        n_samples=sub.num_rows,
+    )
+
+
+def _influence(
+    table: Table,
+    by: Sequence[str],
+    feature_cols: Sequence[str],
+    grouping: str,
+    l2: float,
+) -> InfluenceMatrix:
+    missing = [c for c in list(by) + list(feature_cols) if c not in table]
+    if missing:
+        raise SchemaError(f"influence analysis: missing columns {missing}")
+    rows = [
+        _group_influence(label, sub, feature_cols, l2)
+        for label, sub in table.group_by(list(by))
+    ]
+    return InfluenceMatrix(grouping=grouping, rows=tuple(rows))
+
+
+_ENV_FEATURES = (
+    "input_size",
+    "num_threads",
+    "places",
+    "proc_bind",
+    "schedule",
+    "library",
+    "blocktime",
+    "force_reduction",
+    "align_alloc",
+)
+
+
+def influence_by_arch_application(table: Table, l2: float = 1.0) -> InfluenceMatrix:
+    """Fig. 4 grouping: one row per (architecture, application)."""
+    return _influence(
+        table, ("arch", "app"), _ENV_FEATURES, "per-arch-application", l2
+    )
+
+
+def influence_by_application(table: Table, l2: float = 1.0) -> InfluenceMatrix:
+    """Fig. 2 grouping: one row per application, architecture as feature."""
+    return _influence(
+        table, ("app",), ("arch",) + _ENV_FEATURES, "per-application", l2
+    )
+
+
+def influence_by_architecture(table: Table, l2: float = 1.0) -> InfluenceMatrix:
+    """Fig. 3 grouping: one row per architecture, application as feature."""
+    return _influence(
+        table, ("arch",), ("app",) + _ENV_FEATURES, "per-architecture", l2
+    )
+
+
+def linear_fit_quality(table: Table, target: str = "runtime_mean") -> float:
+    """R² of an OLS fit of ``target`` on the env features.
+
+    Reproduces the paper's negative result: runtimes are not linear in the
+    naive-encoded features, which is why the analysis pivots to
+    classification.
+    """
+    if target not in table:
+        raise SchemaError(f"linear_fit_quality: no column {target!r}")
+    X_raw, _ = _encode_features(table, _ENV_FEATURES)
+    y = np.asarray(table.column(target), dtype=float)
+    X = Standardizer().fit_transform(X_raw)
+    model = LinearRegression().fit(X, y)
+    return model.score(X, y)

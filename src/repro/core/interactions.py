@@ -1,0 +1,179 @@
+"""Pairwise variable-interaction analysis.
+
+The paper's conclusion flags that hill climbing can get stuck "especially
+when the dependency relationships between parameters are unclear".  This
+module makes those dependencies measurable: for every pair of swept
+variables it compares the *joint* effect of setting both against the sum
+of their *marginal* effects, on the log-speedup scale where independent
+multiplicative effects are exactly additive.
+
+For variable values a, b with marginal mean log-speedups m(a), m(b) and
+joint mean log-speedup j(a, b) (all relative to the per-setting default):
+
+``interaction(a, b) = j(a, b) − m(a) − m(b)``
+
+Zero means the knobs compose independently (tune them separately);
+positive means synergy (e.g. places + bind); negative means redundancy or
+conflict (e.g. ``KMP_LIBRARY=turnaround`` with ``KMP_BLOCKTIME=infinite``
+— both buy the same active waiting, so their joint gain is *not* the sum).
+The per-pair score aggregates |interaction| over the value grid, weighted
+by sample counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.frame.table import Table
+from repro.runtime.icv import UNSET
+
+__all__ = ["PairInteraction", "interaction_matrix", "strongest_interactions"]
+
+#: The swept variables inspected for interactions.
+_VARIABLES = (
+    "places",
+    "proc_bind",
+    "schedule",
+    "library",
+    "blocktime",
+    "force_reduction",
+    "align_alloc",
+)
+
+
+def _default_value(var: str) -> object:
+    return 0 if var == "align_alloc" else UNSET
+
+
+@dataclass(frozen=True)
+class PairInteraction:
+    """Interaction diagnostics for one variable pair."""
+
+    var_a: str
+    var_b: str
+    #: Count-weighted mean |joint − marginal_a − marginal_b| (log-speedup).
+    strength: float
+    #: The most synergistic (max positive interaction) value pair.
+    best_synergy: tuple[str, str]
+    best_synergy_value: float
+    #: The most redundant/conflicting (most negative) value pair.
+    worst_conflict: tuple[str, str]
+    worst_conflict_value: float
+
+    @property
+    def label(self) -> str:
+        """"var_a x var_b" pair label."""
+        return f"{self.var_a} x {self.var_b}"
+
+
+def _marginal_effects(
+    table: Table,
+    var: str,
+    log_speedup: np.ndarray,
+    default_masks: dict,
+    min_samples: int,
+) -> dict[object, float]:
+    """Mean log-speedup of rows where only ``var`` deviates from default."""
+    values = table.column(var)
+    others_default = default_masks[var]
+    out: dict[object, float] = {}
+    for value in set(
+        v.item() if isinstance(v, np.generic) else v for v in values
+    ):
+        if value == _default_value(var):
+            continue
+        mask = others_default & np.asarray([v == value for v in values])
+        if mask.sum() >= min_samples:
+            out[value] = float(log_speedup[mask].mean())
+    return out
+
+
+def interaction_matrix(
+    table: Table, min_samples: int = 3
+) -> list[PairInteraction]:
+    """Pairwise interaction strengths over the dataset.
+
+    Requires a dataset that contains marginal (one-variable-off-default)
+    and joint (two-variables-off-default) rows — any grid at ``medium`` or
+    ``full`` scale qualifies.
+    """
+    missing = [c for c in _VARIABLES + ("speedup",) if c not in table]
+    if missing:
+        raise SchemaError(f"interaction_matrix: missing columns {missing}")
+    log_speedup = np.log(np.asarray(table.column("speedup"), dtype=float))
+
+    # For each variable: mask of rows where every OTHER variable is at its
+    # default (the marginal-effect rows for that variable).
+    at_default = {
+        var: np.asarray(
+            [v == _default_value(var) for v in table.column(var)]
+        )
+        for var in _VARIABLES
+    }
+    others_default = {
+        var: np.logical_and.reduce(
+            [at_default[o] for o in _VARIABLES if o != var]
+        )
+        for var in _VARIABLES
+    }
+
+    marginals = {
+        var: _marginal_effects(
+            table, var, log_speedup, others_default, min_samples
+        )
+        for var in _VARIABLES
+    }
+
+    out: list[PairInteraction] = []
+    for var_a, var_b in combinations(_VARIABLES, 2):
+        pair_default = np.logical_and.reduce(
+            [at_default[o] for o in _VARIABLES if o not in (var_a, var_b)]
+        )
+        col_a = table.column(var_a)
+        col_b = table.column(var_b)
+
+        diffs: list[tuple[float, int, object, object]] = []
+        for a_val, m_a in marginals[var_a].items():
+            mask_a = np.asarray([v == a_val for v in col_a])
+            for b_val, m_b in marginals[var_b].items():
+                mask = (
+                    pair_default
+                    & mask_a
+                    & np.asarray([v == b_val for v in col_b])
+                )
+                n = int(mask.sum())
+                if n < min_samples:
+                    continue
+                joint = float(log_speedup[mask].mean())
+                diffs.append((joint - m_a - m_b, n, a_val, b_val))
+        if not diffs:
+            continue
+        weights = np.array([n for _, n, _, _ in diffs], dtype=float)
+        values = np.array([d for d, _, _, _ in diffs])
+        strength = float(np.abs(values) @ weights / weights.sum())
+        best = max(diffs, key=lambda d: d[0])
+        worst = min(diffs, key=lambda d: d[0])
+        out.append(
+            PairInteraction(
+                var_a=var_a,
+                var_b=var_b,
+                strength=strength,
+                best_synergy=(str(best[2]), str(best[3])),
+                best_synergy_value=best[0],
+                worst_conflict=(str(worst[2]), str(worst[3])),
+                worst_conflict_value=worst[0],
+            )
+        )
+    out.sort(key=lambda p: -p.strength)
+    return out
+
+
+def strongest_interactions(
+    table: Table, k: int = 5, min_samples: int = 3
+) -> list[PairInteraction]:
+    """The ``k`` strongest variable pairs (for pruning-order decisions)."""
+    return interaction_matrix(table, min_samples=min_samples)[:k]

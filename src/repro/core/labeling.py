@@ -1,0 +1,35 @@
+"""Optimal/sub-optimal labeling (paper Sec. IV-D).
+
+The paper side-steps poor linear-regression fits by reformulating the
+analysis as classification: a sample is *optimal* when its speedup over
+the default exceeds 1.01 (at least 1% improvement), *sub-optimal*
+otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.frame.table import Table
+
+__all__ = ["OPTIMAL_THRESHOLD", "label_optimal", "optimal_fraction"]
+
+#: Speedup above which a sample counts as optimal (>= 1% improvement).
+OPTIMAL_THRESHOLD = 1.01
+
+
+def label_optimal(table: Table, threshold: float = OPTIMAL_THRESHOLD) -> Table:
+    """Add the 0/1 ``optimal`` column."""
+    if "speedup" not in table:
+        raise SchemaError("label_optimal: table lacks 'speedup' column "
+                          "(run enrich_with_speedup first)")
+    speedup = np.asarray(table.column("speedup"), dtype=float)
+    return table.with_column("optimal", (speedup > threshold).astype(np.int64))
+
+
+def optimal_fraction(table: Table) -> float:
+    """Fraction of samples labeled optimal."""
+    if "optimal" not in table:
+        table = label_optimal(table)
+    return float(np.asarray(table.column("optimal"), dtype=float).mean())

@@ -1,0 +1,187 @@
+"""Tuning recommendations (paper Table VII, Sec. V-4).
+
+Two extraction passes over an enriched dataset:
+
+- :func:`best_variable_values` — for each (app, arch), look at the
+  top-performing slice of configurations and report, per variable, the
+  values that appear there significantly more often than chance.  That is
+  the mechanical version of the paper's "most impactful performing
+  variables and values" table (e.g. NQueens -> KMP_LIBRARY=turnaround on
+  every architecture).
+- :func:`worst_trends` — mine the worst-performing slice for recurring
+  variable-value combinations; reproduces the paper's finding that
+  master binding with large thread counts is reliably catastrophic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.frame.table import Table
+from repro.runtime.icv import UNSET
+
+__all__ = [
+    "Recommendation",
+    "best_variable_values",
+    "recommend",
+    "worst_trends",
+    "WorstTrend",
+]
+
+#: Variables inspected for recommendations.
+_VARIABLES = (
+    "places",
+    "proc_bind",
+    "schedule",
+    "library",
+    "blocktime",
+    "force_reduction",
+    "align_alloc",
+)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Values of one variable over-represented among top configurations."""
+
+    app: str
+    arch: str
+    variable: str
+    #: Values ordered by how strongly they are enriched in the top slice.
+    values: tuple[str, ...]
+    #: Enrichment of the strongest value: P(value | top) / P(value).
+    lift: float
+    #: Best speedup observed in the group.
+    best_speedup: float
+
+
+@dataclass(frozen=True)
+class WorstTrend:
+    """A variable-value pair over-represented among the worst samples."""
+
+    variable: str
+    value: str
+    lift: float
+    mean_speedup: float
+
+
+def _top_slice(sub: Table, quantile: float) -> Table:
+    speedup = np.asarray(sub.column("speedup"), dtype=float)
+    cutoff = np.quantile(speedup, 1.0 - quantile)
+    return sub.filter(speedup >= cutoff)
+
+
+def best_variable_values(
+    table: Table,
+    quantile: float = 0.05,
+    min_lift: float = 1.3,
+) -> list[Recommendation]:
+    """Mine the top ``quantile`` of each (app, arch) group for enriched
+    variable values.
+
+    A value is reported when its frequency among the top configurations
+    exceeds its overall frequency by at least ``min_lift``; ``unset``
+    values are skipped (recommending the default is vacuous) unless *no*
+    variable clears the bar, in which case a single pseudo-recommendation
+    ``defaults`` is emitted — the paper's "A64FX: defaults" row for
+    NQueens.
+    """
+    if "speedup" not in table:
+        raise SchemaError("best_variable_values needs the 'speedup' column")
+    out: list[Recommendation] = []
+    for (app, arch), sub in table.group_by(["app", "arch"]):
+        top = _top_slice(sub, quantile)
+        best_speedup = float(np.max(np.asarray(sub.column("speedup"), dtype=float)))
+        group_recs: list[Recommendation] = []
+        for var in _VARIABLES:
+            overall = sub.column(var)
+            top_vals = top.column(var)
+            candidates: list[tuple[float, str]] = []
+            for value in set(str(v) for v in top_vals):
+                if value in (UNSET, "0") and var != "blocktime":
+                    continue
+                p_top = float(np.mean([str(v) == value for v in top_vals]))
+                p_all = float(np.mean([str(v) == value for v in overall]))
+                if p_all == 0.0:
+                    continue
+                lift = p_top / p_all
+                if lift >= min_lift and p_top >= 0.25:
+                    candidates.append((lift, value))
+            if candidates:
+                candidates.sort(reverse=True)
+                group_recs.append(
+                    Recommendation(
+                        app=app,
+                        arch=arch,
+                        variable=var,
+                        values=tuple(v for _, v in candidates),
+                        lift=candidates[0][0],
+                        best_speedup=best_speedup,
+                    )
+                )
+        if not group_recs:
+            group_recs.append(
+                Recommendation(
+                    app=app,
+                    arch=arch,
+                    variable="defaults",
+                    values=("defaults",),
+                    lift=1.0,
+                    best_speedup=best_speedup,
+                )
+            )
+        out.extend(group_recs)
+    return out
+
+
+def recommend(
+    table: Table, app: str, arch: str, quantile: float = 0.05
+) -> list[Recommendation]:
+    """Recommendations for one (app, arch) pair."""
+    return [
+        r
+        for r in best_variable_values(table, quantile=quantile)
+        if r.app == app and r.arch == arch
+    ]
+
+
+def worst_trends(
+    table: Table,
+    quantile: float = 0.05,
+    min_lift: float = 2.0,
+    variables: Sequence[str] = ("proc_bind", "places"),
+) -> list[WorstTrend]:
+    """Variable-value pairs enriched among the worst-performing samples."""
+    if "speedup" not in table:
+        raise SchemaError("worst_trends needs the 'speedup' column")
+    speedup = np.asarray(table.column("speedup"), dtype=float)
+    cutoff = np.quantile(speedup, quantile)
+    worst = table.filter(speedup <= cutoff)
+    worst_speedup = np.asarray(worst.column("speedup"), dtype=float)
+
+    out: list[WorstTrend] = []
+    for var in variables:
+        overall = [str(v) for v in table.column(var)]
+        worst_vals = [str(v) for v in worst.column(var)]
+        for value in sorted(set(worst_vals)):
+            p_worst = float(np.mean([v == value for v in worst_vals]))
+            p_all = float(np.mean([v == value for v in overall]))
+            if p_all == 0.0 or p_worst < 0.2:
+                continue
+            lift = p_worst / p_all
+            if lift >= min_lift:
+                sel = np.asarray([v == value for v in worst_vals])
+                out.append(
+                    WorstTrend(
+                        variable=var,
+                        value=value,
+                        lift=lift,
+                        mean_speedup=float(worst_speedup[sel].mean()),
+                    )
+                )
+    out.sort(key=lambda t: -t.lift)
+    return out

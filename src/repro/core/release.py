@@ -1,0 +1,126 @@
+"""Dataset release tooling.
+
+The paper commits to open-sourcing "all our raw data ... and all tooling
+used in the process".  This module packages a sweep the same way: one CSV
+per (architecture, application) pair plus a machine-readable manifest and
+a human-readable README, so downstream consumers can load any slice
+without touching this library.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatasetError, SchemaError
+from repro.frame.io import read_csv, write_csv
+from repro.frame.table import Table
+
+__all__ = ["ReleaseManifest", "write_release", "load_release"]
+
+_REQUIRED = ("arch", "app", "input_size", "num_threads", "speedup")
+
+
+@dataclass(frozen=True)
+class ReleaseManifest:
+    """Summary of a released dataset."""
+
+    version: str
+    n_samples: int
+    architectures: tuple[str, ...]
+    applications: tuple[str, ...]
+    files: tuple[str, ...]
+
+    def as_dict(self) -> dict:
+        """JSON-serializable manifest body."""
+        return {
+            "version": self.version,
+            "n_samples": self.n_samples,
+            "architectures": list(self.architectures),
+            "applications": list(self.applications),
+            "files": list(self.files),
+        }
+
+
+def write_release(
+    table: Table, directory: str | Path, version: str = "1.0"
+) -> ReleaseManifest:
+    """Write per-(arch, app) CSVs + manifest.json + README.md."""
+    missing = [c for c in _REQUIRED if c not in table]
+    if missing:
+        raise SchemaError(f"release table missing columns {missing}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    files: list[str] = []
+    archs: dict[str, None] = {}
+    apps: dict[str, None] = {}
+    for (arch, app), sub in table.group_by(["arch", "app"]):
+        archs.setdefault(str(arch))
+        apps.setdefault(str(app))
+        name = f"{arch}-{app}.csv"
+        write_csv(sub, directory / name)
+        files.append(name)
+
+    manifest = ReleaseManifest(
+        version=version,
+        n_samples=table.num_rows,
+        architectures=tuple(sorted(archs)),
+        applications=tuple(sorted(apps)),
+        files=tuple(sorted(files)),
+    )
+    (directory / "manifest.json").write_text(
+        json.dumps(manifest.as_dict(), indent=2) + "\n", encoding="utf-8"
+    )
+
+    speedups = np.asarray(table.column("speedup"), dtype=float)
+    readme = (
+        f"# LLVM/OpenMP tuning sweep dataset v{version}\n\n"
+        f"{table.num_rows} unique samples across "
+        f"{len(manifest.architectures)} architectures and "
+        f"{len(manifest.applications)} applications.\n\n"
+        "One CSV per (architecture, application); columns: setting\n"
+        "identity (arch, app, suite, input_size, num_threads), the seven\n"
+        "swept environment variables, per-repetition runtimes\n"
+        "(runtime_0..), runtime_mean, default_runtime and speedup\n"
+        "(default_runtime / runtime_mean, normalized per setting).\n\n"
+        f"Speedup range in this release: {speedups.min():.3f} - "
+        f"{speedups.max():.3f}.\n\n"
+        "See manifest.json for the file inventory.\n"
+    )
+    (directory / "README.md").write_text(readme, encoding="utf-8")
+    return manifest
+
+
+def load_release(directory: str | Path) -> tuple[ReleaseManifest, Table]:
+    """Load a released dataset back into one table."""
+    from repro.frame.ops import concat_tables
+
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise DatasetError(f"no manifest.json under {directory}")
+    raw = json.loads(manifest_path.read_text(encoding="utf-8"))
+    manifest = ReleaseManifest(
+        version=raw["version"],
+        n_samples=raw["n_samples"],
+        architectures=tuple(raw["architectures"]),
+        applications=tuple(raw["applications"]),
+        files=tuple(raw["files"]),
+    )
+    tables = []
+    for name in manifest.files:
+        path = directory / name
+        if not path.exists():
+            raise DatasetError(f"manifest lists missing file {name}")
+        tables.append(read_csv(path))
+    table = concat_tables(tables)
+    if table.num_rows != manifest.n_samples:
+        raise DatasetError(
+            f"release corrupt: manifest says {manifest.n_samples} samples, "
+            f"files contain {table.num_rows}"
+        )
+    return manifest, table

@@ -1,0 +1,186 @@
+"""One-shot study report generation.
+
+Assembles everything the paper's evaluation section reports — headline
+speedup statistics, Wilcoxon consistency, per-application ranges,
+influence heat maps, recommendations, worst trends — into a single
+Markdown document with SVG figures alongside, from one enriched dataset.
+
+This is the "I ran a sweep, give me the paper" entry point:
+
+    >>> from repro.core.report import generate_report
+    >>> generate_report(dataset, "report/")   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dataset import run_columns, validate_dataset
+from repro.core.influence import (
+    influence_by_application,
+    influence_by_arch_application,
+    influence_by_architecture,
+    linear_fit_quality,
+)
+from repro.core.labeling import label_optimal
+from repro.core.recommend import best_variable_values, worst_trends
+from repro.errors import SchemaError
+from repro.frame.table import Table
+from repro.stats.bootstrap import bootstrap_ci
+from repro.stats.wilcoxon import wilcoxon_signed_rank
+from repro.viz.heatmap import influence_heatmap
+
+__all__ = ["generate_report"]
+
+
+def _per_setting_maxima(dataset: Table) -> dict[str, np.ndarray]:
+    out: dict[str, list[float]] = {}
+    for (arch, _a, _i, _t), sub in dataset.group_by(
+        ["arch", "app", "input_size", "num_threads"]
+    ):
+        out.setdefault(str(arch), []).append(
+            float(np.max(np.asarray(sub["speedup"], float)))
+        )
+    return {k: np.asarray(v) for k, v in out.items()}
+
+
+def _headline_section(dataset: Table) -> str:
+    lines = ["## Headline speedup statistics", ""]
+    lines.append("| architecture | best-speedup range | median | 95% CI |")
+    lines.append("|---|---|---|---|")
+    for arch, maxima in sorted(_per_setting_maxima(dataset).items()):
+        ci = bootstrap_ci(maxima, np.median, seed=0)
+        lines.append(
+            f"| {arch} | {maxima.min():.3f} - {maxima.max():.3f} | "
+            f"{ci.estimate:.3f} | [{ci.low:.3f}, {ci.high:.3f}] |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _consistency_section(dataset: Table) -> str:
+    cols = run_columns(dataset)
+    if len(cols) < 2:
+        return ""
+    lines = ["## Run-to-run consistency (Wilcoxon signed-rank)", ""]
+    lines.append("| architecture | pair | p-value | verdict |")
+    lines.append("|---|---|---|---|")
+    for (arch,), sub in dataset.group_by("arch"):
+        runs = [np.asarray(sub[c], float) for c in cols]
+        for i in range(len(runs) - 1):
+            res = wilcoxon_signed_rank(runs[i], runs[i + 1])
+            verdict = "noisy" if res.significant() else "consistent"
+            lines.append(
+                f"| {arch} | R{i},R{i + 1} | {res.pvalue:.3g} | {verdict} |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _per_app_section(dataset: Table) -> str:
+    lines = ["## Best speedup per application", ""]
+    lines.append("| application | range across architectures |")
+    lines.append("|---|---|")
+    per_app: dict[str, list[float]] = {}
+    for (arch, app), sub in dataset.group_by(["arch", "app"]):
+        best = 0.0
+        for _key, g in sub.group_by(["input_size", "num_threads"]):
+            best = max(best, float(np.max(np.asarray(g["speedup"], float))))
+        per_app.setdefault(str(app), []).append(best)
+    for app in sorted(per_app):
+        values = per_app[app]
+        lines.append(f"| {app} | {min(values):.3f} - {max(values):.3f} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _influence_section(dataset: Table, out: Path) -> str:
+    lines = ["## Feature influence", ""]
+    r2 = linear_fit_quality(dataset)
+    lines.append(
+        f"OLS fit of runtime on the naive-encoded features: R² = {r2:.3f}"
+        " — the poor linear fit that motivates the classification"
+        " reformulation."
+    )
+    lines.append("")
+    for stem, inf in (
+        ("influence_by_application", influence_by_application(dataset)),
+        ("influence_by_architecture", influence_by_architecture(dataset)),
+        ("influence_by_arch_application",
+         influence_by_arch_application(dataset)),
+    ):
+        influence_heatmap(inf).save(str(out / f"{stem}.svg"))
+        lines.append(
+            f"![{stem}]({stem}.svg) — mean accuracy "
+            f"{inf.mean_accuracy():.2f}"
+        )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _recommendation_section(dataset: Table) -> str:
+    lines = ["## Recommendations", ""]
+    for rec in best_variable_values(dataset):
+        if rec.variable == "defaults":
+            lines.append(
+                f"- **{rec.app} / {rec.arch}**: defaults already good "
+                f"(best {rec.best_speedup:.2f}x)"
+            )
+        else:
+            lines.append(
+                f"- **{rec.app} / {rec.arch}**: `{rec.variable}` = "
+                f"{' / '.join(rec.values)} (best {rec.best_speedup:.2f}x)"
+            )
+    lines.append("")
+    lines.append("### Worst trends")
+    lines.append("")
+    for trend in worst_trends(dataset):
+        lines.append(
+            f"- avoid `{trend.variable}={trend.value}`: "
+            f"{trend.lift:.1f}x over-represented among the worst runs "
+            f"(mean speedup {trend.mean_speedup:.3f}x)"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_report(dataset: Table, directory: str | Path,
+                    title: str = "LLVM/OpenMP tuning study") -> Path:
+    """Write ``REPORT.md`` (+ SVG figures) for an enriched dataset.
+
+    The dataset must carry speedups (``enrich_with_speedup``); the
+    optimal label is added here if missing.  Returns the report path.
+    """
+    if "speedup" not in dataset:
+        raise SchemaError("generate_report needs an enriched dataset "
+                          "(run enrich_with_speedup first)")
+    dataset = validate_dataset(dataset)
+    if "optimal" not in dataset:
+        dataset = label_optimal(dataset)
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+
+    archs = ", ".join(str(a) for a in dataset.unique("arch"))
+    apps = dataset.unique("app")
+    header = "\n".join(
+        [
+            f"# {title}",
+            "",
+            f"{dataset.num_rows} samples | architectures: {archs} | "
+            f"{len(apps)} applications",
+            "",
+        ]
+    )
+    sections = [
+        header,
+        _headline_section(dataset),
+        _consistency_section(dataset),
+        _per_app_section(dataset),
+        _influence_section(dataset, out),
+        _recommendation_section(dataset),
+    ]
+    path = out / "REPORT.md"
+    path.write_text("\n".join(s for s in sections if s), encoding="utf-8")
+    return path

@@ -1,0 +1,219 @@
+"""Discrete tuners beyond hill climbing.
+
+The paper positions its influence analysis as a pruning aid for "discrete
+search space traversal algorithms" and its related work (Bolet et al.)
+compares global optimizers for OpenMP tuning.  This module provides the
+standard baselines on our configuration space so the pruning claim can be
+evaluated against more than one search strategy:
+
+- :func:`random_search` — uniform sampling, the canonical baseline,
+- :func:`simulated_annealing` — single-variable neighborhood moves with a
+  geometric temperature schedule,
+- :func:`greedy_ofat` — one pass of one-factor-at-a-time descent in a
+  fixed variable order (the cheapest credible tuner),
+- :func:`exhaustive_search` — ground truth on small (pruned) spaces.
+
+All tuners share the :class:`TunerResult` shape and an evaluation-count
+budget, making head-to-head comparisons (see
+``benchmarks/test_bench_search.py``) one-liners.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.arch.topology import MachineTopology
+from repro.core.envspace import EnvSpace
+from repro.errors import ConfigError
+from repro.runtime.executor import RuntimeExecutor
+from repro.runtime.icv import EnvConfig
+from repro.runtime.program import Program
+
+__all__ = [
+    "TunerResult",
+    "make_evaluator",
+    "random_search",
+    "simulated_annealing",
+    "greedy_ofat",
+    "exhaustive_search",
+]
+
+
+@dataclass(frozen=True)
+class TunerResult:
+    """Outcome of one tuner run."""
+
+    tuner: str
+    best_config: EnvConfig
+    best_runtime: float
+    default_runtime: float
+    evaluations: int
+
+    @property
+    def speedup(self) -> float:
+        """Improvement over the default configuration."""
+        return self.default_runtime / self.best_runtime
+
+
+class _CountingEvaluator:
+    """Memoizing runtime evaluator with an evaluation counter."""
+
+    def __init__(self, fn: Callable[[EnvConfig], float]):
+        self._fn = fn
+        self._cache: dict[tuple, float] = {}
+        self.evaluations = 0
+
+    def __call__(self, config: EnvConfig) -> float:
+        key = config.key()
+        if key not in self._cache:
+            self._cache[key] = self._fn(config)
+            self.evaluations += 1
+        return self._cache[key]
+
+
+def make_evaluator(
+    program: Program,
+    machine: MachineTopology,
+    num_threads: int | None = None,
+    fidelity: str = "analytic",
+) -> _CountingEvaluator:
+    """Runtime-of-config evaluator for the tuners (memoized + counted)."""
+
+    def run(config: EnvConfig) -> float:
+        cfg = config if num_threads is None else config.with_threads(num_threads)
+        return RuntimeExecutor(machine, cfg, fidelity=fidelity).execute(program)
+
+    return _CountingEvaluator(run)
+
+
+def _finish(
+    tuner: str,
+    evaluator: _CountingEvaluator,
+    best_config: EnvConfig,
+    best_runtime: float,
+    default_runtime: float,
+) -> TunerResult:
+    return TunerResult(
+        tuner=tuner,
+        best_config=best_config,
+        best_runtime=best_runtime,
+        default_runtime=default_runtime,
+        evaluations=evaluator.evaluations,
+    )
+
+
+def random_search(
+    program: Program,
+    machine: MachineTopology,
+    space: EnvSpace,
+    budget: int = 64,
+    num_threads: int | None = None,
+    seed: int = 0,
+) -> TunerResult:
+    """Sample ``budget`` uniform configurations; keep the best."""
+    if budget < 1:
+        raise ConfigError("budget must be >= 1")
+    evaluator = make_evaluator(program, machine, num_threads)
+    default = space.default_config()
+    best_config, best_runtime = default, evaluator(default)
+    default_runtime = best_runtime
+    for config in space.random_grid(machine, budget - 1, seed=seed):
+        runtime = evaluator(config)
+        if runtime < best_runtime:
+            best_config, best_runtime = config, runtime
+    return _finish("random", evaluator, best_config, best_runtime,
+                   default_runtime)
+
+
+def simulated_annealing(
+    program: Program,
+    machine: MachineTopology,
+    space: EnvSpace,
+    budget: int = 64,
+    num_threads: int | None = None,
+    seed: int = 0,
+    t0: float = 0.25,
+    cooling: float = 0.92,
+) -> TunerResult:
+    """Metropolis search over single-variable neighbor moves.
+
+    Temperature is relative: a move that slows the program by fraction
+    ``d`` is accepted with probability ``exp(-d / T)``.
+    """
+    if budget < 1:
+        raise ConfigError("budget must be >= 1")
+    rng = np.random.default_rng(seed)
+    evaluator = make_evaluator(program, machine, num_threads)
+    current = space.default_config()
+    current_runtime = evaluator(current)
+    default_runtime = current_runtime
+    best_config, best_runtime = current, current_runtime
+    temperature = t0
+
+    while evaluator.evaluations < budget:
+        var = space.variables[int(rng.integers(len(space.variables)))]
+        values = [
+            v for v in var.values(machine)
+            if v != getattr(current, var.field)
+        ]
+        if not values:
+            continue
+        candidate = replace(
+            current, **{var.field: values[int(rng.integers(len(values)))]}
+        )
+        runtime = evaluator(candidate)
+        delta = (runtime - current_runtime) / current_runtime
+        if delta <= 0 or rng.random() < np.exp(-delta / max(temperature, 1e-9)):
+            current, current_runtime = candidate, runtime
+            if runtime < best_runtime:
+                best_config, best_runtime = candidate, runtime
+        temperature *= cooling
+    return _finish("annealing", evaluator, best_config, best_runtime,
+                   default_runtime)
+
+
+def greedy_ofat(
+    program: Program,
+    machine: MachineTopology,
+    space: EnvSpace,
+    num_threads: int | None = None,
+    seed: int = 0,
+) -> TunerResult:
+    """One randomized-order pass of one-factor-at-a-time descent."""
+    rng = np.random.default_rng(seed)
+    evaluator = make_evaluator(program, machine, num_threads)
+    current = space.default_config()
+    current_runtime = evaluator(current)
+    default_runtime = current_runtime
+    for vi in rng.permutation(len(space.variables)):
+        var = space.variables[vi]
+        for value in var.values(machine):
+            if getattr(current, var.field) == value:
+                continue
+            candidate = replace(current, **{var.field: value})
+            runtime = evaluator(candidate)
+            if runtime < current_runtime:
+                current, current_runtime = candidate, runtime
+    return _finish("greedy-ofat", evaluator, current, current_runtime,
+                   default_runtime)
+
+
+def exhaustive_search(
+    program: Program,
+    machine: MachineTopology,
+    space: EnvSpace,
+    num_threads: int | None = None,
+) -> TunerResult:
+    """Evaluate the full grid (ground truth; use on pruned spaces)."""
+    evaluator = make_evaluator(program, machine, num_threads)
+    default_runtime = evaluator(space.default_config())
+    best_config, best_runtime = space.default_config(), default_runtime
+    for config in space.full_grid(machine):
+        runtime = evaluator(config)
+        if runtime < best_runtime:
+            best_config, best_runtime = config, runtime
+    return _finish("exhaustive", evaluator, best_config, best_runtime,
+                   default_runtime)

@@ -1,0 +1,205 @@
+"""Sweep orchestration (paper Sec. IV-B).
+
+Executes the full (or scaled) configuration grid for every workload
+setting, with repeated runs.  The iteration order mirrors the paper's
+batching: *per setting, all configurations are explored iteratively*, and
+the repetition index is the outermost loop within a setting — preserving
+the relative performance of configurations within each batch.  Because
+the simulator's noise streams are keyed by sample identity, results are
+bit-identical under any reordering (verified by tests), which is the
+property the paper's batching strategy exists to protect on real metal.
+
+Sweeps can optionally fan out across processes; each (workload, setting)
+batch is an independent unit of work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.arch.machines import get_machine
+from repro.core.envspace import EnvSpace
+from repro.errors import ConfigError
+from repro.runtime.executor import RuntimeExecutor
+from repro.runtime.icv import EnvConfig
+from repro.workloads.base import Workload, workloads_for_arch
+
+__all__ = ["SweepPlan", "SweepRecord", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """What to sweep.
+
+    Attributes
+    ----------
+    arch:
+        Machine name.
+    workload_names:
+        Applications to include (None = every app the paper ran on
+        ``arch``).
+    scale:
+        Grid scale (see :class:`~repro.core.envspace.EnvSpace`).
+    repetitions:
+        Runs per configuration (the paper records 3-4).
+    inputs_limit:
+        Cap on settings per workload (None = all; useful for quick runs).
+    seed:
+        Base seed for scaled-grid subsampling.
+    fidelity:
+        Task-region fidelity, ``"analytic"`` or ``"des"``.
+    """
+
+    arch: str
+    workload_names: tuple[str, ...] | None = None
+    scale: str = "small"
+    repetitions: int = 3
+    inputs_limit: int | None = None
+    seed: int = 0
+    fidelity: str = "analytic"
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ConfigError("repetitions must be >= 1")
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One configuration's measurements at one setting (a dataset row)."""
+
+    arch: str
+    app: str
+    suite: str
+    input_size: str
+    num_threads: int
+    config: EnvConfig
+    runtimes: tuple[float, ...]
+
+    @property
+    def mean_runtime(self) -> float:
+        """Average over the repeated runs (the paper's noise mitigation)."""
+        return sum(self.runtimes) / len(self.runtimes)
+
+
+@dataclass
+class SweepResult:
+    """All records of one sweep plus bookkeeping."""
+
+    plan: SweepPlan
+    records: list[SweepRecord] = field(default_factory=list)
+
+    @property
+    def n_samples(self) -> int:
+        """Unique samples (rows), the paper's Table II accounting unit."""
+        return len(self.records)
+
+    @property
+    def n_measurements(self) -> int:
+        """Individual timed runs (rows x repetitions)."""
+        return sum(len(r.runtimes) for r in self.records)
+
+    def apps(self) -> list[str]:
+        """Distinct applications present."""
+        seen: dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.app, None)
+        return list(seen)
+
+
+def _sweep_one_setting(
+    args: tuple[SweepPlan, str, str, str, int, list[EnvConfig]],
+) -> list[SweepRecord]:
+    """Run the full config batch for one (workload, setting)."""
+    plan, app, suite, input_size, nthreads, configs = args
+    machine = get_machine(plan.arch)
+    from repro.workloads.base import get_workload
+
+    program = get_workload(app).program(input_size)
+    records: list[SweepRecord] = []
+    for config in configs:
+        cfg = config.with_threads(nthreads)
+        executor = RuntimeExecutor(machine, cfg, fidelity=plan.fidelity)
+        runtimes = tuple(
+            executor.observe(program, run_index=rep, seed=plan.seed)
+            for rep in range(plan.repetitions)
+        )
+        records.append(
+            SweepRecord(
+                arch=plan.arch,
+                app=app,
+                suite=suite,
+                input_size=input_size,
+                num_threads=nthreads,
+                config=cfg,
+                runtimes=runtimes,
+            )
+        )
+    return records
+
+
+def _batches(
+    plan: SweepPlan, workloads: Sequence[Workload], space: EnvSpace
+) -> Iterable[tuple]:
+    machine = get_machine(plan.arch)
+    configs = space.grid(machine, plan.scale, seed=plan.seed)
+    for workload in workloads:
+        settings = workload.settings(machine)
+        if plan.inputs_limit is not None:
+            settings = settings[: plan.inputs_limit]
+        for input_size, nthreads in settings:
+            yield (
+                plan,
+                workload.name,
+                workload.suite,
+                input_size,
+                nthreads,
+                configs,
+            )
+
+
+def run_sweep(
+    plan: SweepPlan,
+    space: EnvSpace | None = None,
+    n_processes: int = 1,
+    progress: "callable | None" = None,
+) -> SweepResult:
+    """Execute a sweep plan; deterministic for a given plan.
+
+    ``progress``, if given, is called after each (workload, setting)
+    batch with ``(batches_done, batches_total, app, input_size,
+    nthreads)`` — useful feedback on full-scale grids.
+    """
+    space = space or EnvSpace()
+    machine = get_machine(plan.arch)
+    if plan.workload_names is None:
+        workloads = workloads_for_arch(plan.arch)
+    else:
+        from repro.workloads.base import get_workload
+
+        workloads = [get_workload(n) for n in plan.workload_names]
+        for w in workloads:
+            if not w.runs_on(plan.arch):
+                raise ConfigError(
+                    f"workload {w.name!r} was not run on {plan.arch} in the "
+                    "paper's dataset"
+                )
+    del machine  # validated the arch name
+
+    batches = list(_batches(plan, workloads, space))
+    result = SweepResult(plan=plan)
+    if n_processes > 1 and len(batches) > 1:
+        with multiprocessing.Pool(n_processes) as pool:
+            for done, (batch, records) in enumerate(
+                zip(batches, pool.map(_sweep_one_setting, batches)), 1
+            ):
+                result.records.extend(records)
+                if progress is not None:
+                    progress(done, len(batches), batch[1], batch[3], batch[4])
+    else:
+        for done, batch in enumerate(batches, 1):
+            result.records.extend(_sweep_one_setting(batch))
+            if progress is not None:
+                progress(done, len(batches), batch[1], batch[3], batch[4])
+    return result

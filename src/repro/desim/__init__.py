@@ -1,0 +1,43 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic, simpy-flavoured kernel used by the runtime model:
+
+- :mod:`~repro.desim.engine` — event heap, generator-based processes,
+  :class:`~repro.desim.engine.Timeout` / :class:`~repro.desim.engine.Event`,
+- :mod:`~repro.desim.resources` — :class:`~repro.desim.resources.Lock`,
+  :class:`~repro.desim.resources.Semaphore`,
+  :class:`~repro.desim.resources.Barrier` built on the kernel,
+- :mod:`~repro.desim.stealing` — a work-stealing task-pool simulator used
+  as the high-fidelity execution mode for task-parallel regions (BOTS) and
+  as ground truth for validating the fast analytic task model.
+
+Determinism: the event heap breaks time ties by insertion sequence number,
+and all randomness flows through explicit ``numpy`` generators, so a given
+seed always produces the same trajectory.
+"""
+
+from repro.desim.engine import Engine, Event, Process, Timeout
+from repro.desim.resources import Barrier, Lock, Semaphore
+from repro.desim.stealing import (
+    StealResult,
+    Task,
+    TaskGraph,
+    WorkStealingSimulator,
+)
+from repro.desim.loopsim import LoopSimResult, simulate_loop
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "Timeout",
+    "Lock",
+    "Semaphore",
+    "Barrier",
+    "Task",
+    "TaskGraph",
+    "StealResult",
+    "WorkStealingSimulator",
+    "LoopSimResult",
+    "simulate_loop",
+]

@@ -1,0 +1,206 @@
+"""Generator-based discrete-event simulation kernel.
+
+Processes are Python generators that ``yield`` waitables:
+
+- :class:`Timeout` — resume after a span of simulated time,
+- :class:`Event` — resume when the event succeeds (possibly with a value),
+- another :class:`Process` — resume when that process finishes.
+
+The engine advances simulated time through a binary heap of scheduled
+callbacks.  Ties in time are broken by insertion order, making runs fully
+deterministic.
+
+Example
+-------
+>>> eng = Engine()
+>>> log = []
+>>> def worker(name, delay):
+...     yield Timeout(delay)
+...     log.append((eng.now, name))
+>>> _ = eng.process(worker("a", 2.0))
+>>> _ = eng.process(worker("b", 1.0))
+>>> eng.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable
+
+from repro.errors import DeadlockError, SimulationError
+
+__all__ = ["Engine", "Event", "Timeout", "Process"]
+
+
+class Timeout:
+    """Waitable: resume the yielding process after ``delay`` sim-time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+
+
+class Event:
+    """One-shot event processes can wait on.
+
+    ``succeed(value)`` wakes all waiters, delivering ``value`` as the result
+    of their ``yield``.  Succeeding twice is an error; waiting on an already
+    succeeded event resumes immediately.
+    """
+
+    __slots__ = ("engine", "_value", "_done", "_waiters")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self._value: Any = None
+        self._done = False
+        self._waiters: list["Process"] = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has succeeded."""
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        """The delivered value (only meaningful once triggered)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        """Trigger the event, waking all waiters at the current time."""
+        if self._done:
+            raise SimulationError("event succeeded twice")
+        self._done = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.engine._schedule(0.0, proc._advance, value)
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._done:
+            self.engine._schedule(0.0, proc._advance, self._value)
+        else:
+            self._waiters.append(proc)
+
+
+class Process:
+    """A running generator inside an :class:`Engine`.
+
+    Exposes :attr:`done`, :attr:`result` and is itself waitable (another
+    process can ``yield proc`` to join it).  The value a generator returns
+    (via ``return x``) becomes its result.
+    """
+
+    __slots__ = ("engine", "_gen", "_done_event", "name")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
+        if not isinstance(gen, Generator):
+            raise SimulationError(
+                f"process body must be a generator, got {type(gen).__name__}"
+            )
+        self.engine = engine
+        self._gen = gen
+        self._done_event = Event(engine)
+        self.name = name or getattr(gen, "__name__", "proc")
+
+    @property
+    def done(self) -> bool:
+        """Whether the generator has finished."""
+        return self._done_event.triggered
+
+    @property
+    def result(self) -> Any:
+        """The generator's return value (None until done)."""
+        return self._done_event.value
+
+    def _advance(self, send_value: Any = None) -> None:
+        try:
+            target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._done_event.succeed(stop.value)
+            return
+        if isinstance(target, Timeout):
+            self.engine._schedule(target.delay, self._advance, None)
+        elif isinstance(target, Event):
+            target._add_waiter(self)
+        elif isinstance(target, Process):
+            target._done_event._add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {target!r}"
+            )
+
+
+class Engine:
+    """The simulation clock and event loop."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable, Any]] = []
+        self._seq = 0
+        self._live_processes = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def event(self) -> Event:
+        """Create a fresh event bound to this engine."""
+        return Event(self)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a process, starting it at the current time."""
+        proc = Process(self, gen, name)
+        self._live_processes += 1
+
+        def finish(_value: Any) -> None:
+            self._live_processes -= 1
+
+        proc._done_event._waiters.append(_Sentinel(finish))
+        self._schedule(0.0, proc._advance, None)
+        return proc
+
+    def _schedule(self, delay: float, fn: Callable, arg: Any) -> None:
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, arg))
+        self._seq += 1
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the heap drains (or simulated time passes ``until``).
+
+        Returns the final simulated time.  Raises :class:`DeadlockError` if
+        events drain while registered processes are still blocked (e.g. a
+        lock never released).
+        """
+        while self._heap:
+            t, _, fn, arg = self._heap[0]
+            if until is not None and t > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = t
+            fn(arg)
+        if self._live_processes > 0 and until is None:
+            raise DeadlockError(
+                f"no events left but {self._live_processes} process(es) "
+                "still blocked"
+            )
+        return self._now
+
+
+class _Sentinel:
+    """Adapter letting plain callbacks sit in an event's waiter list."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[Any], None]):
+        self._fn = fn
+
+    def _advance(self, value: Any = None) -> None:
+        self._fn(value)

@@ -1,0 +1,169 @@
+"""Self-scheduled loop execution on the DES kernel.
+
+A per-chunk simulation of OpenMP worksharing-loop execution: workers grab
+chunks from a shared counter guarded by a :class:`~repro.desim.resources.Lock`
+(the dispatch serialization the analytic model approximates), execute
+their iterations' costs, and rendezvous at an end barrier.
+
+Used as ground truth for :mod:`repro.runtime.schedule`'s closed forms —
+tests check that the analytic balance factors and dispatch-contention
+bounds track this simulation across schedules, chunk sizes, team sizes
+and iteration-cost profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.desim.engine import Engine, Timeout
+from repro.desim.resources import Lock
+from repro.errors import SimulationError
+
+__all__ = ["LoopSimResult", "simulate_loop"]
+
+
+@dataclass(frozen=True)
+class LoopSimResult:
+    """Outcome of one simulated loop execution."""
+
+    makespan: float
+    n_chunks: int
+    #: Total time workers spent waiting on the dispatch lock.
+    dispatch_wait: float
+    #: Per-worker busy (iteration-executing) time.
+    busy: tuple[float, ...]
+
+    @property
+    def total_work(self) -> float:
+        """Aggregate iteration-executing time across workers."""
+        return float(sum(self.busy))
+
+    @property
+    def imbalance(self) -> float:
+        """max busy / mean busy (1.0 = perfectly balanced)."""
+        mean = self.total_work / len(self.busy)
+        return max(self.busy) / mean if mean > 0 else 1.0
+
+
+def _static_blocks(n: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous static partition (libomp schedule(static))."""
+    base = n // workers
+    extra = n % workers
+    blocks = []
+    start = 0
+    for w in range(workers):
+        size = base + (1 if w < extra else 0)
+        blocks.append((start, start + size))
+        start += size
+    return blocks
+
+
+def simulate_loop(
+    iter_costs: np.ndarray,
+    n_workers: int,
+    schedule: str = "dynamic",
+    chunk: int = 1,
+    dispatch_time: float = 0.0,
+    worker_speeds: np.ndarray | None = None,
+) -> LoopSimResult:
+    """Simulate one worksharing loop at per-chunk granularity.
+
+    Parameters
+    ----------
+    iter_costs:
+        Cost of each iteration (seconds).
+    schedule:
+        ``"static"`` (contiguous blocks, no dispatch),
+        ``"dynamic"`` (fixed ``chunk``), or
+        ``"guided"`` (chunk = ceil(remaining / 2T), floored at ``chunk``).
+    dispatch_time:
+        Time the shared chunk counter is held per grab (serializes).
+    """
+    iter_costs = np.asarray(iter_costs, dtype=float)
+    if iter_costs.ndim != 1 or iter_costs.shape[0] == 0:
+        raise SimulationError("need a non-empty 1-D iteration-cost vector")
+    if (iter_costs < 0).any():
+        raise SimulationError("negative iteration costs")
+    if n_workers < 1:
+        raise SimulationError("need at least one worker")
+    if schedule not in ("static", "dynamic", "guided"):
+        raise SimulationError(f"unknown schedule {schedule!r}")
+    if chunk < 1:
+        raise SimulationError("chunk must be >= 1")
+    speeds = (
+        np.ones(n_workers)
+        if worker_speeds is None
+        else np.asarray(worker_speeds, dtype=float)
+    )
+    if speeds.shape != (n_workers,) or (speeds <= 0).any():
+        raise SimulationError("worker_speeds must be positive, one per worker")
+
+    n = iter_costs.shape[0]
+    prefix = np.concatenate([[0.0], np.cumsum(iter_costs)])
+
+    engine = Engine()
+    busy = [0.0] * n_workers
+    state = {"next": 0, "chunks": 0, "dispatch_wait": 0.0}
+    lock = Lock(engine)
+
+    if schedule == "static":
+        blocks = _static_blocks(n, n_workers)
+
+        def worker_static(w: int):
+            lo, hi = blocks[w % len(blocks)] if w < len(blocks) else (0, 0)
+            if w < len(blocks) and hi > lo:
+                duration = (prefix[hi] - prefix[lo]) / speeds[w]
+                busy[w] += duration
+                state["chunks"] += 1
+                yield Timeout(duration)
+
+        for w in range(n_workers):
+            engine.process(worker_static(w))
+        engine.run()
+        return LoopSimResult(
+            makespan=engine.now,
+            n_chunks=state["chunks"],
+            dispatch_wait=0.0,
+            busy=tuple(busy),
+        )
+
+    def take_chunk() -> tuple[int, int]:
+        lo = state["next"]
+        if lo >= n:
+            return (n, n)
+        if schedule == "dynamic":
+            size = chunk
+        else:  # guided: libomp's remaining/(2T) with a floor
+            remaining = n - lo
+            size = max(chunk, -(-remaining // (2 * n_workers)))
+        hi = min(lo + size, n)
+        state["next"] = hi
+        state["chunks"] += 1
+        return (lo, hi)
+
+    def worker_dyn(w: int):
+        while True:
+            wait_start = engine.now
+            yield from lock.acquire()
+            state["dispatch_wait"] += engine.now - wait_start
+            if dispatch_time > 0.0:
+                yield Timeout(dispatch_time / speeds[w])
+            lo, hi = take_chunk()
+            lock.release()
+            if lo >= hi:
+                return
+            duration = (prefix[hi] - prefix[lo]) / speeds[w]
+            busy[w] += duration
+            yield Timeout(duration)
+
+    for w in range(n_workers):
+        engine.process(worker_dyn(w))
+    engine.run()
+    return LoopSimResult(
+        makespan=engine.now,
+        n_chunks=state["chunks"],
+        dispatch_wait=state["dispatch_wait"],
+        busy=tuple(busy),
+    )

@@ -1,0 +1,131 @@
+"""Synchronization primitives over the DES kernel.
+
+These model the runtime-internal primitives libomp builds on: a mutex (for
+``critical`` reductions and dynamic-schedule chunk grabs), a counting
+semaphore, and a cyclic barrier (fork/join and tree reductions).
+
+All are FIFO-fair and deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Generator
+
+from repro.desim.engine import Engine, Event, Timeout
+from repro.errors import SimulationError
+
+__all__ = ["Lock", "Semaphore", "Barrier"]
+
+
+class Lock:
+    """FIFO mutex.
+
+    Usage from a process::
+
+        yield from lock.acquire()
+        ...critical section...
+        lock.release()
+    """
+
+    def __init__(self, engine: Engine, hold_overhead: float = 0.0):
+        self.engine = engine
+        self.hold_overhead = hold_overhead
+        self._held = False
+        self._queue: deque[Event] = deque()
+        self.acquisitions = 0
+        self.contentions = 0
+
+    @property
+    def held(self) -> bool:
+        """Whether the lock is currently held."""
+        return self._held
+
+    def acquire(self) -> Generator:
+        """Generator to ``yield from``; returns once the lock is held."""
+        if not self._held:
+            self._held = True
+            self.acquisitions += 1
+            if self.hold_overhead:
+                yield Timeout(self.hold_overhead)
+            return
+        self.contentions += 1
+        gate = self.engine.event()
+        self._queue.append(gate)
+        yield gate
+        self.acquisitions += 1
+        if self.hold_overhead:
+            yield Timeout(self.hold_overhead)
+
+    def release(self) -> None:
+        """Release; hands the lock to the oldest waiter if any."""
+        if not self._held:
+            raise SimulationError("release of an unheld lock")
+        if self._queue:
+            # Ownership transfers directly: stays held, next waiter wakes.
+            self._queue.popleft().succeed()
+        else:
+            self._held = False
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeups."""
+
+    def __init__(self, engine: Engine, value: int):
+        if value < 0:
+            raise SimulationError(f"semaphore value must be >= 0, got {value}")
+        self.engine = engine
+        self._value = value
+        self._queue: deque[Event] = deque()
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def acquire(self) -> Generator:
+        """Generator to ``yield from``; returns once a unit is held."""
+        if self._value > 0:
+            self._value -= 1
+            return
+            yield  # pragma: no cover - makes this a generator
+        gate = self.engine.event()
+        self._queue.append(gate)
+        yield gate
+
+    def release(self) -> None:
+        """Return a unit, waking the oldest waiter if any."""
+        if self._queue:
+            self._queue.popleft().succeed()
+        else:
+            self._value += 1
+
+
+class Barrier:
+    """Cyclic barrier for a fixed party count.
+
+    Tracks how many times it cycled (``generations``).  The last arriver
+    releases everyone at the same timestamp, matching an idealized
+    centralized barrier; per-thread arrival costs are the caller's job.
+    """
+
+    def __init__(self, engine: Engine, parties: int):
+        if parties < 1:
+            raise SimulationError(f"barrier parties must be >= 1, got {parties}")
+        self.engine = engine
+        self.parties = parties
+        self._arrived = 0
+        self._gate = engine.event()
+        self.generations = 0
+
+    def wait(self) -> Generator:
+        """Generator to ``yield from``; returns when all parties arrived."""
+        self._arrived += 1
+        if self._arrived == self.parties:
+            self._arrived = 0
+            self.generations += 1
+            gate, self._gate = self._gate, self.engine.event()
+            gate.succeed()
+            return
+            yield  # pragma: no cover - makes this a generator
+        yield self._gate

@@ -1,0 +1,271 @@
+"""Work-stealing task-pool simulator.
+
+LLVM/OpenMP executes ``task`` constructs on per-thread deques with random
+victim stealing.  This module simulates that scheduler at per-task
+granularity: LIFO local pops, FIFO steals, a configurable steal latency
+(spin-waiting ``turnaround`` mode steals faster than yielding
+``throughput`` mode), per-spawn overhead, and exponential idle backoff.
+
+It serves two roles:
+
+1. the high-fidelity (``"des"``) execution mode for task-parallel regions,
+2. ground truth against which the fast analytic task model in
+   :mod:`repro.runtime.kernel` is validated by tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["Task", "TaskGraph", "StealResult", "WorkStealingSimulator"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One task: compute ``work`` seconds, then release ``children``."""
+
+    task_id: int
+    work: float
+    children: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise SimulationError(f"task {self.task_id} has negative work")
+
+
+@dataclass
+class TaskGraph:
+    """A spawn tree of tasks, rooted at :attr:`root`.
+
+    Children become runnable when their parent's compute finishes — the
+    shape recursive BOTS benchmarks (NQueens, Sort, Strassen, Health)
+    produce with ``#pragma omp task`` in a divide phase.
+    """
+
+    tasks: list[Task] = field(default_factory=list)
+    root: int = 0
+
+    def add(self, work: float, children: tuple[int, ...] = ()) -> int:
+        """Append a task; returns its id."""
+        tid = len(self.tasks)
+        self.tasks.append(Task(tid, work, children))
+        return tid
+
+    @property
+    def n_tasks(self) -> int:
+        """Total number of tasks."""
+        return len(self.tasks)
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all task work (serial execution time sans overheads)."""
+        return float(sum(t.work for t in self.tasks))
+
+    def critical_path(self) -> float:
+        """Longest root-to-leaf work sum — the tasking lower bound."""
+        if not self.tasks:
+            return 0.0
+        memo: dict[int, float] = {}
+        # Iterative DFS (graphs can be deep for unbalanced trees).
+        stack = [(self.root, False)]
+        while stack:
+            tid, expanded = stack.pop()
+            task = self.tasks[tid]
+            if expanded:
+                memo[tid] = task.work + max(
+                    (memo[c] for c in task.children), default=0.0
+                )
+            else:
+                stack.append((tid, True))
+                for c in task.children:
+                    if c not in memo:
+                        stack.append((c, False))
+        return memo[self.root]
+
+    @classmethod
+    def balanced_tree(
+        cls,
+        depth: int,
+        branching: int,
+        leaf_work: float,
+        node_work: float = 0.0,
+    ) -> "TaskGraph":
+        """A uniform spawn tree: interior nodes do ``node_work``, leaves
+        ``leaf_work``."""
+        if depth < 0 or branching < 1:
+            raise SimulationError("need depth >= 0 and branching >= 1")
+        graph = cls()
+
+        def build(level: int) -> int:
+            if level == depth:
+                return graph.add(leaf_work)
+            children = tuple(build(level + 1) for _ in range(branching))
+            return graph.add(node_work, children)
+
+        graph.root = build(0)
+        return graph
+
+
+@dataclass(frozen=True)
+class StealResult:
+    """Outcome of one work-stealing simulation."""
+
+    makespan: float
+    total_work: float
+    n_tasks: int
+    steals: int
+    failed_steals: int
+    busy_time: float
+    n_workers: int = 1
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of worker-time spent executing tasks."""
+        if self.makespan == 0.0:
+            return 1.0
+        return self.busy_time / (self.makespan * self.n_workers)
+
+    @property
+    def speedup_over_serial(self) -> float:
+        """``total_work / makespan`` — the parallel speedup achieved."""
+        if self.makespan == 0.0:
+            return 1.0
+        return self.total_work / self.makespan
+
+
+class WorkStealingSimulator:
+    """Simulate one task-region execution on ``n_workers`` threads.
+
+    Parameters
+    ----------
+    n_workers:
+        Threads in the parallel region's team.
+    steal_latency:
+        Time one steal attempt takes (successful or not).  Spin-waiting
+        modes have low latency; yield-to-OS modes pay more.
+    spawn_overhead:
+        Bookkeeping time the spawning thread pays per child task.
+    backoff_max_factor:
+        Idle workers back off exponentially up to
+        ``steal_latency * backoff_max_factor`` between attempts.
+    seed:
+        Victim selection seed (fully deterministic trajectories).
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        steal_latency: float = 1e-6,
+        spawn_overhead: float = 2e-7,
+        backoff_max_factor: int = 64,
+        seed: int = 0,
+    ):
+        if n_workers < 1:
+            raise SimulationError(f"need >= 1 worker, got {n_workers}")
+        if steal_latency <= 0 or spawn_overhead < 0:
+            raise SimulationError("non-positive steal latency / negative spawn cost")
+        self.n_workers = n_workers
+        self.steal_latency = steal_latency
+        self.spawn_overhead = spawn_overhead
+        self.backoff_max_factor = backoff_max_factor
+        self.seed = seed
+
+    def run(self, graph: TaskGraph, worker_speeds: np.ndarray | None = None) -> StealResult:
+        """Execute ``graph``; returns a :class:`StealResult`.
+
+        ``worker_speeds`` scales each worker's execution rate (1.0 =
+        nominal); oversubscribed or remote-memory threads pass < 1.0.
+        """
+        if graph.n_tasks == 0:
+            return StealResult(0.0, 0.0, 0, 0, 0, 0.0, self.n_workers)
+        speeds = (
+            np.ones(self.n_workers)
+            if worker_speeds is None
+            else np.asarray(worker_speeds, dtype=float)
+        )
+        if speeds.shape != (self.n_workers,) or (speeds <= 0).any():
+            raise SimulationError("worker_speeds must be positive, one per worker")
+
+        rng = np.random.default_rng(self.seed)
+        deques: list[list[int]] = [[] for _ in range(self.n_workers)]
+        deques[0].append(graph.root)
+        remaining = 1  # tasks pushed but not yet completed (incl. executing)
+        steals = 0
+        failed = 0
+        busy = 0.0
+        backoff = [1.0] * self.n_workers
+
+        # Event heap: (time, seq, worker). Each worker has exactly one
+        # pending event: "decide what to do next at this time".
+        heap: list[tuple[float, int, int]] = []
+        seq = 0
+        for w in range(self.n_workers):
+            heapq.heappush(heap, (0.0, seq, w))
+            seq += 1
+        finish_time = 0.0
+
+        def execute(w: int, now: float, tid: int) -> float:
+            """Run task ``tid`` on worker ``w``; returns completion time."""
+            nonlocal remaining, busy
+            task = graph.tasks[tid]
+            duration = (
+                task.work + self.spawn_overhead * len(task.children)
+            ) / speeds[w]
+            busy += duration
+            done = now + duration
+            for child in task.children:
+                deques[w].append(child)
+            remaining += len(task.children)
+            remaining -= 1
+            return done
+
+        while heap:
+            now, _, w = heapq.heappop(heap)
+            if remaining == 0:
+                finish_time = max(finish_time, now)
+                continue  # drain: all work done, worker retires
+            if deques[w]:
+                tid = deques[w].pop()  # LIFO local pop
+                backoff[w] = 1.0
+                done = execute(w, now, tid)
+                finish_time = max(finish_time, done)
+                heapq.heappush(heap, (done, seq, w))
+                seq += 1
+                continue
+            # Steal attempt: pick a random victim with work.
+            victims = [v for v in range(self.n_workers) if v != w and deques[v]]
+            if victims:
+                victim = victims[int(rng.integers(len(victims)))]
+                tid = deques[victim].pop(0)  # FIFO steal end
+                steals += 1
+                backoff[w] = 1.0
+                start = now + self.steal_latency / speeds[w]
+                done = execute(w, start, tid)
+                finish_time = max(finish_time, done)
+                heapq.heappush(heap, (done, seq, w))
+                seq += 1
+            else:
+                failed += 1
+                wait = self.steal_latency * backoff[w]
+                backoff[w] = min(backoff[w] * 2.0, float(self.backoff_max_factor))
+                heapq.heappush(heap, (now + wait, seq, w))
+                seq += 1
+
+        if remaining != 0:
+            raise SimulationError(
+                f"work-stealing simulation ended with {remaining} live tasks"
+            )
+        return StealResult(
+            makespan=finish_time,
+            total_work=graph.total_work,
+            n_tasks=graph.n_tasks,
+            steals=steals,
+            failed_steals=failed,
+            busy_time=busy,
+            n_workers=self.n_workers,
+        )

@@ -1,0 +1,154 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to discriminate the finer-grained
+subclasses when it matters (e.g. treating a bad environment-variable value
+differently from a malformed dataset).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "InvalidEnvValue",
+    "UnknownVariable",
+    "TopologyError",
+    "UnknownMachine",
+    "WorkloadError",
+    "UnknownWorkload",
+    "UnknownInput",
+    "SimulationError",
+    "DeadlockError",
+    "DatasetError",
+    "SchemaError",
+    "FrameError",
+    "ColumnError",
+    "LengthMismatch",
+    "FitError",
+    "NotFittedError",
+    "ConvergenceError",
+    "StatsError",
+    "VizError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+# --------------------------------------------------------------------------
+# Configuration / environment-variable space
+# --------------------------------------------------------------------------
+class ConfigError(ReproError):
+    """A runtime configuration is malformed or inconsistent."""
+
+
+class InvalidEnvValue(ConfigError):
+    """An environment variable was given a value outside its legal domain."""
+
+    def __init__(self, variable: str, value: object, allowed: object = None):
+        self.variable = variable
+        self.value = value
+        self.allowed = allowed
+        msg = f"invalid value {value!r} for {variable}"
+        if allowed is not None:
+            msg += f" (allowed: {allowed})"
+        super().__init__(msg)
+
+
+class UnknownVariable(ConfigError):
+    """Reference to an environment variable the space does not define."""
+
+
+# --------------------------------------------------------------------------
+# Architecture / topology
+# --------------------------------------------------------------------------
+class TopologyError(ReproError):
+    """A machine topology is internally inconsistent."""
+
+
+class UnknownMachine(TopologyError):
+    """Lookup of a machine name that is not registered."""
+
+
+# --------------------------------------------------------------------------
+# Workloads
+# --------------------------------------------------------------------------
+class WorkloadError(ReproError):
+    """A workload model is malformed."""
+
+
+class UnknownWorkload(WorkloadError):
+    """Lookup of a workload name that is not registered."""
+
+
+class UnknownInput(WorkloadError):
+    """A workload was asked for an input size it does not define."""
+
+
+# --------------------------------------------------------------------------
+# Simulation
+# --------------------------------------------------------------------------
+class SimulationError(ReproError):
+    """The discrete-event or analytic simulation reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """The discrete-event engine ran out of events with live processes."""
+
+
+# --------------------------------------------------------------------------
+# Datasets
+# --------------------------------------------------------------------------
+class DatasetError(ReproError):
+    """Raw records could not be turned into a tabular dataset."""
+
+
+class SchemaError(DatasetError):
+    """A table does not contain the columns an operation requires."""
+
+
+# --------------------------------------------------------------------------
+# Frame (tabular substrate)
+# --------------------------------------------------------------------------
+class FrameError(ReproError):
+    """Base class for errors in :mod:`repro.frame`."""
+
+
+class ColumnError(FrameError):
+    """Reference to a column that does not exist (or already exists)."""
+
+
+class LengthMismatch(FrameError):
+    """Columns of differing lengths were combined into one table."""
+
+
+# --------------------------------------------------------------------------
+# ML kit
+# --------------------------------------------------------------------------
+class FitError(ReproError):
+    """Model fitting failed."""
+
+
+class NotFittedError(FitError):
+    """A model was used before :meth:`fit` was called."""
+
+
+class ConvergenceError(FitError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+# --------------------------------------------------------------------------
+# Statistics
+# --------------------------------------------------------------------------
+class StatsError(ReproError):
+    """A statistical routine received data it cannot operate on."""
+
+
+# --------------------------------------------------------------------------
+# Visualization
+# --------------------------------------------------------------------------
+class VizError(ReproError):
+    """A plot was requested with inconsistent data."""

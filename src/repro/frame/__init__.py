@@ -1,0 +1,26 @@
+"""Minimal columnar dataframe substrate (pandas substitute).
+
+The paper's analysis pipeline uses Pandas for cleaning, aggregation and
+normalization.  This package provides the small relational core the
+reproduction actually needs:
+
+- :class:`~repro.frame.table.Table` — an immutable-by-convention columnar
+  table backed by NumPy arrays with ``filter``/``sort_by``/``group_by``/
+  ``join``/``pivot`` and friends,
+- :func:`~repro.frame.io.read_csv` / :func:`~repro.frame.io.write_csv` —
+  type-inferring CSV round-tripping,
+- :mod:`~repro.frame.ops` — aggregation helpers shared by ``Table`` methods.
+"""
+
+from repro.frame.table import Table
+from repro.frame.io import read_csv, write_csv
+from repro.frame.ops import AGGREGATORS, aggregate_column, concat_tables
+
+__all__ = [
+    "Table",
+    "read_csv",
+    "write_csv",
+    "AGGREGATORS",
+    "aggregate_column",
+    "concat_tables",
+]

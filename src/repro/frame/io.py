@@ -1,0 +1,113 @@
+"""CSV round-tripping for :class:`repro.frame.Table`.
+
+The paper open-sources its sweep data as tabular files; this module provides
+the corresponding serialization.  Types are inferred on read: a column whose
+every non-empty cell parses as int becomes int64, else float64 if every cell
+parses as float, else an object (string) column.  Empty cells become ``None``
+in object columns and ``nan`` in float columns (an otherwise-int column with
+empties is promoted to float).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.errors import FrameError
+from repro.frame.table import Table
+
+__all__ = ["read_csv", "write_csv", "table_to_csv_text", "table_from_csv_text"]
+
+
+def _infer_column(cells: list[str]) -> np.ndarray:
+    """Infer the best dtype for a list of raw CSV strings."""
+    has_empty = any(c == "" for c in cells)
+    non_empty = [c for c in cells if c != ""]
+
+    def _try(parse) -> list | None:
+        out = []
+        for c in non_empty:
+            try:
+                out.append(parse(c))
+            except ValueError:
+                return None
+        return out
+
+    if non_empty and not has_empty:
+        ints = _try(int)
+        if ints is not None:
+            return np.asarray(ints, dtype=np.int64)
+    if non_empty:
+        floats = _try(float)
+        if floats is not None:
+            out = np.full(len(cells), np.nan)
+            j = 0
+            for i, c in enumerate(cells):
+                if c != "":
+                    out[i] = floats[j]
+                    j += 1
+            return out
+    arr = np.empty(len(cells), dtype=object)
+    arr[:] = [None if c == "" else c for c in cells]
+    return arr
+
+
+def table_from_csv_text(text: str) -> Table:
+    """Parse CSV text into a :class:`Table` with inferred column types."""
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        raise FrameError("empty CSV input (no header)")
+    header = rows[0]
+    if len(set(header)) != len(header):
+        raise FrameError(f"duplicate column names in CSV header: {header}")
+    body = [r for r in rows[1:] if r]  # csv yields [] for blank lines
+    for i, r in enumerate(body):
+        if len(r) != len(header):
+            raise FrameError(
+                f"CSV row {i + 2} has {len(r)} cells, header has {len(header)}"
+            )
+    cols = {
+        name: _infer_column([r[k] for r in body]) for k, name in enumerate(header)
+    }
+    return Table(cols)
+
+
+def read_csv(path: str | os.PathLike) -> Table:
+    """Read a CSV file into a :class:`Table`."""
+    with open(path, "r", newline="", encoding="utf-8") as fh:
+        return table_from_csv_text(fh.read())
+
+
+def _format_cell(v: Any) -> str:
+    if v is None:
+        return ""
+    if isinstance(v, (float, np.floating)):
+        if np.isnan(v):
+            return ""
+        return repr(float(v))
+    if isinstance(v, np.generic):
+        v = v.item()
+    return str(v)
+
+
+def table_to_csv_text(table: Table) -> str:
+    """Render a table as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    names = table.column_names
+    writer.writerow(names)
+    cols = [table.column(n) for n in names]
+    for i in range(table.num_rows):
+        writer.writerow([_format_cell(c[i]) for c in cols])
+    return buf.getvalue()
+
+
+def write_csv(table: Table, path: str | os.PathLike) -> None:
+    """Write a table to a CSV file (UTF-8)."""
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        fh.write(table_to_csv_text(table))

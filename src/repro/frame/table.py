@@ -1,0 +1,484 @@
+"""Columnar table backed by NumPy arrays.
+
+:class:`Table` stores each column as a 1-D :class:`numpy.ndarray`.  Numeric
+columns use native dtypes; string / mixed columns use ``object`` arrays.
+All transforming methods return *new* tables; the underlying arrays may be
+shared (views) where that is safe, so treat tables as immutable.
+
+The design intentionally mirrors the subset of the pandas API the paper's
+analysis scripts rely on (``groupby`` + aggregate, boolean filtering,
+sorting, merging, pivoting) without attempting to be a general dataframe.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ColumnError, LengthMismatch
+from repro.frame import ops
+
+__all__ = ["Table"]
+
+
+def _as_column(values: Any) -> np.ndarray:
+    """Coerce ``values`` into a 1-D column array.
+
+    Numeric sequences become native numeric arrays; anything containing
+    strings or mixed types becomes an ``object`` array so we never silently
+    stringify numbers the way ``np.array(["a", 1])`` would.
+    """
+    if isinstance(values, np.ndarray):
+        arr = values
+    else:
+        values = list(values)
+        try:
+            arr = np.asarray(values)
+        except (ValueError, TypeError):  # ragged input
+            arr = np.empty(len(values), dtype=object)
+            arr[:] = values
+    if arr.ndim != 1:
+        raise LengthMismatch(f"columns must be 1-D, got shape {arr.shape}")
+    if arr.dtype.kind in ("U", "S"):
+        # Keep strings as object arrays: uniform behaviour for group keys and
+        # no silent truncation when longer strings are appended later.
+        arr = arr.astype(object)
+    return arr
+
+
+def _group_key(row_values: tuple) -> tuple:
+    """Normalize a tuple of cell values into a hashable group key."""
+    out = []
+    for v in row_values:
+        if isinstance(v, (np.integer,)):
+            out.append(int(v))
+        elif isinstance(v, (np.floating,)):
+            out.append(float(v))
+        elif isinstance(v, np.str_):
+            out.append(str(v))
+        else:
+            out.append(v)
+    return tuple(out)
+
+
+class Table:
+    """A columnar table: ordered mapping of column name -> 1-D array.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of column name to array-like.  All columns must share one
+        length.
+
+    Examples
+    --------
+    >>> t = Table({"app": ["cg", "cg", "bt"], "runtime": [1.0, 1.2, 3.0]})
+    >>> t.num_rows
+    3
+    >>> t.filter(t["runtime"] > 1.1).column("app").tolist()
+    ['cg', 'bt']
+    """
+
+    def __init__(self, columns: Mapping[str, Any] | None = None):
+        self._columns: dict[str, np.ndarray] = {}
+        self._length = 0
+        if columns:
+            first = True
+            for name, values in columns.items():
+                arr = _as_column(values)
+                if first:
+                    self._length = arr.shape[0]
+                    first = False
+                elif arr.shape[0] != self._length:
+                    raise LengthMismatch(
+                        f"column {name!r} has length {arr.shape[0]}, "
+                        f"expected {self._length}"
+                    )
+                self._columns[str(name)] = arr
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping[str, Any]]) -> "Table":
+        """Build a table from an iterable of dict rows.
+
+        Missing keys become ``None`` in object columns / ``nan`` in float
+        columns.  Column order follows first appearance.
+        """
+        records = list(records)
+        names: list[str] = []
+        seen: set[str] = set()
+        for rec in records:
+            for key in rec:
+                if key not in seen:
+                    seen.add(key)
+                    names.append(key)
+        cols: dict[str, list] = {n: [] for n in names}
+        for rec in records:
+            for n in names:
+                cols[n].append(rec.get(n))
+        return cls({n: cols[n] for n in names})
+
+    @classmethod
+    def empty(cls, names: Sequence[str]) -> "Table":
+        """An empty table with the given column names."""
+        return cls({n: np.empty(0, dtype=object) for n in names})
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in insertion order."""
+        return list(self._columns)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return self._length
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self._columns)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(num_rows, num_columns)``."""
+        return (self._length, len(self._columns))
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> np.ndarray:
+        """The array backing column ``name`` (do not mutate)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise ColumnError(
+                f"no column {name!r}; have {self.column_names}"
+            ) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Row ``index`` as a plain dict of Python scalars."""
+        if not -self._length <= index < self._length:
+            raise IndexError(f"row {index} out of range for {self._length} rows")
+        out: dict[str, Any] = {}
+        for name, arr in self._columns.items():
+            v = arr[index]
+            if isinstance(v, np.generic):
+                v = v.item()
+            out[name] = v
+        return out
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over rows as dicts (slow path — prefer column ops)."""
+        for i in range(self._length):
+            yield self.row(i)
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """All rows as a list of dicts."""
+        return list(self.iter_rows())
+
+    def to_dict(self) -> dict[str, list]:
+        """Columns as plain Python lists."""
+        return {n: [x.item() if isinstance(x, np.generic) else x for x in arr]
+                for n, arr in self._columns.items()}
+
+    def __repr__(self) -> str:
+        return f"Table({self._length} rows x {len(self._columns)} cols: {self.column_names})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self.column_names != other.column_names or len(self) != len(other):
+            return False
+        for name in self.column_names:
+            a, b = self._columns[name], other._columns[name]
+            if a.dtype.kind == "f" and b.dtype.kind == "f":
+                if not np.allclose(a, b, equal_nan=True):
+                    return False
+            elif not all(x == y for x, y in zip(a, b)):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Column-level transforms
+    # ------------------------------------------------------------------
+    def with_column(self, name: str, values: Any) -> "Table":
+        """A new table with column ``name`` added or replaced."""
+        arr = _as_column(values)
+        if self._columns and arr.shape[0] != self._length:
+            raise LengthMismatch(
+                f"new column {name!r} has length {arr.shape[0]}, "
+                f"table has {self._length} rows"
+            )
+        cols = dict(self._columns)
+        cols[name] = arr
+        t = Table.__new__(Table)
+        t._columns = cols
+        t._length = arr.shape[0] if not self._columns else self._length
+        return t
+
+    def without_columns(self, names: Iterable[str]) -> "Table":
+        """A new table with the given columns removed."""
+        drop = set(names)
+        missing = drop - set(self._columns)
+        if missing:
+            raise ColumnError(f"cannot drop missing columns {sorted(missing)}")
+        t = Table.__new__(Table)
+        t._columns = {n: a for n, a in self._columns.items() if n not in drop}
+        t._length = self._length
+        return t
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """A new table with only the given columns, in the given order."""
+        t = Table.__new__(Table)
+        t._columns = {n: self.column(n) for n in names}
+        t._length = self._length
+        return t
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """A new table with columns renamed per ``mapping``."""
+        missing = set(mapping) - set(self._columns)
+        if missing:
+            raise ColumnError(f"cannot rename missing columns {sorted(missing)}")
+        t = Table.__new__(Table)
+        t._columns = {mapping.get(n, n): a for n, a in self._columns.items()}
+        t._length = self._length
+        if len(t._columns) != len(self._columns):
+            raise ColumnError("rename would collapse two columns into one")
+        return t
+
+    def map_column(self, name: str, fn: Callable[[Any], Any]) -> "Table":
+        """A new table with ``fn`` applied elementwise to column ``name``."""
+        arr = self.column(name)
+        return self.with_column(name, [fn(v) for v in arr])
+
+    # ------------------------------------------------------------------
+    # Row-level transforms
+    # ------------------------------------------------------------------
+    def filter(self, mask: Any) -> "Table":
+        """Rows where boolean ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._length,):
+            raise LengthMismatch(
+                f"mask has shape {mask.shape}, expected ({self._length},)"
+            )
+        return self.take(np.nonzero(mask)[0])
+
+    def take(self, indices: Any) -> "Table":
+        """Rows at the given integer positions, in that order."""
+        indices = np.asarray(indices, dtype=np.intp)
+        t = Table.__new__(Table)
+        t._columns = {n: a[indices] for n, a in self._columns.items()}
+        t._length = int(indices.shape[0])
+        return t
+
+    def head(self, n: int = 5) -> "Table":
+        """First ``n`` rows."""
+        return self.take(np.arange(min(n, self._length)))
+
+    def sort_by(self, names: str | Sequence[str], descending: bool = False) -> "Table":
+        """Stable sort by one or more columns."""
+        if isinstance(names, str):
+            names = [names]
+        order = np.arange(self._length)
+        # np.lexsort sorts by the *last* key primarily, so feed reversed.
+        keys = []
+        for n in reversed(list(names)):
+            col = self.column(n)
+            if col.dtype == object:
+                col = np.asarray([str(v) for v in col])
+            keys.append(col)
+        if keys:
+            order = np.lexsort(keys)
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def unique(self, name: str) -> list:
+        """Distinct values of a column, in order of first appearance."""
+        seen: dict[Any, None] = {}
+        for v in self.column(name):
+            if isinstance(v, np.generic):
+                v = v.item()
+            seen.setdefault(v, None)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # Group-by / aggregation
+    # ------------------------------------------------------------------
+    def group_by(self, names: str | Sequence[str]) -> list[tuple[tuple, "Table"]]:
+        """Group rows by one or more key columns.
+
+        Returns ``[(key_tuple, subtable), ...]`` with groups ordered by first
+        appearance.  ``key_tuple`` always has one element per key column even
+        for a single key.
+        """
+        if isinstance(names, str):
+            names = [names]
+        cols = [self.column(n) for n in names]
+        groups: dict[tuple, list[int]] = {}
+        for i in range(self._length):
+            key = _group_key(tuple(c[i] for c in cols))
+            groups.setdefault(key, []).append(i)
+        return [(key, self.take(np.asarray(idx))) for key, idx in groups.items()]
+
+    def aggregate(
+        self,
+        by: str | Sequence[str],
+        aggs: Mapping[str, str | Callable[[np.ndarray], Any]],
+    ) -> "Table":
+        """Group by ``by`` and aggregate value columns.
+
+        ``aggs`` maps column name -> aggregator, either one of the names in
+        :data:`repro.frame.ops.AGGREGATORS` (``"mean"``, ``"min"``, ...) or a
+        callable taking the group's column array.  The output contains the
+        key columns followed by one column per aggregation, named
+        ``f"{col}_{agg}"`` for string aggregators and ``col`` for callables.
+        """
+        if isinstance(by, str):
+            by = [by]
+        groups = self.group_by(by)
+        records: list[dict[str, Any]] = []
+        for key, sub in groups:
+            rec: dict[str, Any] = dict(zip(by, key))
+            for col_name, agg in aggs.items():
+                if isinstance(agg, str):
+                    out_name = f"{col_name}_{agg}"
+                    value = ops.aggregate_column(sub.column(col_name), agg)
+                else:
+                    out_name = col_name
+                    value = agg(sub.column(col_name))
+                if isinstance(value, np.generic):
+                    value = value.item()
+                rec[out_name] = value
+            records.append(rec)
+        return Table.from_records(records)
+
+    # ------------------------------------------------------------------
+    # Relational
+    # ------------------------------------------------------------------
+    def join(self, other: "Table", on: str | Sequence[str], how: str = "inner") -> "Table":
+        """Join with ``other`` on equal key columns.
+
+        Supports ``how="inner"`` and ``how="left"``.  Non-key columns present
+        in both tables take the right table's values under a ``_right``
+        suffix.  Left join fills unmatched right columns with ``None``.
+        """
+        if how not in ("inner", "left"):
+            raise ValueError(f"unsupported join type {how!r}")
+        if isinstance(on, str):
+            on = [on]
+        right_index: dict[tuple, list[int]] = {}
+        rcols = [other.column(n) for n in on]
+        for j in range(other.num_rows):
+            key = _group_key(tuple(c[j] for c in rcols))
+            right_index.setdefault(key, []).append(j)
+
+        right_value_cols = [n for n in other.column_names if n not in on]
+        out_right_names = {
+            n: (f"{n}_right" if n in self._columns else n) for n in right_value_cols
+        }
+
+        lcols = [self.column(n) for n in on]
+        records: list[dict[str, Any]] = []
+        for i in range(self._length):
+            key = _group_key(tuple(c[i] for c in lcols))
+            matches = right_index.get(key)
+            if matches is None:
+                if how == "left":
+                    rec = self.row(i)
+                    for n in right_value_cols:
+                        rec[out_right_names[n]] = None
+                    records.append(rec)
+                continue
+            for j in matches:
+                rec = self.row(i)
+                rrow = other.row(j)
+                for n in right_value_cols:
+                    rec[out_right_names[n]] = rrow[n]
+                records.append(rec)
+        if not records:
+            names = self.column_names + [out_right_names[n] for n in right_value_cols]
+            return Table.empty(names)
+        return Table.from_records(records)
+
+    def pivot(self, index: str, columns: str, values: str,
+              agg: str = "mean", fill: Any = None) -> "Table":
+        """Spread ``columns``'s values into columns, aggregated by ``agg``.
+
+        The result has one row per distinct ``index`` value, a first column
+        named after ``index``, and one column per distinct value of
+        ``columns`` holding the aggregated ``values``.
+        """
+        row_keys = self.unique(index)
+        col_keys = self.unique(columns)
+        cells: dict[tuple, list] = {}
+        idx_col, col_col, val_col = (
+            self.column(index), self.column(columns), self.column(values))
+        for i in range(self._length):
+            key = _group_key((idx_col[i], col_col[i]))
+            cells.setdefault(key, []).append(val_col[i])
+        out: dict[str, list] = {index: row_keys}
+        for ck in col_keys:
+            column = []
+            for rk in row_keys:
+                bucket = cells.get(_group_key((rk, ck)))
+                if bucket is None:
+                    column.append(fill)
+                else:
+                    column.append(ops.aggregate_column(np.asarray(bucket), agg))
+            out[str(ck)] = column
+        return Table(out)
+
+    def describe(self) -> "Table":
+        """Summary statistics of every numeric column (one row each)."""
+        from repro.stats.descriptive import summarize
+
+        records = []
+        for name, arr in self._columns.items():
+            if arr.dtype.kind not in ("f", "i", "u") or arr.shape[0] == 0:
+                continue
+            s = summarize(np.asarray(arr, dtype=float))
+            rec = {"column": name}
+            rec.update(s.as_dict())
+            records.append(rec)
+        return Table.from_records(records)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_text(self, max_rows: int = 40, float_fmt: str = "{:.4g}") -> str:
+        """A fixed-width text rendering (for CLI reports and docs)."""
+        names = self.column_names
+        shown = min(self._length, max_rows)
+
+        def fmt(v: Any) -> str:
+            if isinstance(v, (float, np.floating)):
+                return float_fmt.format(float(v))
+            return str(v)
+
+        body = [[fmt(self._columns[n][i]) for n in names] for i in range(shown)]
+        widths = [
+            max(len(n), *(len(r[k]) for r in body)) if body else len(n)
+            for k, n in enumerate(names)
+        ]
+        lines = [
+            "  ".join(n.ljust(w) for n, w in zip(names, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        lines += ["  ".join(c.ljust(w) for c, w in zip(r, widths)) for r in body]
+        if shown < self._length:
+            lines.append(f"... ({self._length - shown} more rows)")
+        return "\n".join(lines)

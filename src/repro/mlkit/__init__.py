@@ -1,0 +1,53 @@
+"""Linear-models ML substrate (scikit-learn substitute).
+
+The paper's analysis (Sec. IV-D) fits linear and logistic regression with
+scikit-learn and reads weight-normalized absolute coefficients as feature
+influence.  This package provides exactly that toolchain:
+
+- :class:`~repro.mlkit.preprocess.Standardizer`,
+  :class:`~repro.mlkit.preprocess.LabelEncoder`,
+  :class:`~repro.mlkit.preprocess.OneHotEncoder` — feature preparation
+  (the paper's "naive numeric scheme" is ``LabelEncoder``),
+- :class:`~repro.mlkit.linreg.LinearRegression` — OLS with R² scoring
+  (used to demonstrate the poor linear fit the paper reports),
+- :class:`~repro.mlkit.logreg.LogisticRegression` — L2-regularized binary
+  logistic regression with Newton/IRLS and gradient-descent solvers,
+- :mod:`~repro.mlkit.metrics` and :mod:`~repro.mlkit.model_select` —
+  accuracy/R²/confusion and deterministic train/test splitting.
+"""
+
+from repro.mlkit.preprocess import LabelEncoder, OneHotEncoder, Standardizer
+from repro.mlkit.linreg import LinearRegression
+from repro.mlkit.logreg import LogisticRegression
+from repro.mlkit.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    precision_score,
+    r2_score,
+    recall_score,
+    roc_auc_score,
+)
+from repro.mlkit.model_select import KFold, train_test_split
+from repro.mlkit.tree import DecisionTreeClassifier, RandomForestClassifier
+
+__all__ = [
+    "Standardizer",
+    "LabelEncoder",
+    "OneHotEncoder",
+    "LinearRegression",
+    "LogisticRegression",
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "log_loss",
+    "r2_score",
+    "roc_auc_score",
+    "KFold",
+    "train_test_split",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+]

@@ -1,0 +1,84 @@
+"""Ordinary least squares linear regression.
+
+The paper first attempts a linear regression of runtime on the feature
+vector and reports poor fits ("low confidence scores associated with poor
+model fitting"), motivating the switch to classification.  We reproduce
+that step: :class:`LinearRegression` exposes ``coef_``, ``intercept_`` and
+an R² ``score`` exactly like scikit-learn's estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FitError, NotFittedError
+from repro.mlkit.metrics import r2_score
+
+__all__ = ["LinearRegression"]
+
+
+class LinearRegression:
+    """OLS via lstsq (minimum-norm solution for rank-deficient designs).
+
+    Parameters
+    ----------
+    fit_intercept:
+        If true (default) an intercept column is handled implicitly by
+        centering, so ``coef_`` excludes it and ``intercept_`` carries it.
+    l2:
+        Optional ridge penalty (not applied to the intercept).
+    """
+
+    def __init__(self, fit_intercept: bool = True, l2: float = 0.0):
+        if l2 < 0:
+            raise FitError(f"l2 penalty must be >= 0, got {l2}")
+        self.fit_intercept = fit_intercept
+        self.l2 = l2
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        """Fit to (n_samples, n_features) design ``X`` and targets ``y``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise FitError(f"expected 2-D design matrix, got shape {X.shape}")
+        if y.ndim != 1 or y.shape[0] != X.shape[0]:
+            raise FitError(
+                f"targets shape {y.shape} does not match {X.shape[0]} samples"
+            )
+        if X.shape[0] == 0:
+            raise FitError("cannot fit on zero samples")
+
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = float(y.mean())
+            Xc = X - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = 0.0
+            Xc, yc = X, y
+
+        if self.l2 > 0.0:
+            n, p = Xc.shape
+            aug_X = np.vstack([Xc, np.sqrt(self.l2) * np.eye(p)])
+            aug_y = np.concatenate([yc, np.zeros(p)])
+            beta, *_ = np.linalg.lstsq(aug_X, aug_y, rcond=None)
+        else:
+            beta, *_ = np.linalg.lstsq(Xc, yc, rcond=None)
+
+        self.coef_ = beta
+        self.intercept_ = y_mean - float(x_mean @ beta) if self.fit_intercept else 0.0
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted targets for ``X``."""
+        if self.coef_ is None:
+            raise NotFittedError("LinearRegression.predict before fit")
+        X = np.asarray(X, dtype=float)
+        return X @ self.coef_ + self.intercept_
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R² on ``(X, y)``."""
+        return r2_score(np.asarray(y, dtype=float), self.predict(X))

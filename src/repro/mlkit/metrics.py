@@ -1,0 +1,123 @@
+"""Classification and regression metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StatsError
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "log_loss",
+    "r2_score",
+    "roc_auc_score",
+]
+
+
+def _check_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise StatsError(
+            f"metric inputs must be equal-length 1-D arrays, "
+            f"got {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.shape[0] == 0:
+        raise StatsError("metric of empty arrays is undefined")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly matching predictions."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2x2 confusion matrix ``[[tn, fp], [fn, tp]]`` for 0/1 labels."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    y_true = y_true.astype(np.int64)
+    y_pred = y_pred.astype(np.int64)
+    if not np.all(np.isin(y_true, [0, 1])) or not np.all(np.isin(y_pred, [0, 1])):
+        raise StatsError("confusion_matrix expects binary 0/1 labels")
+    out = np.zeros((2, 2), dtype=np.int64)
+    for t, p in ((0, 0), (0, 1), (1, 0), (1, 1)):
+        out[t, p] = int(np.sum((y_true == t) & (y_pred == p)))
+    return out
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """tp / (tp + fp); returns 0 when nothing was predicted positive."""
+    cm = confusion_matrix(y_true, y_pred)
+    denom = cm[1, 1] + cm[0, 1]
+    return float(cm[1, 1] / denom) if denom else 0.0
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """tp / (tp + fn); returns 0 when there are no positives."""
+    cm = confusion_matrix(y_true, y_pred)
+    denom = cm[1, 1] + cm[1, 0]
+    return float(cm[1, 1] / denom) if denom else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision_score(y_true, y_pred)
+    r = recall_score(y_true, y_pred)
+    return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def log_loss(y_true: np.ndarray, proba: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean negative log-likelihood of 0/1 labels under P(y=1) = proba."""
+    y_true = np.asarray(y_true, dtype=float)
+    proba = np.asarray(proba, dtype=float)
+    if proba.ndim == 2:  # accept predict_proba output
+        proba = proba[:, 1]
+    if y_true.shape != proba.shape:
+        raise StatsError(
+            f"log_loss shapes mismatch: {y_true.shape} vs {proba.shape}"
+        )
+    p = np.clip(proba, eps, 1.0 - eps)
+    return -float(np.mean(y_true * np.log(p) + (1 - y_true) * np.log(1 - p)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; 0 for a constant-target sample when
+    predictions equal it, else can be negative for bad fits."""
+    y_true, y_pred = _check_pair(
+        np.asarray(y_true, dtype=float), np.asarray(y_pred, dtype=float)
+    )
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def roc_auc_score(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve for 0/1 labels and real-valued scores.
+
+    Computed via the rank statistic (equivalent to the Mann-Whitney U):
+    ``AUC = (R_pos - n_pos(n_pos+1)/2) / (n_pos * n_neg)`` where
+    ``R_pos`` is the sum of positive-sample midranks — exact under ties.
+    """
+    from repro.stats.wilcoxon import rankdata
+
+    y_true = np.asarray(y_true, dtype=float)
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim == 2:  # accept predict_proba output
+        scores = scores[:, 1]
+    if y_true.shape != scores.shape or y_true.ndim != 1:
+        raise StatsError("roc_auc_score: shapes mismatch")
+    pos = y_true == 1.0
+    n_pos = int(pos.sum())
+    n_neg = y_true.shape[0] - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise StatsError("roc_auc_score needs both classes present")
+    ranks = rankdata(scores)
+    r_pos = float(ranks[pos].sum())
+    return (r_pos - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)

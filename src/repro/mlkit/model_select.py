@@ -1,0 +1,76 @@
+"""Deterministic data splitting for model evaluation."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import FitError
+
+__all__ = ["train_test_split", "KFold"]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle-split into train/test partitions.
+
+    Returns ``(X_train, X_test, y_train, y_test)``.  Deterministic for a
+    given ``seed``; guarantees at least one sample on each side.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    n = X.shape[0]
+    if y.shape[0] != n:
+        raise FitError(f"X has {n} samples but y has {y.shape[0]}")
+    if not 0.0 < test_fraction < 1.0:
+        raise FitError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if n < 2:
+        raise FitError("need at least 2 samples to split")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    n_test = min(max(int(round(n * test_fraction)), 1), n - 1)
+    test_idx = perm[:n_test]
+    train_idx = perm[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class KFold:
+    """K-fold cross-validation index generator (deterministic shuffle)."""
+
+    def __init__(self, n_splits: int = 5, seed: int = 0):
+        if n_splits < 2:
+            raise FitError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_idx, test_idx)`` pairs covering all samples."""
+        if n_samples < self.n_splits:
+            raise FitError(
+                f"cannot make {self.n_splits} folds from {n_samples} samples"
+            )
+        rng = np.random.default_rng(self.seed)
+        perm = rng.permutation(n_samples)
+        folds = np.array_split(perm, self.n_splits)
+        for k in range(self.n_splits):
+            test_idx = folds[k]
+            train_idx = np.concatenate(
+                [folds[j] for j in range(self.n_splits) if j != k]
+            )
+            yield train_idx, test_idx
+
+    def cross_val_accuracy(self, model_factory, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean held-out accuracy of ``model_factory()`` over the folds."""
+        X = np.asarray(X)
+        y = np.asarray(y)
+        scores = []
+        for train_idx, test_idx in self.split(X.shape[0]):
+            model = model_factory()
+            model.fit(X[train_idx], y[train_idx])
+            scores.append(model.score(X[test_idx], y[test_idx]))
+        return float(np.mean(scores))

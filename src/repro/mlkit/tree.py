@@ -1,0 +1,313 @@
+"""Decision-tree classification (CART) — the paper's proposed next step.
+
+The paper's conclusion names "the development of non-linear approaches to
+model such data" as the path forward, because linear models cannot
+capture interactions like *turnaround only matters for task apps* or
+*fewer threads only helps on Milan*.  This module provides a CART
+classifier with gini impurity, depth/size regularization and
+impurity-based feature importances — the non-linear counterpart to
+:class:`~repro.mlkit.logreg.LogisticRegression` used by
+:mod:`repro.core.nonlinear`.
+
+Implementation notes: splits are exhaustive over midpoints of the sorted
+unique values per feature, with vectorized class-count prefix sums per
+candidate feature, giving O(n log n) per node per feature.  Ordinal
+(label-encoded) categorical features work naturally; ties in gain break
+toward the lowest feature index for determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FitError, NotFittedError
+
+__all__ = ["DecisionTreeClassifier", "RandomForestClassifier"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a class probability."""
+
+    prediction: float  # P(y=1) among this node's training samples
+    n_samples: int
+    feature: int = -1  # -1 for leaves
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+def _gini(p: float) -> float:
+    """Binary gini impurity for positive-class probability ``p``."""
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTreeClassifier:
+    """Binary CART with gini splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap (root = depth 0).
+    min_samples_split:
+        Nodes smaller than this become leaves.
+    min_gain:
+        Minimum impurity decrease to accept a split.
+    max_features:
+        If set, consider only this many randomly chosen features per node
+        (used by the forest); ``None`` = all features.
+    seed:
+        Feature-subsampling seed.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 10,
+        min_gain: float = 1e-7,
+        max_features: int | None = None,
+        seed: int = 0,
+    ):
+        if max_depth < 1:
+            raise FitError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise FitError("min_samples_split must be >= 2")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_gain = min_gain
+        self.max_features = max_features
+        self.seed = seed
+        self.root_: _Node | None = None
+        self.n_features_: int = 0
+        self._importance_gain: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, features: np.ndarray
+    ) -> tuple[float, int, float]:
+        """(gain, feature, threshold) of the best split, gain <= 0 if none."""
+        n = y.shape[0]
+        parent = _gini(float(y.mean()))
+        best = (0.0, -1, 0.0)
+        for f in features:
+            order = np.argsort(X[:, f], kind="mergesort")
+            xs = X[order, f]
+            ys = y[order]
+            # Candidate cut positions: where consecutive x values differ.
+            cuts = np.nonzero(np.diff(xs) > 0)[0]
+            if cuts.shape[0] == 0:
+                continue
+            pos_prefix = np.cumsum(ys)
+            n_left = cuts + 1
+            n_right = n - n_left
+            pos_left = pos_prefix[cuts]
+            pos_right = pos_prefix[-1] - pos_left
+            p_left = pos_left / n_left
+            p_right = pos_right / n_right
+            impurity = (
+                n_left * _gini_vec(p_left) + n_right * _gini_vec(p_right)
+            ) / n
+            gains = parent - impurity
+            k = int(np.argmax(gains))
+            if gains[k] > best[0] + 1e-15:
+                threshold = 0.5 * (xs[cuts[k]] + xs[cuts[k] + 1])
+                best = (float(gains[k]), int(f), float(threshold))
+        return best
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int,
+               rng: np.random.Generator) -> _Node:
+        node = _Node(prediction=float(y.mean()), n_samples=y.shape[0])
+        if (
+            depth >= self.max_depth
+            or y.shape[0] < self.min_samples_split
+            or node.prediction in (0.0, 1.0)
+        ):
+            return node
+        if self.max_features is not None and self.max_features < self.n_features_:
+            features = rng.choice(
+                self.n_features_, size=self.max_features, replace=False
+            )
+            features.sort()
+        else:
+            features = np.arange(self.n_features_)
+        gain, feature, threshold = self._best_split(X, y, features)
+        if feature < 0 or gain < self.min_gain:
+            return node
+        mask = X[:, feature] <= threshold
+        assert self._importance_gain is not None
+        self._importance_gain[feature] += gain * y.shape[0]
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1, rng)
+        node.right = self._build(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Fit on (n_samples, n_features) design ``X`` and 0/1 labels."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise FitError(f"expected 2-D design matrix, got {X.shape}")
+        if y.shape != (X.shape[0],):
+            raise FitError("labels must align with samples")
+        if X.shape[0] == 0:
+            raise FitError("cannot fit on zero samples")
+        if not np.all(np.isin(np.unique(y), [0.0, 1.0])):
+            raise FitError("labels must be 0/1")
+        self.n_features_ = X.shape[1]
+        self._importance_gain = np.zeros(self.n_features_)
+        rng = np.random.default_rng(self.seed)
+        self.root_ = self._build(X, y, 0, rng)
+        return self
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """(n, 2) class probabilities."""
+        if self.root_ is None:
+            raise NotFittedError("DecisionTreeClassifier used before fit")
+        X = np.asarray(X, dtype=float)
+        p1 = np.empty(X.shape[0])
+        for i in range(X.shape[0]):
+            node = self.root_
+            while not node.is_leaf:
+                node = (
+                    node.left
+                    if X[i, node.feature] <= node.threshold
+                    else node.right
+                )
+            p1[i] = node.prediction
+        return np.stack([1.0 - p1, p1], axis=1)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """0/1 predictions at the 0.5 threshold."""
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y.astype(np.int64)))
+
+    def normalized_importances(self) -> np.ndarray:
+        """Impurity-decrease feature importances, normalized to sum 1."""
+        if self._importance_gain is None:
+            raise NotFittedError("DecisionTreeClassifier used before fit")
+        total = self._importance_gain.sum()
+        if total == 0.0:
+            return np.full(self.n_features_, 1.0 / max(self.n_features_, 1))
+        return self._importance_gain / total
+
+    @property
+    def depth(self) -> int:
+        """Realized tree depth."""
+        if self.root_ is None:
+            raise NotFittedError("DecisionTreeClassifier used before fit")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+    @property
+    def n_leaves(self) -> int:
+        """Leaf count."""
+        if self.root_ is None:
+            raise NotFittedError("DecisionTreeClassifier used before fit")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self.root_)
+
+
+def _gini_vec(p: np.ndarray) -> np.ndarray:
+    return 2.0 * p * (1.0 - p)
+
+
+class RandomForestClassifier:
+    """Bagged ensemble of CART trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_trees: int = 30,
+        max_depth: int = 10,
+        min_samples_split: int = 6,
+        max_features: int | str | None = "sqrt",
+        seed: int = 0,
+    ):
+        if n_trees < 1:
+            raise FitError("need at least one tree")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: list[DecisionTreeClassifier] = []
+        self.n_features_: int = 0
+
+    def _resolve_max_features(self, p: int) -> int | None:
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(p)))
+        if self.max_features is None:
+            return None
+        return int(self.max_features)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        """Fit the ensemble (bootstrap rows, subsampled features)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.shape != (X.shape[0],):
+            raise FitError("bad shapes for forest fit")
+        n, p = X.shape
+        self.n_features_ = p
+        mf = self._resolve_max_features(p)
+        rng = np.random.default_rng(self.seed)
+        self.trees_ = []
+        for t in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=mf,
+                seed=self.seed * 1_000_003 + t,
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Ensemble-averaged class probabilities."""
+        if not self.trees_:
+            raise NotFittedError("RandomForestClassifier used before fit")
+        p1 = np.mean(
+            [t.predict_proba(X)[:, 1] for t in self.trees_], axis=0
+        )
+        return np.stack([1.0 - p1, p1], axis=1)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority-probability predictions."""
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y.astype(np.int64)))
+
+    def normalized_importances(self) -> np.ndarray:
+        """Mean of the trees' impurity importances (sums to 1)."""
+        if not self.trees_:
+            raise NotFittedError("RandomForestClassifier used before fit")
+        imp = np.mean(
+            [t.normalized_importances() for t in self.trees_], axis=0
+        )
+        total = imp.sum()
+        return imp / total if total else imp

@@ -1,0 +1,183 @@
+"""Thread placement: ``OMP_PLACES`` x ``OMP_PROC_BIND`` -> cores.
+
+Reproduces libomp's distribution rules:
+
+- ``false`` (or everything unset): threads are *unbound*.  The OS load
+  balancer spreads them across all cores — modeled as round-robin over the
+  machine — but they migrate over time, which costs locality (see
+  :attr:`ThreadPlacement.bound`).
+- ``master``: every thread is bound to the master thread's place, i.e. the
+  place containing core 0.  With more threads than that place has cores the
+  team is oversubscribed — the "worst trend" of paper Sec. V-4.
+- ``close``: consecutive threads pack into consecutive places (blocked
+  distribution).
+- ``spread`` (and ``true``, which libomp maps to the same distribution in
+  the swept configurations — the paper's Table VII groups "spread/true"):
+  threads interleave across places (cyclic distribution), maximizing the
+  hardware spread.
+
+When ``OMP_PROC_BIND`` requests binding but ``OMP_PLACES`` is unset, libomp
+synthesizes a per-core place list; we do the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.topology import MachineTopology, Place, PlaceKind
+from repro.errors import ConfigError
+from repro.runtime.icv import BindPolicy, ResolvedICVs
+
+__all__ = ["ThreadPlacement", "compute_placement"]
+
+
+@dataclass(frozen=True)
+class ThreadPlacement:
+    """Resolved thread -> hardware mapping for one team.
+
+    Attributes
+    ----------
+    cores:
+        Core id per thread (the core the thread runs on / starts on).
+    bound:
+        Whether threads are pinned.  Unbound threads migrate, paying the
+        locality penalties the kernel cost model charges.
+    oversubscription:
+        Per-thread count of team threads sharing its core (>= 1).
+    """
+
+    machine: MachineTopology
+    cores: np.ndarray = field(repr=False)
+    bound: bool
+
+    def __post_init__(self) -> None:
+        if self.cores.ndim != 1 or self.cores.shape[0] < 1:
+            raise ConfigError("placement needs at least one thread")
+
+    @property
+    def nthreads(self) -> int:
+        """Team size."""
+        return int(self.cores.shape[0])
+
+    @property
+    def oversubscription(self) -> np.ndarray:
+        """Per-thread number of team threads mapped to the same core."""
+        _, inverse, counts = np.unique(
+            self.cores, return_inverse=True, return_counts=True
+        )
+        return counts[inverse]
+
+    @property
+    def max_oversubscription(self) -> int:
+        """Worst per-core thread pile-up (1 = no sharing)."""
+        return int(self.oversubscription.max())
+
+    @property
+    def numa_nodes(self) -> np.ndarray:
+        """NUMA node per thread."""
+        return self.cores // self.machine.cores_per_numa
+
+    @property
+    def sockets(self) -> np.ndarray:
+        """Socket per thread."""
+        return self.cores // self.machine.cores_per_socket
+
+    @property
+    def llcs(self) -> np.ndarray:
+        """LLC group per thread."""
+        return self.cores // self.machine.cores_per_llc
+
+    @property
+    def n_numa_used(self) -> int:
+        """Distinct NUMA nodes the team touches."""
+        return int(np.unique(self.numa_nodes).shape[0])
+
+    @property
+    def n_llc_used(self) -> int:
+        """Distinct LLC groups the team touches."""
+        return int(np.unique(self.llcs).shape[0])
+
+    def effective_speed(self) -> np.ndarray:
+        """Per-thread execution-rate multiplier from core sharing.
+
+        A core timeshared by ``k`` team threads runs each at ``1/k``.
+        """
+        return 1.0 / self.oversubscription.astype(float)
+
+    def mean_numa_distance_to_local_data(self) -> float:
+        """Average access cost assuming each thread's data was first-touched
+        on its *initial* node.
+
+        Bound teams keep distance 1.0; unbound teams migrate and end up a
+        blend of local and machine-average distance.
+        """
+        if self.bound:
+            return 1.0
+        m = self.machine
+        # Unbound: a migrated thread's pages stay behind. Weight: threads
+        # spend ~half their life off their first-touch node on a busy box.
+        return 0.5 * 1.0 + 0.5 * m.mean_numa_distance()
+
+
+def _round_robin_cores(place: Place, count: int, start: int = 0) -> list[int]:
+    """Assign ``count`` threads to a place's cores round-robin."""
+    width = place.width
+    return [place.cores[(start + i) % width] for i in range(count)]
+
+
+def compute_placement(
+    icvs: ResolvedICVs, machine: MachineTopology
+) -> ThreadPlacement:
+    """Map a resolved team onto cores per places + binding policy."""
+    nthreads = icvs.nthreads
+    bind = icvs.bind
+
+    if bind is BindPolicy.FALSE:
+        # Unbound: the OS balances across all cores; migration modeled via
+        # bound=False downstream.
+        cores = np.arange(nthreads) % machine.n_cores
+        return ThreadPlacement(machine=machine, cores=cores, bound=False)
+
+    # Binding requested: materialize the place list. An unset OMP_PLACES
+    # with an explicit binding policy synthesizes per-core places.
+    place_kind = icvs.places
+    if place_kind is PlaceKind.UNSET:
+        place_kind = PlaceKind.CORES
+    places = machine.places(place_kind)
+    n_places = len(places)
+
+    if bind is BindPolicy.MASTER:
+        # All threads to the master's place (the one holding core 0).
+        master_place = next(p for p in places if 0 in p.cores)
+        cores = np.asarray(_round_robin_cores(master_place, nthreads))
+        return ThreadPlacement(machine=machine, cores=cores, bound=True)
+
+    if bind is BindPolicy.CLOSE:
+        # Blocked: consecutive threads fill each place before the next.
+        per_place = -(-nthreads // n_places)  # ceil
+        cores = np.empty(nthreads, dtype=np.int64)
+        fill: dict[int, int] = {}
+        for t in range(nthreads):
+            p = min(t // per_place, n_places - 1)
+            k = fill.get(p, 0)
+            fill[p] = k + 1
+            cores[t] = places[p].cores[k % places[p].width]
+        return ThreadPlacement(machine=machine, cores=cores, bound=True)
+
+    if bind in (BindPolicy.SPREAD, BindPolicy.TRUE):
+        # Sparse distribution: thread t -> place floor(t*P/T), which spaces
+        # threads across the place list when T < P and degenerates to the
+        # same block distribution as close when T >= P (the place list is
+        # subpartitioned, per the OpenMP spec).
+        cores = np.empty(nthreads, dtype=np.int64)
+        fill = {}
+        for t in range(nthreads):
+            p = min(t * n_places // nthreads, n_places - 1)
+            k = fill.get(p, 0)
+            fill[p] = k + 1
+            cores[t] = places[p].cores[k % places[p].width]
+        return ThreadPlacement(machine=machine, cores=cores, bound=True)
+
+    raise ConfigError(f"unresolvable bind policy {bind}")

@@ -1,0 +1,147 @@
+"""Per-architecture runtime-internal cost constants.
+
+These calibrate the simulated libomp's primitive operations on each study
+machine.  Magnitudes follow published microbenchmark lore (EPCC OpenMP
+microbenchmarks, futex wake latencies, cache-line transfer costs) with two
+architecture-level regularities that drive the paper's shapes:
+
+- **A64FX** has weak scalar cores and slow syscall/futex paths, so anything
+  involving the OS (passive waiting, wakes after blocktime) is several times
+  more expensive than on the x86 servers — the root of NQueens' huge
+  ``KMP_LIBRARY=turnaround`` win there,
+- **Milan**'s many small NUMA domains give it a high memory-congestion
+  exponent: oversaturating its per-NUMA bandwidth degrades superlinearly,
+  which is why thread-count/binding tuning pays most on Milan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.topology import MachineTopology
+from repro.errors import UnknownMachine
+
+__all__ = ["RuntimeCosts", "RUNTIME_COSTS", "get_costs", "work_seconds"]
+
+
+@dataclass(frozen=True)
+class RuntimeCosts:
+    """Primitive-operation costs for one machine (microseconds unless noted)."""
+
+    arch: str
+    #: Fork: team activation base cost and per-thread release cost.
+    fork_base_us: float
+    fork_per_thread_us: float
+    #: Join barrier: per-tree-level cost (multiplied by log2(T)).
+    barrier_step_us: float
+    #: Futex wake of one sleeping worker (amortized over a tree wake).
+    wake_latency_us: float
+    #: Dynamic-schedule chunk grab (uncontended), nanoseconds.
+    dispatch_ns: float
+    #: Contended atomic read-modify-write on a shared line, nanoseconds.
+    atomic_ns: float
+    #: Critical-section handoff (lock transfer between cores), nanoseconds.
+    critical_ns: float
+    #: One level of a tree reduction (partner line transfer), microseconds.
+    tree_step_us: float
+    #: Steal attempt while spinning (turnaround / active waiting).
+    spin_steal_us: float
+    #: Steal attempt in yielding mode (throughput / passive waiting).
+    os_yield_us: float
+    #: Task spawn bookkeeping (push to deque).
+    spawn_us: float
+    #: Probability a task spawn must futex-wake a sleeping worker under
+    #: passive waiting (0 under active waiting).
+    wake_fraction_passive: float
+    #: Same with KMP_BLOCKTIME=0 (threads sleep immediately, so nearly
+    #: every idle period ends in a wake).
+    wake_fraction_blocktime0: float
+    #: Superlinear memory-congestion exponent coefficient (dimensionless).
+    congestion_gamma: float
+    #: Fraction of machine bandwidth reachable by an unbound team (pages
+    #: scattered by the OS; some traffic crosses NUMA links).
+    unbound_bw_efficiency: float
+
+
+RUNTIME_COSTS: dict[str, RuntimeCosts] = {
+    # Weak cores, slow OS paths, fat HBM: runtime overheads loom large,
+    # memory almost never saturates.
+    "a64fx": RuntimeCosts(
+        arch="a64fx",
+        fork_base_us=4.0,
+        fork_per_thread_us=0.10,
+        barrier_step_us=1.4,
+        wake_latency_us=30.0,
+        dispatch_ns=160.0,
+        atomic_ns=180.0,
+        critical_ns=700.0,
+        tree_step_us=1.1,
+        spin_steal_us=0.55,
+        os_yield_us=4.5,
+        spawn_us=0.45,
+        wake_fraction_passive=0.28,
+        wake_fraction_blocktime0=0.55,
+        congestion_gamma=0.8,
+        unbound_bw_efficiency=0.90,
+    ),
+    # Two fat sockets, big shared L3s, ample per-socket bandwidth for 20
+    # cores: a forgiving machine.
+    "skylake": RuntimeCosts(
+        arch="skylake",
+        fork_base_us=1.2,
+        fork_per_thread_us=0.05,
+        barrier_step_us=0.55,
+        wake_latency_us=6.0,
+        dispatch_ns=45.0,
+        atomic_ns=60.0,
+        critical_ns=260.0,
+        tree_step_us=0.40,
+        spin_steal_us=0.20,
+        os_yield_us=1.6,
+        spawn_us=0.22,
+        wake_fraction_passive=0.22,
+        wake_fraction_blocktime0=0.45,
+        congestion_gamma=1.2,
+        unbound_bw_efficiency=0.88,
+    ),
+    # 96 cores over 8 NUMA nodes at NPS4: fabric congestion punishes
+    # bandwidth oversubscription hard.
+    "milan": RuntimeCosts(
+        arch="milan",
+        fork_base_us=1.6,
+        fork_per_thread_us=0.045,
+        barrier_step_us=0.65,
+        wake_latency_us=6.0,
+        dispatch_ns=55.0,
+        atomic_ns=75.0,
+        critical_ns=330.0,
+        tree_step_us=0.55,
+        spin_steal_us=0.22,
+        os_yield_us=1.3,
+        spawn_us=0.24,
+        wake_fraction_passive=0.15,
+        wake_fraction_blocktime0=0.40,
+        congestion_gamma=2.6,
+        unbound_bw_efficiency=0.75,
+    ),
+}
+
+
+def get_costs(arch: str) -> RuntimeCosts:
+    """Cost table for a machine name."""
+    try:
+        return RUNTIME_COSTS[arch.lower()]
+    except KeyError:
+        raise UnknownMachine(
+            f"no runtime cost table for {arch!r}; have {sorted(RUNTIME_COSTS)}"
+        ) from None
+
+
+def work_seconds(work_units: float, machine: MachineTopology) -> float:
+    """Convert abstract work units to seconds on one core of ``machine``.
+
+    One work unit is defined as one second of execution on a reference
+    core (``core_perf == 1.0``) at 1 GHz; real cores scale by
+    ``core_perf * clock_ghz``.
+    """
+    return work_units / (machine.core_perf * machine.clock_ghz)

@@ -1,0 +1,141 @@
+"""Execution traces and Chrome-trace export.
+
+Turns an executor's per-phase breakdown into a structured
+:class:`ExecutionTrace` — per-phase wall times, shares, categories — and
+exports it in the Chrome trace-event JSON format (``chrome://tracing`` /
+Perfetto), giving users the timeline view performance engineers expect
+from a runtime tool.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.arch.topology import MachineTopology
+from repro.errors import SimulationError
+from repro.frame.table import Table
+from repro.runtime.executor import RuntimeExecutor
+from repro.runtime.icv import EnvConfig
+from repro.runtime.program import Program
+
+__all__ = ["TraceEvent", "ExecutionTrace", "trace_execution"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One phase occurrence on the timeline."""
+
+    name: str
+    kind: str  # serial | loop | task
+    start_s: float
+    duration_s: float
+    trips: int
+
+    @property
+    def end_s(self) -> float:
+        """Timeline end of the event."""
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class ExecutionTrace:
+    """A whole-program timeline under one configuration."""
+
+    program: str
+    arch: str
+    config: dict
+    events: tuple[TraceEvent, ...]
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end wall time."""
+        return self.events[-1].end_s if self.events else 0.0
+
+    @property
+    def parallel_fraction(self) -> float:
+        """Share of wall time inside parallel phases."""
+        if not self.events:
+            return 0.0
+        par = sum(e.duration_s for e in self.events if e.kind != "serial")
+        return par / self.total_s if self.total_s else 0.0
+
+    def to_table(self) -> Table:
+        """Per-phase breakdown as a table (name, kind, seconds, share)."""
+        total = self.total_s or 1.0
+        return Table.from_records(
+            [
+                {
+                    "phase": e.name,
+                    "kind": e.kind,
+                    "trips": e.trips,
+                    "seconds": e.duration_s,
+                    "share": e.duration_s / total,
+                }
+                for e in self.events
+            ]
+        )
+
+    def to_chrome_trace(self) -> str:
+        """Chrome trace-event JSON (load in chrome://tracing or Perfetto)."""
+        events = []
+        for e in self.events:
+            events.append(
+                {
+                    "name": e.name,
+                    "cat": e.kind,
+                    "ph": "X",  # complete event
+                    "ts": e.start_s * 1e6,  # microseconds
+                    "dur": e.duration_s * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"trips": e.trips, "kind": e.kind},
+                }
+            )
+        doc = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "program": self.program,
+                "arch": self.arch,
+                "config": self.config,
+            },
+        }
+        return json.dumps(doc, indent=1)
+
+    def save_chrome_trace(self, path: str | Path) -> None:
+        """Write the Chrome trace JSON to a file."""
+        Path(path).write_text(self.to_chrome_trace(), encoding="utf-8")
+
+
+def trace_execution(
+    program: Program,
+    machine: MachineTopology,
+    config: EnvConfig,
+    fidelity: str = "analytic",
+) -> ExecutionTrace:
+    """Execute ``program`` and return its phase timeline."""
+    executor = RuntimeExecutor(machine, config, fidelity=fidelity)
+    costs = executor.phase_costs(program)
+    if not costs:
+        raise SimulationError("program produced no phases")
+    events = []
+    clock = 0.0
+    for c in costs:
+        events.append(
+            TraceEvent(
+                name=c.name,
+                kind=c.kind,
+                start_s=clock,
+                duration_s=c.seconds,
+                trips=c.trips,
+            )
+        )
+        clock += c.seconds
+    return ExecutionTrace(
+        program=program.name,
+        arch=machine.name,
+        config=config.as_env(),
+        events=tuple(events),
+    )

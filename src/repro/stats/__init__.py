@@ -1,0 +1,31 @@
+"""Statistics substrate.
+
+Implements the statistical machinery the paper's methodology section uses:
+
+- :func:`~repro.stats.wilcoxon.wilcoxon_signed_rank` — the Wilcoxon
+  signed-rank test (Table III) with exact small-sample and tie-corrected
+  normal-approximation p-values,
+- :mod:`~repro.stats.descriptive` — mean/std/median/percentile summaries
+  (Table IV),
+- :mod:`~repro.stats.distribution` — gaussian KDE and violin-shape
+  computation backing the violin plots (Figs. 1, 5-7).
+"""
+
+from repro.stats.wilcoxon import WilcoxonResult, wilcoxon_signed_rank
+from repro.stats.descriptive import Summary, summarize, geometric_mean
+from repro.stats.distribution import GaussianKDE, ViolinStats, violin_stats
+from repro.stats.bootstrap import BootstrapCI, bootstrap_ci, bootstrap_speedup_ratio
+
+__all__ = [
+    "WilcoxonResult",
+    "wilcoxon_signed_rank",
+    "Summary",
+    "summarize",
+    "geometric_mean",
+    "GaussianKDE",
+    "ViolinStats",
+    "violin_stats",
+    "BootstrapCI",
+    "bootstrap_ci",
+    "bootstrap_speedup_ratio",
+]

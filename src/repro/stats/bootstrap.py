@@ -1,0 +1,112 @@
+"""Bootstrap confidence intervals.
+
+The paper reports point estimates (speedup ranges, medians) from a single
+sweep; bootstrap resampling adds the uncertainty the point estimates hide.
+Used by the benchmark harness to attach confidence intervals to the
+Table V/VI reproduction and by users comparing configurations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StatsError
+
+__all__ = ["BootstrapCI", "bootstrap_ci", "bootstrap_speedup_ratio"]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A point estimate with a percentile-bootstrap confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    n_resamples: int
+
+    def __contains__(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        """Interval width."""
+        return self.high - self.low
+
+    def __str__(self) -> str:
+        pct = int(round(self.confidence * 100))
+        return (
+            f"{self.estimate:.4g} [{self.low:.4g}, {self.high:.4g}] "
+            f"({pct}% CI)"
+        )
+
+
+def bootstrap_ci(
+    sample: np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.median,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Percentile-bootstrap CI of ``statistic`` over a 1-D sample."""
+    sample = np.asarray(sample, dtype=float)
+    if sample.ndim != 1 or sample.shape[0] == 0:
+        raise StatsError("bootstrap needs a non-empty 1-D sample")
+    if not 0.0 < confidence < 1.0:
+        raise StatsError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 10:
+        raise StatsError("need at least 10 resamples")
+    rng = np.random.default_rng(seed)
+    n = sample.shape[0]
+    stats = np.empty(n_resamples)
+    for i in range(n_resamples):
+        stats[i] = statistic(sample[rng.integers(0, n, size=n)])
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(stats, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        estimate=float(statistic(sample)),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )
+
+
+def bootstrap_speedup_ratio(
+    baseline_runtimes: np.ndarray,
+    tuned_runtimes: np.ndarray,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """CI on ``mean(baseline) / mean(tuned)`` from repeated measurements.
+
+    The right tool for "is this configuration really faster, given the
+    machine's noise?" — a speedup whose CI includes 1.0 is not
+    established.
+    """
+    baseline = np.asarray(baseline_runtimes, dtype=float)
+    tuned = np.asarray(tuned_runtimes, dtype=float)
+    if baseline.size == 0 or tuned.size == 0:
+        raise StatsError("need non-empty baseline and tuned samples")
+    if (baseline <= 0).any() or (tuned <= 0).any():
+        raise StatsError("runtimes must be positive")
+    rng = np.random.default_rng(seed)
+    ratios = np.empty(n_resamples)
+    for i in range(n_resamples):
+        b = baseline[rng.integers(0, baseline.size, size=baseline.size)]
+        t = tuned[rng.integers(0, tuned.size, size=tuned.size)]
+        ratios[i] = b.mean() / t.mean()
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(ratios, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        estimate=float(baseline.mean() / tuned.mean()),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )

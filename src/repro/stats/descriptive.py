@@ -1,0 +1,95 @@
+"""Descriptive statistics used throughout the analysis pipeline.
+
+Backs Table IV (per-run-index mean/std of runtimes) and the headline
+speedup-range/median numbers in Sec. V-1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StatsError
+
+__all__ = ["Summary", "summarize", "geometric_mean", "coefficient_of_variation"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+    @property
+    def range(self) -> float:
+        """Max minus min."""
+        return self.maximum - self.minimum
+
+    def as_dict(self) -> dict[str, float]:
+        """Summary as a plain dict (for table construction)."""
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: np.ndarray) -> Summary:
+    """Compute a :class:`Summary` of a 1-D numeric sample.
+
+    Uses the sample standard deviation (ddof=1) like the paper's Table IV;
+    a single observation reports ``std == 0``.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.shape[0] == 0:
+        raise StatsError(f"need a non-empty 1-D sample, got shape {values.shape}")
+    if np.isnan(values).any():
+        raise StatsError("sample contains NaN")
+    q1, med, q3 = np.percentile(values, [25.0, 50.0, 75.0])
+    std = float(np.std(values, ddof=1)) if values.shape[0] > 1 else 0.0
+    return Summary(
+        n=int(values.shape[0]),
+        mean=float(np.mean(values)),
+        std=std,
+        minimum=float(np.min(values)),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(np.max(values)),
+    )
+
+
+def geometric_mean(values: np.ndarray) -> float:
+    """Geometric mean of a strictly positive sample (natural for speedups)."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.shape[0] == 0:
+        raise StatsError(f"need a non-empty 1-D sample, got shape {values.shape}")
+    if (values <= 0).any():
+        raise StatsError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def coefficient_of_variation(values: np.ndarray) -> float:
+    """Sample std over mean — the noise metric used to compare machines."""
+    s = summarize(values)
+    if s.mean == 0:
+        raise StatsError("coefficient of variation undefined for zero mean")
+    return s.std / abs(s.mean)

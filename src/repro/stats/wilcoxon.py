@@ -1,0 +1,172 @@
+"""Wilcoxon signed-rank test.
+
+The paper (Sec. IV-C, Table III) applies the Wilcoxon signed-rank test to
+pairs of repeated runs (R0, R1), (R1, R2), ... of every configuration to
+decide whether repeated measurements of the same configuration differ
+significantly — high p-values indicate consistent (low-noise) machines
+(A64FX), low p-values indicate noisy ones (Skylake/Milan X86).
+
+This module implements the test from scratch:
+
+- zero-differences are discarded (Wilcoxon's original treatment, matching
+  ``scipy.stats.wilcoxon(zero_method="wilcox")``),
+- ties are mid-ranked with the standard tie correction to the variance,
+- for small samples (n <= 25) without ties an exact p-value is computed by
+  dynamic programming over the distribution of the signed-rank statistic,
+- otherwise the normal approximation with continuity correction is used.
+
+The returned statistic is ``W = min(W+, W-)`` as in the two-sided test,
+matching scipy's convention; tests cross-validate against scipy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StatsError
+
+__all__ = ["WilcoxonResult", "wilcoxon_signed_rank", "rankdata"]
+
+
+def rankdata(values: np.ndarray) -> np.ndarray:
+    """Rank data, averaging the ranks of ties (1-based, "midranks").
+
+    Equivalent to ``scipy.stats.rankdata(values, method="average")``.
+    """
+    values = np.asarray(values, dtype=float)
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(values.shape[0], dtype=float)
+    sorted_vals = values[order]
+    i = 0
+    n = values.shape[0]
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        avg_rank = 0.5 * (i + j) + 1.0  # mean of 1-based ranks i+1..j+1
+        ranks[order[i:j + 1]] = avg_rank
+        i = j + 1
+    return ranks
+
+
+def _exact_sf(n: int, w_small: float) -> float:
+    """Exact two-sided p-value for the signed-rank statistic, no ties.
+
+    Computes ``P(W <= w_small)`` by dynamic programming over the number of
+    subsets of {1..n} with each possible rank-sum, then doubles it (capped at
+    1.0), matching the classical two-sided exact test.
+    """
+    max_sum = n * (n + 1) // 2
+    # counts[s] = number of sign assignments with positive-rank-sum == s
+    counts = np.zeros(max_sum + 1, dtype=float)
+    counts[0] = 1.0
+    for rank in range(1, n + 1):
+        shifted = np.zeros_like(counts)
+        shifted[rank:] = counts[:max_sum + 1 - rank]
+        counts = counts + shifted
+    total = 2.0 ** n
+    w = int(math.floor(w_small + 1e-12))
+    cdf = counts[: w + 1].sum() / total
+    return float(min(1.0, 2.0 * cdf))
+
+
+@dataclass(frozen=True)
+class WilcoxonResult:
+    """Outcome of a Wilcoxon signed-rank test.
+
+    Attributes
+    ----------
+    statistic:
+        ``min(W+, W-)`` — the smaller of the positive/negative rank sums.
+    pvalue:
+        Two-sided p-value.
+    n_used:
+        Number of non-zero differences actually ranked.
+    zstat:
+        Normal-approximation z statistic (``nan`` when the exact path ran).
+    method:
+        ``"exact"`` or ``"approx"``.
+    """
+
+    statistic: float
+    pvalue: float
+    n_used: int
+    zstat: float
+    method: str
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the paired samples differ at level ``alpha``."""
+        return self.pvalue < alpha
+
+
+def wilcoxon_signed_rank(
+    x: np.ndarray,
+    y: np.ndarray | None = None,
+    *,
+    exact_threshold: int = 25,
+) -> WilcoxonResult:
+    """Two-sided Wilcoxon signed-rank test on paired samples.
+
+    Parameters
+    ----------
+    x, y:
+        Paired measurement vectors.  If ``y`` is omitted, ``x`` is taken to
+        be the vector of differences directly.
+    exact_threshold:
+        Largest ``n`` (after zero removal) for which the exact distribution
+        is used when there are no ties.
+
+    Raises
+    ------
+    StatsError
+        If inputs mismatch in length or all differences are zero.
+    """
+    x = np.asarray(x, dtype=float)
+    if y is not None:
+        y = np.asarray(y, dtype=float)
+        if x.shape != y.shape:
+            raise StatsError(
+                f"paired samples differ in shape: {x.shape} vs {y.shape}"
+            )
+        d = x - y
+    else:
+        d = x
+    if d.ndim != 1:
+        raise StatsError(f"expected 1-D samples, got shape {d.shape}")
+
+    d = d[d != 0.0]
+    n = d.shape[0]
+    if n == 0:
+        raise StatsError("all paired differences are zero; test undefined")
+
+    abs_d = np.abs(d)
+    ranks = rankdata(abs_d)
+    w_plus = float(ranks[d > 0].sum())
+    w_minus = float(ranks[d < 0].sum())
+    statistic = min(w_plus, w_minus)
+
+    has_ties = len(np.unique(abs_d)) != n
+    if n <= exact_threshold and not has_ties:
+        p = _exact_sf(n, statistic)
+        return WilcoxonResult(statistic, p, n, float("nan"), "exact")
+
+    mean = n * (n + 1) / 4.0
+    var = n * (n + 1) * (2 * n + 1) / 24.0
+    # Tie correction: subtract sum(t^3 - t)/48 over tie groups.
+    _, counts = np.unique(abs_d, return_counts=True)
+    tie_term = float(((counts.astype(float) ** 3) - counts).sum()) / 48.0
+    var -= tie_term
+    if var <= 0:
+        raise StatsError("zero variance in signed-rank statistic (all ties)")
+    # Continuity correction of 0.5 toward the mean.
+    z = (statistic - mean + 0.5) / math.sqrt(var)
+    p = float(min(1.0, 2.0 * _norm_sf(abs(z))))
+    return WilcoxonResult(statistic, p, n, z, "approx")
+
+
+def _norm_sf(z: float) -> float:
+    """Standard normal survival function via erfc."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))

@@ -1,0 +1,27 @@
+"""Visualization: SVG violin plots and influence heat maps.
+
+Matplotlib is not available offline, so the figures are rendered as
+self-contained SVG documents via a small primitive layer
+(:mod:`~repro.viz.svg`), with terminal-text fallbacks
+(:mod:`~repro.viz.text`) for quick inspection:
+
+- :func:`~repro.viz.violin.violin_plot` — Figs. 1, 5-7 (runtime
+  distributions over the full sweep, one violin per architecture x input
+  setting),
+- :func:`~repro.viz.heatmap.heatmap` — Figs. 2-4 (feature-influence
+  matrices; darker = more influential).
+"""
+
+from repro.viz.svg import SVGCanvas
+from repro.viz.violin import violin_plot
+from repro.viz.heatmap import heatmap, influence_heatmap
+from repro.viz.text import text_heatmap, text_histogram
+
+__all__ = [
+    "SVGCanvas",
+    "violin_plot",
+    "heatmap",
+    "influence_heatmap",
+    "text_heatmap",
+    "text_histogram",
+]

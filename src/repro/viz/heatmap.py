@@ -1,0 +1,104 @@
+"""Influence heat maps (Figs. 2-4): darker cell = larger influence."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.influence import InfluenceMatrix
+from repro.errors import VizError
+from repro.viz.svg import SVGCanvas
+
+__all__ = ["heatmap", "influence_heatmap"]
+
+
+def _shade(value: float, vmax: float) -> str:
+    """Map [0, vmax] to a white -> dark-blue ramp."""
+    if vmax <= 0:
+        t = 0.0
+    else:
+        t = min(max(value / vmax, 0.0), 1.0)
+    # Interpolate white (255,255,255) -> dark blue (16, 42, 99).
+    r = int(round(255 + (16 - 255) * t))
+    g = int(round(255 + (42 - 255) * t))
+    b = int(round(255 + (99 - 255) * t))
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def heatmap(
+    matrix: np.ndarray,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: str = "",
+    cell: float = 34.0,
+    annotate: bool = True,
+) -> SVGCanvas:
+    """Render a (rows x cols) matrix as a shaded grid."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise VizError(f"heatmap needs a 2-D matrix, got shape {matrix.shape}")
+    n_rows, n_cols = matrix.shape
+    if n_rows != len(row_labels) or n_cols != len(col_labels):
+        raise VizError("label counts must match matrix shape")
+
+    margin_l = 10 + 7.2 * max((len(l) for l in row_labels), default=4)
+    margin_t = 30 + 5.6 * max((len(l) for l in col_labels), default=4)
+    width = margin_l + cell * n_cols + 20
+    height = margin_t + cell * n_rows + 20
+
+    canvas = SVGCanvas(width, height)
+    if title:
+        canvas.text(width / 2, 18, title, size=14, anchor="middle")
+
+    vmax = float(matrix.max()) if matrix.size else 1.0
+    for j, cl in enumerate(col_labels):
+        canvas.text(
+            margin_l + cell * (j + 0.5) + 4,
+            margin_t - 6,
+            cl,
+            size=10,
+            anchor="start",
+            rotate=-55,
+        )
+    for i, rl in enumerate(row_labels):
+        canvas.text(
+            margin_l - 6,
+            margin_t + cell * (i + 0.5) + 4,
+            rl,
+            size=10,
+            anchor="end",
+        )
+        for j in range(n_cols):
+            v = float(matrix[i, j])
+            canvas.rect(
+                margin_l + cell * j,
+                margin_t + cell * i,
+                cell,
+                cell,
+                fill=_shade(v, vmax),
+                stroke="#ccc",
+                stroke_width=0.5,
+                title=f"{rl} / {col_labels[j]}: {v:.3f}",
+            )
+            if annotate:
+                dark = vmax > 0 and v / vmax > 0.55
+                canvas.text(
+                    margin_l + cell * (j + 0.5),
+                    margin_t + cell * (i + 0.62),
+                    f"{v:.2f}",
+                    size=9,
+                    anchor="middle",
+                    fill="#eee" if dark else "#333",
+                )
+    return canvas
+
+
+def influence_heatmap(influence: InfluenceMatrix, title: str = "") -> SVGCanvas:
+    """Heat map straight from an :class:`InfluenceMatrix` (Figs. 2-4)."""
+    return heatmap(
+        influence.matrix(),
+        influence.row_labels,
+        list(influence.feature_names),
+        title=title or f"Feature influence ({influence.grouping})",
+    )

@@ -1,0 +1,151 @@
+"""Minimal SVG document builder.
+
+Just enough vector primitives for the reproduction's figures: paths,
+polygons, rectangles, lines and text, with sane defaults and numeric
+formatting that keeps files small.  No external dependencies.
+"""
+
+from __future__ import annotations
+
+import io
+from xml.sax.saxutils import escape
+
+from repro.errors import VizError
+
+__all__ = ["SVGCanvas"]
+
+
+def _fmt(x: float) -> str:
+    """Compact numeric formatting for attribute values."""
+    if x == int(x):
+        return str(int(x))
+    return f"{x:.2f}"
+
+
+class SVGCanvas:
+    """An append-only SVG document of fixed size."""
+
+    def __init__(self, width: float, height: float, background: str = "white"):
+        if width <= 0 or height <= 0:
+            raise VizError(f"canvas size must be positive, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self._parts: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # ------------------------------------------------------------------
+    def rect(
+        self,
+        x: float,
+        y: float,
+        w: float,
+        h: float,
+        fill: str = "none",
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+        title: str | None = None,
+    ) -> None:
+        """Axis-aligned rectangle; ``title`` adds a hover tooltip."""
+        body = (
+            f'<rect x="{_fmt(x)}" y="{_fmt(y)}" width="{_fmt(w)}" '
+            f'height="{_fmt(h)}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{_fmt(stroke_width)}" opacity="{_fmt(opacity)}"'
+        )
+        if title:
+            self._parts.append(f"{body}><title>{escape(title)}</title></rect>")
+        else:
+            self._parts.append(f"{body}/>")
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        dash: str | None = None,
+    ) -> None:
+        """Straight line segment."""
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._parts.append(
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" '
+            f'y2="{_fmt(y2)}" stroke="{stroke}" '
+            f'stroke-width="{_fmt(stroke_width)}"{dash_attr}/>'
+        )
+
+    def polygon(
+        self,
+        points: list[tuple[float, float]],
+        fill: str = "steelblue",
+        stroke: str = "none",
+        opacity: float = 1.0,
+    ) -> None:
+        """Closed polygon from a vertex list."""
+        if len(points) < 3:
+            raise VizError("polygon needs at least 3 points")
+        pts = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self._parts.append(
+            f'<polygon points="{pts}" fill="{fill}" stroke="{stroke}" '
+            f'opacity="{_fmt(opacity)}"/>'
+        )
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        fill: str = "black",
+        stroke: str = "none",
+    ) -> None:
+        """Filled circle marker."""
+        self._parts.append(
+            f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{_fmt(r)}" '
+            f'fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: float = 12.0,
+        anchor: str = "start",
+        rotate: float = 0.0,
+        fill: str = "black",
+        family: str = "sans-serif",
+    ) -> None:
+        """Text; ``anchor`` in start/middle/end; ``rotate`` in degrees
+        about the anchor point."""
+        transform = (
+            f' transform="rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})"'
+            if rotate
+            else ""
+        )
+        self._parts.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}" font-size="{_fmt(size)}" '
+            f'text-anchor="{anchor}" fill="{fill}" '
+            f'font-family="{family}"{transform}>{escape(content)}</text>'
+        )
+
+    # ------------------------------------------------------------------
+    def to_string(self) -> str:
+        """The complete SVG document."""
+        buf = io.StringIO()
+        buf.write(
+            '<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{_fmt(self.width)}" height="{_fmt(self.height)}" '
+            f'viewBox="0 0 {_fmt(self.width)} {_fmt(self.height)}">\n'
+        )
+        for p in self._parts:
+            buf.write(p)
+            buf.write("\n")
+        buf.write("</svg>\n")
+        return buf.getvalue()
+
+    def save(self, path: str) -> None:
+        """Write the document to a file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_string())

@@ -1,0 +1,66 @@
+"""Terminal-text renderings of the figures (for CLI reports and docs)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import VizError
+
+__all__ = ["text_heatmap", "text_histogram"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def text_heatmap(
+    matrix: np.ndarray,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cell_width: int = 6,
+) -> str:
+    """ASCII heat map: denser glyph = larger value (column header first)."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise VizError(f"need a 2-D matrix, got {matrix.shape}")
+    n_rows, n_cols = matrix.shape
+    if n_rows != len(row_labels) or n_cols != len(col_labels):
+        raise VizError("label counts must match matrix shape")
+    vmax = float(matrix.max()) if matrix.size else 1.0
+    label_w = max((len(l) for l in row_labels), default=4)
+
+    # Full column names as a numbered legend; the grid header shows the
+    # numbers (labels like KMP_FORCE_REDUCTION never fit a cell).
+    lines = [
+        "columns: "
+        + "  ".join(f"[{j + 1}] {c}" for j, c in enumerate(col_labels))
+    ]
+    header = " " * (label_w + 1) + "".join(
+        f"[{j + 1}]".ljust(cell_width) for j in range(n_cols)
+    )
+    lines.append(header)
+    for i, rl in enumerate(row_labels):
+        cells = []
+        for j in range(n_cols):
+            v = matrix[i, j]
+            t = 0.0 if vmax <= 0 else min(max(v / vmax, 0.0), 1.0)
+            glyph = _SHADES[int(round(t * (len(_SHADES) - 1)))]
+            cells.append(f"{glyph}{v:4.2f}".ljust(cell_width))
+        lines.append(rl.ljust(label_w) + " " + "".join(cells))
+    return "\n".join(lines)
+
+
+def text_histogram(
+    sample: np.ndarray, bins: int = 24, width: int = 50, title: str = ""
+) -> str:
+    """Horizontal ASCII histogram of a 1-D sample."""
+    sample = np.asarray(sample, dtype=float)
+    if sample.ndim != 1 or sample.size == 0:
+        raise VizError("need a non-empty 1-D sample")
+    counts, edges = np.histogram(sample, bins=bins)
+    peak = counts.max() or 1
+    lines = [title] if title else []
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * c / peak))
+        lines.append(f"{lo:10.4g} - {hi:10.4g} | {bar} {c}")
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Violin plots of runtime distributions (Figs. 1, 5-7).
+
+One violin per (architecture, setting) showing the spread of runtimes over
+the configuration sweep, with median and quartile markers — the figure
+family the paper uses to demonstrate non-normal, widely-spread performance
+distributions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import VizError
+from repro.stats.distribution import ViolinStats, violin_stats
+from repro.viz.svg import SVGCanvas
+
+__all__ = ["violin_plot"]
+
+_PALETTE = ("#4878a8", "#e49444", "#6a9f58", "#b65d60", "#8767a8", "#857aab")
+
+
+def violin_plot(
+    samples: Sequence[np.ndarray],
+    labels: Sequence[str],
+    title: str = "",
+    ylabel: str = "runtime (s)",
+    width: float = 900.0,
+    height: float = 420.0,
+    log_scale: bool = False,
+    markers: Sequence[float] | None = None,
+    extra_markers: Sequence[float | None] | None = None,
+) -> SVGCanvas:
+    """Render one violin per sample.
+
+    Parameters
+    ----------
+    samples, labels:
+        Parallel sequences — one distribution and its x-axis label each.
+    log_scale:
+        Plot on log10(runtime); useful when sweeps span decades (they do).
+    markers:
+        Optional per-violin highlight values (red dots; e.g. each
+        setting's own best configuration).
+    extra_markers:
+        A second marker family (orange diamonds; e.g. where one reference
+        setting's best configuration lands on every *other* setting —
+        Fig. 1's cross-setting marks).  ``None`` entries skip a violin.
+    """
+    if len(samples) != len(labels) or not samples:
+        raise VizError("need equally many non-empty samples and labels")
+    if markers is not None and len(markers) != len(samples):
+        raise VizError("markers must align with samples")
+    if extra_markers is not None and len(extra_markers) != len(samples):
+        raise VizError("extra_markers must align with samples")
+
+    transformed = []
+    for s in samples:
+        s = np.asarray(s, dtype=float)
+        if s.size == 0:
+            raise VizError("empty sample")
+        if log_scale:
+            if (s <= 0).any():
+                raise VizError("log scale requires positive runtimes")
+            s = np.log10(s)
+        transformed.append(s)
+
+    stats: list[ViolinStats] = [
+        violin_stats(s, label=l) for s, l in zip(transformed, labels)
+    ]
+
+    margin_l, margin_r, margin_t, margin_b = 70.0, 20.0, 40.0, 70.0
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    lo = min(float(v.grid.min()) for v in stats)
+    hi = max(float(v.grid.max()) for v in stats)
+    if hi == lo:
+        hi = lo + 1.0
+
+    def y_of(value: float) -> float:
+        return margin_t + plot_h * (1.0 - (value - lo) / (hi - lo))
+
+    canvas = SVGCanvas(width, height)
+    if title:
+        canvas.text(width / 2, 22, title, size=15, anchor="middle")
+    canvas.text(
+        16, margin_t + plot_h / 2,
+        f"log10 {ylabel}" if log_scale else ylabel,
+        size=12, anchor="middle", rotate=-90,
+    )
+
+    # Axes and y ticks.
+    canvas.line(margin_l, margin_t, margin_l, margin_t + plot_h)
+    canvas.line(
+        margin_l, margin_t + plot_h, margin_l + plot_w, margin_t + plot_h
+    )
+    for tick in np.linspace(lo, hi, 6):
+        y = y_of(float(tick))
+        canvas.line(margin_l - 4, y, margin_l, y)
+        canvas.text(margin_l - 8, y + 4, f"{tick:.3g}", size=10, anchor="end")
+
+    slot = plot_w / len(stats)
+    half_max = 0.42 * slot
+    for k, v in enumerate(stats):
+        cx = margin_l + slot * (k + 0.5)
+        color = _PALETTE[k % len(_PALETTE)]
+        peak = v.peak_density or 1.0
+        left = [
+            (cx - half_max * d / peak, y_of(g))
+            for g, d in zip(v.grid.tolist(), v.density.tolist())
+        ]
+        right = [
+            (cx + half_max * d / peak, y_of(g))
+            for g, d in zip(v.grid.tolist()[::-1], v.density.tolist()[::-1])
+        ]
+        canvas.polygon(left + right, fill=color, opacity=0.55)
+        # Quartile box and median.
+        canvas.line(cx, y_of(v.minimum), cx, y_of(v.maximum), stroke="#333",
+                    stroke_width=0.8)
+        canvas.rect(cx - 4, y_of(v.q3), 8, max(y_of(v.q1) - y_of(v.q3), 0.5),
+                    fill="#333", stroke="none", opacity=0.85,
+                    title=f"{v.label}: median={v.median:.4g} n={v.n}")
+        canvas.circle(cx, y_of(v.median), 2.6, fill="white")
+        if markers is not None:
+            m = markers[k]
+            mval = np.log10(m) if log_scale else m
+            canvas.circle(cx, y_of(float(mval)), 4.0, fill="#d62728",
+                          stroke="black")
+        if extra_markers is not None and extra_markers[k] is not None:
+            m = float(extra_markers[k])
+            mval = np.log10(m) if log_scale else m
+            y = y_of(float(mval))
+            canvas.polygon(
+                [(cx - 5, y), (cx, y - 5), (cx + 5, y), (cx, y + 5)],
+                fill="#ff7f0e", stroke="black",
+            )
+        canvas.text(cx, margin_t + plot_h + 16, v.label, size=10,
+                    anchor="middle", rotate=0 if len(v.label) <= 12 else 0)
+        canvas.text(cx, margin_t + plot_h + 30, f"n={v.n}", size=9,
+                    anchor="middle", fill="#666")
+    return canvas

@@ -1,0 +1,41 @@
+"""Benchmark workload models.
+
+Each of the paper's 15 applications is modeled by its runtime-visible
+parallel structure (see DESIGN.md for the substitution rationale):
+
+- :mod:`~repro.workloads.npb` — NAS Parallel Benchmarks BT, CG, EP, FT,
+  LU, MG (worksharing loops; input classes S/W/A/B; threads fixed),
+- :mod:`~repro.workloads.bots` — BSC OpenMP Tasking Suite Alignment,
+  Health, NQueens, Sort, Strassen (task trees; sizes small/medium/large;
+  threads fixed; Sort and Strassen only ran on A64FX, as in the paper),
+- :mod:`~repro.workloads.proxies` — XSBench, RSBench, SU3Bench, LULESH
+  (default input; thread counts swept),
+- :mod:`~repro.workloads.generator` — synthetic workloads for property
+  tests and extrapolation studies.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    WORKLOADS,
+    get_workload,
+    register_workload,
+    workload_names,
+    workloads_for_arch,
+)
+
+# Importing the suite modules populates the registry.
+from repro.workloads import npb as _npb  # noqa: F401
+from repro.workloads import bots as _bots  # noqa: F401
+from repro.workloads import proxies as _proxies  # noqa: F401
+from repro.workloads.generator import synthetic_loop_workload, synthetic_task_workload
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "get_workload",
+    "register_workload",
+    "workload_names",
+    "workloads_for_arch",
+    "synthetic_loop_workload",
+    "synthetic_task_workload",
+]

@@ -1,0 +1,148 @@
+"""Workload protocol and registry."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.arch.topology import MachineTopology
+from repro.errors import UnknownInput, UnknownWorkload, WorkloadError
+from repro.runtime.program import Program
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "register_workload",
+    "get_workload",
+    "workload_names",
+    "workloads_for_arch",
+]
+
+#: Thread-count fractions swept for ``varies == "threads"`` workloads
+#: (quarter steps up to the full machine, the paper's "reduced exploration
+#: of thread counts").
+THREAD_FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark application.
+
+    Attributes
+    ----------
+    name, suite:
+        Identity ("cg", "npb").
+    varies:
+        The paper's experimental design: NPB and BOTS vary ``"input_size"``
+        at a fixed (full-machine) thread count; the proxy apps vary
+        ``"threads"`` at the default input.
+    inputs:
+        Valid input-size names in increasing order.
+    builder:
+        ``builder(input_name) -> Program`` — must be deterministic.
+    archs:
+        Machines the workload ran on (None = all); Sort and Strassen are
+        restricted to A64FX per the paper.
+    """
+
+    name: str
+    suite: str
+    varies: str
+    inputs: tuple[str, ...]
+    builder: Callable[[str], Program] = field(repr=False)
+    archs: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.varies not in ("input_size", "threads"):
+            raise WorkloadError(
+                f"workload {self.name!r}: varies must be 'input_size' or "
+                f"'threads', got {self.varies!r}"
+            )
+        if not self.inputs:
+            raise WorkloadError(f"workload {self.name!r}: no inputs defined")
+
+    def program(self, input_name: str) -> Program:
+        """Build the program for one input size."""
+        if input_name not in self.inputs:
+            raise UnknownInput(
+                f"workload {self.name!r} has no input {input_name!r}; "
+                f"have {self.inputs}"
+            )
+        return self.builder(input_name)
+
+    @property
+    def default_input(self) -> str:
+        """The input used when sweeping threads (largest defined)."""
+        return self.inputs[-1]
+
+    def runs_on(self, arch: str) -> bool:
+        """Whether the paper's dataset includes this workload on ``arch``."""
+        return self.archs is None or arch.lower() in self.archs
+
+    def thread_counts(self, machine: MachineTopology) -> tuple[int, ...]:
+        """Thread counts swept on ``machine`` (only for thread-varying
+        workloads; input-varying ones pin the full machine)."""
+        if self.varies != "threads":
+            return (machine.n_cores,)
+        return tuple(
+            max(1, int(round(f * machine.n_cores))) for f in THREAD_FRACTIONS
+        )
+
+    def describe(self, machine: MachineTopology) -> dict:
+        """Registry row: identity, design and structural facts."""
+        program = self.program(self.default_input)
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "varies": self.varies,
+            "inputs": "/".join(self.inputs),
+            "parallelism": "tasks" if program.uses_tasks else "loops",
+            "regions": len(program.parallel_regions),
+            "archs": "/".join(self.archs) if self.archs else "all",
+            "settings": len(self.settings(machine)),
+        }
+
+    def settings(self, machine: MachineTopology) -> list[tuple[str, int]]:
+        """The (input_size, nthreads) settings the sweep explores.
+
+        Mirrors Sec. IV-B: inputs and threads are varied, "but not
+        simultaneously".
+        """
+        if self.varies == "input_size":
+            return [(inp, machine.n_cores) for inp in self.inputs]
+        return [
+            (self.default_input, t) for t in self.thread_counts(machine)
+        ]
+
+
+#: Global registry, populated by the suite modules on import.
+WORKLOADS: dict[str, Workload] = {}
+
+
+def register_workload(workload: Workload) -> Workload:
+    """Add a workload to the registry (idempotent for identical names)."""
+    existing = WORKLOADS.get(workload.name)
+    if existing is not None and existing is not workload:
+        raise WorkloadError(f"workload {workload.name!r} already registered")
+    WORKLOADS[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name (case-insensitive)."""
+    try:
+        return WORKLOADS[name.lower()]
+    except KeyError:
+        raise UnknownWorkload(
+            f"unknown workload {name!r}; have {sorted(WORKLOADS)}"
+        ) from None
+
+
+def workload_names() -> list[str]:
+    """All registered workload names."""
+    return sorted(WORKLOADS)
+
+
+def workloads_for_arch(arch: str) -> list[Workload]:
+    """Workloads included in the dataset for one machine."""
+    return [w for w in WORKLOADS.values() if w.runs_on(arch)]

@@ -1,0 +1,175 @@
+"""BSC OpenMP Tasking Suite models: Alignment, Health, NQueens, Sort,
+Strassen.
+
+These are the paper's task-parallelism workloads — they stress the parts
+of libomp the loop benchmarks never touch: task deques, stealing, and the
+wait policy derived from ``KMP_LIBRARY``/``KMP_BLOCKTIME``.  Task
+granularity is the decisive property:
+
+- **NQueens** spawns an enormous tree of microsecond-scale tasks, so task
+  acquisition cost dominates and spin-waiting (``turnaround``) wins big —
+  the paper's strongest recommendation (Table VII, speedups 2.3-4.9x),
+- **Health** is a deep irregular tree of small tasks — strong but smaller
+  gains,
+- **Alignment** is a flat bag of medium tasks (one per sequence pair) —
+  modest gains, *architecture-independent* (Fig. 2's observation),
+- **Sort**/**Strassen** spawn coarse divide-and-conquer tasks — little to
+  tune; both only ran on A64FX in the paper's dataset.
+
+Per the paper's design, BOTS runs vary the input size at a fixed
+full-machine thread count.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import Program, SerialPhase, TaskRegion
+from repro.workloads.base import Workload, register_workload
+
+__all__ = ["BOTS_SIZES"]
+
+#: Input sizes with their work multiplier.
+BOTS_SIZES: dict[str, float] = {"small": 1.0, "medium": 4.0, "large": 16.0}
+
+
+def _build_alignment(input_name: str) -> Program:
+    """Alignment: pairwise protein alignment, one task per sequence pair.
+
+    A flat spawn tree (depth 1) of a few thousand irregular medium-grain
+    tasks; the master generates them all.
+    """
+    scale = BOTS_SIZES[input_name]
+    n_pairs = int(600 * scale)
+    phases = (
+        SerialPhase(work=3e-4 * scale, name="read_sequences"),
+        TaskRegion(
+            "align_pairs",
+            depth=1,
+            branching=n_pairs,
+            leaf_work=9e-5,
+            node_work=1e-6,
+            leaf_sigma=0.5,
+            mem_intensity=0.15,
+            bw_per_thread_gbps=0.6,
+        ),
+    )
+    return Program(name=f"alignment.{input_name}", phases=phases)
+
+
+def _build_health(input_name: str) -> Program:
+    """Health: Columbian health-care simulation.
+
+    A deep, irregular task tree re-spawned every simulated timestep; small
+    tasks with high dispersion and pointer-chasing memory access.
+    """
+    scale = BOTS_SIZES[input_name]
+    trips = int(18 * scale**0.5)
+    phases = (
+        SerialPhase(work=2e-4 * scale, name="read_model"),
+        TaskRegion(
+            "sim_village",
+            depth=5,
+            branching=4,
+            leaf_work=5.5e-6 * scale**0.5,
+            node_work=1.2e-6,
+            leaf_sigma=0.9,
+            mem_intensity=0.35,
+            bw_per_thread_gbps=0.8,
+            random_access=True,
+            trips=trips,
+            gap_work=8e-6,
+        ),
+    )
+    return Program(name=f"health.{input_name}", phases=phases)
+
+
+def _build_nqueens(input_name: str) -> Program:
+    """NQueens: backtracking board search, one task per partial placement.
+
+    A huge tree of microsecond tasks (cut off a few levels deep in the
+    real code).  Task-acquisition latency is everything here.
+    """
+    scale = BOTS_SIZES[input_name]
+    depth = {1.0: 4, 4.0: 5, 16.0: 5}[scale]
+    branching = {1.0: 8, 4.0: 8, 16.0: 11}[scale]
+    phases = (
+        SerialPhase(work=2e-5, name="init_board"),
+        TaskRegion(
+            "solve",
+            depth=depth,
+            branching=branching,
+            leaf_work=5e-7 * scale**0.25,
+            node_work=1.5e-7,
+            leaf_sigma=0.6,
+            mem_intensity=0.02,
+            bw_per_thread_gbps=0.05,
+        ),
+    )
+    return Program(name=f"nqueens.{input_name}", phases=phases)
+
+
+def _build_sort(input_name: str) -> Program:
+    """Sort: mergesort with task-parallel recursion above a serial cutoff.
+
+    Binary tree of coarse tasks; streaming merges.
+    """
+    scale = BOTS_SIZES[input_name]
+    depth = {1.0: 8, 4.0: 10, 16.0: 12}[scale]
+    phases = (
+        SerialPhase(work=1e-4 * scale, name="fill_array"),
+        TaskRegion(
+            "cilksort",
+            depth=depth,
+            branching=2,
+            leaf_work=6e-5,
+            node_work=2.5e-5,
+            leaf_sigma=0.1,
+            mem_intensity=0.55,
+            bw_per_thread_gbps=1.8,
+        ),
+    )
+    return Program(name=f"sort.{input_name}", phases=phases)
+
+
+def _build_strassen(input_name: str) -> Program:
+    """Strassen: recursive matrix multiply, seven subproblems per node.
+
+    Very coarse tasks (each a sizeable matmul) — the runtime is almost
+    invisible, so tuning moves little (paper range 1.023-1.025x).
+    """
+    scale = BOTS_SIZES[input_name]
+    depth = {1.0: 3, 4.0: 4, 16.0: 4}[scale]
+    phases = (
+        SerialPhase(work=2e-4 * scale, name="init_matrices"),
+        TaskRegion(
+            "strassen_mult",
+            depth=depth,
+            branching=7,
+            leaf_work=1.4e-3 * scale**0.4,
+            node_work=6e-5,
+            leaf_sigma=0.05,
+            mem_intensity=0.30,
+            bw_per_thread_gbps=1.2,
+        ),
+    )
+    return Program(name=f"strassen.{input_name}", phases=phases)
+
+
+_SIZES = tuple(BOTS_SIZES)
+
+for _name, _builder, _archs in (
+    ("alignment", _build_alignment, None),
+    ("health", _build_health, None),
+    ("nqueens", _build_nqueens, None),
+    ("sort", _build_sort, ("a64fx",)),
+    ("strassen", _build_strassen, ("a64fx",)),
+):
+    register_workload(
+        Workload(
+            name=_name,
+            suite="bots",
+            varies="input_size",
+            inputs=_SIZES,
+            builder=_builder,
+            archs=_archs,
+        )
+    )

@@ -1,0 +1,131 @@
+"""Synthetic workload generator.
+
+Produces parameterized loop/task workloads outside the 15 paper apps —
+used by property-based tests (random-but-valid programs) and by users who
+want to ask "what would the sweep recommend for an app shaped like X?".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.runtime.program import (
+    LoadPattern,
+    LoopRegion,
+    Program,
+    SerialPhase,
+    TaskRegion,
+)
+
+__all__ = ["synthetic_loop_workload", "synthetic_task_workload", "random_program"]
+
+
+def synthetic_loop_workload(
+    name: str = "synthetic-loop",
+    n_regions: int = 3,
+    n_iters: int = 10_000,
+    iter_work: float = 1e-6,
+    pattern: LoadPattern = LoadPattern.UNIFORM,
+    imbalance: float = 0.0,
+    mem_intensity: float = 0.3,
+    bw_per_thread_gbps: float = 1.0,
+    random_access: bool = False,
+    trips: int = 10,
+    n_reductions: int = 0,
+) -> Program:
+    """A loop-parallel program with ``n_regions`` identical regions."""
+    if n_regions < 1:
+        raise WorkloadError("need at least one region")
+    phases: list = [SerialPhase(work=1e-4, name="init")]
+    for i in range(n_regions):
+        phases.append(
+            LoopRegion(
+                f"region{i}",
+                n_iters=n_iters,
+                iter_work=iter_work,
+                pattern=pattern,
+                imbalance=imbalance,
+                mem_intensity=mem_intensity,
+                bw_per_thread_gbps=bw_per_thread_gbps,
+                random_access=random_access,
+                n_reductions=n_reductions,
+                trips=trips,
+                gap_work=1e-6,
+            )
+        )
+    return Program(name=name, phases=tuple(phases))
+
+
+def synthetic_task_workload(
+    name: str = "synthetic-task",
+    depth: int = 6,
+    branching: int = 3,
+    leaf_work: float = 5e-6,
+    node_work: float = 5e-7,
+    leaf_sigma: float = 0.3,
+    mem_intensity: float = 0.1,
+    trips: int = 1,
+) -> Program:
+    """A task-parallel program with one spawn-tree region."""
+    phases = (
+        SerialPhase(work=1e-4, name="init"),
+        TaskRegion(
+            "tree",
+            depth=depth,
+            branching=branching,
+            leaf_work=leaf_work,
+            node_work=node_work,
+            leaf_sigma=leaf_sigma,
+            mem_intensity=mem_intensity,
+            bw_per_thread_gbps=0.5 * mem_intensity,
+            trips=trips,
+        ),
+    )
+    return Program(name=name, phases=phases)
+
+
+def random_program(seed: int, max_regions: int = 5) -> Program:
+    """A random-but-valid program for fuzz/property testing."""
+    rng = np.random.default_rng(seed)
+    n_regions = int(rng.integers(1, max_regions + 1))
+    phases: list = [SerialPhase(work=float(rng.uniform(1e-6, 1e-3)), name="init")]
+    for i in range(n_regions):
+        if rng.random() < 0.35:
+            phases.append(
+                TaskRegion(
+                    f"task{i}",
+                    depth=int(rng.integers(1, 7)),
+                    branching=int(rng.integers(2, 6)),
+                    leaf_work=float(rng.uniform(5e-7, 1e-4)),
+                    node_work=float(rng.uniform(0.0, 1e-5)),
+                    leaf_sigma=float(rng.uniform(0.0, 1.0)),
+                    mem_intensity=float(rng.uniform(0.0, 0.8)),
+                    bw_per_thread_gbps=float(rng.uniform(0.0, 4.0)),
+                    trips=int(rng.integers(1, 6)),
+                    gap_work=float(rng.uniform(0.0, 1e-5)),
+                )
+            )
+        else:
+            pattern = list(LoadPattern)[int(rng.integers(len(LoadPattern)))]
+            imbalance = (
+                0.0
+                if pattern is LoadPattern.UNIFORM
+                else float(rng.uniform(0.0, 1.2))
+            )
+            phases.append(
+                LoopRegion(
+                    f"loop{i}",
+                    n_iters=int(rng.integers(8, 200_000)),
+                    iter_work=float(rng.uniform(1e-9, 1e-4)),
+                    pattern=pattern,
+                    imbalance=imbalance,
+                    mem_intensity=float(rng.uniform(0.0, 0.9)),
+                    bw_per_thread_gbps=float(rng.uniform(0.0, 5.0)),
+                    random_access=bool(rng.random() < 0.3),
+                    n_reductions=int(rng.integers(0, 4)),
+                    trips=int(rng.integers(1, 50)),
+                    gap_work=float(rng.uniform(0.0, 1e-5)),
+                )
+            )
+    return Program(name=f"random-{seed}", phases=tuple(phases))

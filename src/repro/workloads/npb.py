@@ -1,0 +1,222 @@
+"""NAS Parallel Benchmarks models: BT, CG, EP, FT, LU, MG.
+
+Each builder encodes the benchmark's published parallel structure —
+which loops dominate, how balanced they are, how memory-hungry, how many
+fork/join transitions per time step — at four input classes (S, W, A, B).
+Classes scale the grid (iteration count and per-iteration work) and the
+number of time steps the way the real class tables do (geometric growth).
+
+Per the paper's design, NPB runs vary the input class at a fixed,
+full-machine thread count.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.runtime.program import LoadPattern, LoopRegion, Program, SerialPhase
+from repro.workloads.base import Workload, register_workload
+
+__all__ = ["NPB_CLASSES"]
+
+#: Input classes in increasing size with their total-work multiplier.
+NPB_CLASSES: dict[str, float] = {"S": 1.0, "W": 4.0, "A": 16.0, "B": 64.0}
+
+
+def _dims(scale: float, base: int) -> tuple[int, float]:
+    """Grid growth: iterations grow with the cube root of total work,
+    per-iteration work absorbs the remaining two thirds."""
+    n_iters = max(4, int(round(base * scale ** (1.0 / 3.0))))
+    work_growth = scale / (n_iters / base)
+    return n_iters, work_growth
+
+
+def _build_bt(input_name: str) -> Program:
+    """BT: block-tridiagonal ADI solver.
+
+    Five balanced plane loops per time step (rhs + three directional
+    solves + add), moderate memory traffic, modest reduction use.
+    """
+    scale = NPB_CLASSES[input_name]
+    n, wg = _dims(scale, 20)
+    trips = max(10, int(round(60 * math.sqrt(scale))))
+    iw = 1.6e-4 * wg
+    mk = dict(mem_intensity=0.40, bw_per_thread_gbps=1.2)
+    phases = [
+        SerialPhase(work=0.002 * scale, name="init"),
+        LoopRegion("compute_rhs", n, iw * 1.2, trips=trips, gap_work=2e-6, **mk),
+        LoopRegion("x_solve", n, iw, trips=trips, gap_work=1e-6, **mk),
+        LoopRegion("y_solve", n, iw, trips=trips, gap_work=1e-6, **mk),
+        LoopRegion("z_solve", n, iw, trips=trips, gap_work=1e-6, **mk),
+        LoopRegion("add", n, iw * 0.3, trips=trips, gap_work=1e-6, **mk),
+        LoopRegion(
+            "verify", n, iw * 0.2, n_reductions=1,
+            mem_intensity=0.3, bw_per_thread_gbps=1.0,
+        ),
+    ]
+    return Program(name=f"bt.{input_name}", phases=tuple(phases))
+
+
+def _build_cg(input_name: str) -> Program:
+    """CG: sparse conjugate gradient.
+
+    Irregular sparse matvec rows (RANDOM pattern), latency-sensitive
+    gather access, and two dot-product reductions per iteration — the
+    reduction-heaviest NPB kernel (the paper's Table VII CG row).
+    """
+    scale = NPB_CLASSES[input_name]
+    rows = max(256, int(round(1400 * scale ** 0.5)))
+    iw = 1.1e-5 * scale / (rows / 1400.0)
+    trips = max(15, int(round(26 * scale ** 0.25)))
+    matvec = dict(
+        pattern=LoadPattern.RANDOM,
+        imbalance=0.45,
+        mem_intensity=0.60,
+        bw_per_thread_gbps=2.5,
+        random_access=True,
+    )
+    phases = [
+        SerialPhase(work=0.001 * scale, name="makea"),
+        LoopRegion("matvec", rows, iw, trips=trips * 25, gap_work=5e-7, **matvec),
+        LoopRegion(
+            "dot_r", rows, iw * 0.08, n_reductions=1, trips=trips * 25,
+            gap_work=5e-7, mem_intensity=0.5, bw_per_thread_gbps=2.0,
+        ),
+        LoopRegion(
+            "axpy_norm", rows, iw * 0.10, n_reductions=2, trips=trips,
+            gap_work=1e-6, mem_intensity=0.5, bw_per_thread_gbps=2.0,
+        ),
+    ]
+    return Program(name=f"cg.{input_name}", phases=tuple(phases))
+
+
+def _build_ep(input_name: str) -> Program:
+    """EP: embarrassingly parallel random-number kernel.
+
+    One huge, perfectly balanced compute loop with a final reduction —
+    almost nothing to tune (speedup range 1.00-1.09 in the paper).
+    """
+    scale = NPB_CLASSES[input_name]
+    n = int(1024 * scale)
+    phases = [
+        SerialPhase(work=1e-4, name="init"),
+        LoopRegion(
+            "gaussian_pairs", n, 4.5e-5, n_reductions=3,
+            mem_intensity=0.02, bw_per_thread_gbps=0.1,
+        ),
+    ]
+    return Program(name=f"ep.{input_name}", phases=tuple(phases))
+
+
+def _build_ft(input_name: str) -> Program:
+    """FT: 3-D FFT.
+
+    Bandwidth-bound pencil transposes and streaming butterfly loops; few
+    but fat regions.  Binding/locality is the paper's lever here.
+    """
+    scale = NPB_CLASSES[input_name]
+    n, wg = _dims(scale, 32)
+    trips = max(6, int(round(6 * scale ** 0.25)))
+    stream = dict(mem_intensity=0.70, bw_per_thread_gbps=3.0)
+    phases = [
+        SerialPhase(work=0.003 * scale, name="index_map"),
+        LoopRegion("evolve", n, 2.5e-4 * wg, trips=trips, gap_work=3e-6, **stream),
+        LoopRegion("fftx", n, 3.0e-4 * wg, trips=trips, gap_work=2e-6, **stream),
+        LoopRegion("ffty", n, 3.0e-4 * wg, trips=trips, gap_work=2e-6, **stream),
+        LoopRegion("fftz", n, 3.0e-4 * wg, trips=trips, gap_work=2e-6, **stream),
+        LoopRegion(
+            "checksum", n, 2e-5 * wg, n_reductions=2, trips=trips,
+            mem_intensity=0.4, bw_per_thread_gbps=1.5,
+        ),
+    ]
+    return Program(name=f"ft.{input_name}", phases=tuple(phases))
+
+
+def _build_lu(input_name: str) -> Program:
+    """LU: SSOR solver with pipelined wavefront sweeps.
+
+    The lower/upper triangular sweeps carry a linear load ramp, making
+    the schedule kind matter (static leaves the ramp's tail on one
+    thread; guided/dynamic smooth it).
+    """
+    scale = NPB_CLASSES[input_name]
+    n, wg = _dims(scale, 24)
+    trips = max(20, int(round(50 * math.sqrt(scale))))
+    sweep = dict(
+        pattern=LoadPattern.LINEAR,
+        imbalance=0.45,
+        mem_intensity=0.35,
+        bw_per_thread_gbps=1.4,
+    )
+    phases = [
+        SerialPhase(work=0.002 * scale, name="setbv"),
+        LoopRegion("jacld_blts", n, 2.2e-4 * wg, trips=trips, gap_work=2e-6, **sweep),
+        LoopRegion("jacu_buts", n, 2.2e-4 * wg, trips=trips, gap_work=2e-6, **sweep),
+        LoopRegion(
+            "rhs", n, 1.4e-4 * wg, trips=trips, gap_work=2e-6,
+            mem_intensity=0.45, bw_per_thread_gbps=1.8,
+        ),
+        LoopRegion(
+            "l2norm", n, 2e-5 * wg, n_reductions=1, trips=max(2, trips // 10),
+            mem_intensity=0.4, bw_per_thread_gbps=1.5,
+        ),
+    ]
+    return Program(name=f"lu.{input_name}", phases=tuple(phases))
+
+
+def _build_mg(input_name: str) -> Program:
+    """MG: V-cycle multigrid.
+
+    A ladder of grid levels: the fine levels are bandwidth-monsters, the
+    coarse levels are tiny regions where fork/join and wait-policy
+    overheads dominate — the mix that makes MG sensitive to both memory
+    placement and blocktime (paper speedups up to 2.17x).
+    """
+    scale = NPB_CLASSES[input_name]
+    n, wg = _dims(scale, 48)
+    trips = max(4, int(round(4 * scale ** 0.25)))
+    phases: list = [SerialPhase(work=0.002 * scale, name="zero3")]
+    # Four grid levels per V-cycle leg, each 8x smaller than the last.
+    for level in range(4):
+        shrink = 8.0**level
+        n_lvl = max(4, int(n / (2.0**level)))
+        phases.append(
+            LoopRegion(
+                f"resid_psinv_L{level}",
+                n_lvl,
+                max(3.2e-4 * wg / shrink, 1e-7),
+                trips=trips * 12,
+                gap_work=1e-6,
+                mem_intensity=0.70,
+                bw_per_thread_gbps=3.5,
+            )
+        )
+    phases.append(
+        LoopRegion(
+            "norm2u3", n, 2e-5 * wg, n_reductions=2, trips=trips,
+            mem_intensity=0.5, bw_per_thread_gbps=2.0,
+        )
+    )
+    return Program(name=f"mg.{input_name}", phases=tuple(phases))
+
+
+_CLASSES = tuple(NPB_CLASSES)
+
+for _name, _builder, _archs in (
+    ("bt", _build_bt, None),
+    ("cg", _build_cg, None),
+    ("ep", _build_ep, None),
+    ("ft", _build_ft, ("a64fx", "milan")),  # the paper's unnamed 13th gap
+    ("lu", _build_lu, None),
+    ("mg", _build_mg, None),
+):
+    register_workload(
+        Workload(
+            name=_name,
+            suite="npb",
+            varies="input_size",
+            inputs=_CLASSES,
+            builder=_builder,
+            archs=_archs,
+        )
+    )

@@ -1,0 +1,90 @@
+"""API-quality meta-tests: every public item is documented and exported
+names resolve."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.arch",
+    "repro.core",
+    "repro.desim",
+    "repro.frame",
+    "repro.mlkit",
+    "repro.runtime",
+    "repro.stats",
+    "repro.viz",
+    "repro.workloads",
+]
+
+
+def _walk_modules():
+    """Every module under the repro package."""
+    out = []
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        out.append(pkg)
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                out.append(importlib.import_module(f"{pkg_name}.{info.name}"))
+    # cli is a plain module
+    out.append(importlib.import_module("repro.cli"))
+    out.append(importlib.import_module("repro.errors"))
+    return {m.__name__: m for m in out}.values()
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_all_exports_resolve(module):
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module.__name__}.__all__ lists {name}"
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_public_callables_documented(module):
+    """Every public function/class (and their public methods) in __all__
+    carries a docstring."""
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", "").startswith("repro") is False:
+            continue
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(f"{module.__name__}.{name}")
+        if inspect.isclass(obj):
+            for mname, member in vars(obj).items():
+                if mname.startswith("_"):
+                    continue
+                func = member
+                if isinstance(member, property):
+                    func = member.fget
+                elif isinstance(member, (staticmethod, classmethod)):
+                    func = member.__func__
+                elif not inspect.isfunction(member):
+                    continue
+                if func is None or not (func.__doc__ and func.__doc__.strip()):
+                    undocumented.append(f"{module.__name__}.{name}.{mname}")
+    assert not undocumented, undocumented
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

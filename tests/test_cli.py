@@ -1,0 +1,132 @@
+"""End-to-end tests of the repro-omp CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_present(self):
+        parser = build_parser()
+        args = parser.parse_args(["machines"])
+        assert args.command == "machines"
+
+    def test_sweep_args(self):
+        args = build_parser().parse_args(
+            ["sweep", "--arch", "milan", "--scale", "small", "-o", "x.csv"]
+        )
+        assert args.arch == "milan" and args.output == "x.csv"
+
+    def test_bad_arch_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--arch", "pentium",
+                                       "-o", "x.csv"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("a64fx", "skylake", "milan"):
+            assert name in out
+        assert "96" in out  # milan cores
+
+    def test_sweep_analyze_recommend_roundtrip(self, tmp_path, capsys):
+        csv_path = tmp_path / "ds.csv"
+        rc = main(
+            ["sweep", "--arch", "a64fx", "--workloads", "nqueens",
+             "--scale", "small", "--repetitions", "2",
+             "-o", str(csv_path)]
+        )
+        assert rc == 0
+        assert csv_path.exists()
+        out = capsys.readouterr().out
+        assert "samples" in out
+
+        figdir = tmp_path / "figs"
+        rc = main(["analyze", str(csv_path), "--figures-dir", str(figdir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Best speedup per application" in out
+        assert "KMP_LIBRARY" in out
+        svgs = list(figdir.glob("*.svg"))
+        assert len(svgs) == 3
+
+        rc = main(["recommend", str(csv_path), "--app", "nqueens"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nqueens" in out
+
+    def test_tune(self, capsys):
+        rc = main(["tune", "--arch", "milan", "--workload", "nqueens",
+                   "--restarts", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tuned" in out and "x," in out
+
+    def test_tune_unknown_workload_clean_error(self, capsys):
+        rc = main(["tune", "--arch", "milan", "--workload", "doom"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_recommend_missing_file_clean_error(self, capsys, tmp_path):
+        rc = main(["recommend", str(tmp_path / "nope.csv")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_microbench(self, capsys):
+        rc = main(["microbench"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "barrier_us" in out and "a64fx" in out
+
+    def test_trace(self, capsys, tmp_path):
+        out_json = tmp_path / "trace.json"
+        rc = main(["trace", "--arch", "milan", "--workload", "mg",
+                   "-o", str(out_json)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "parallel" in out
+        assert out_json.exists()
+
+    def test_figures_gallery(self, tmp_path, capsys):
+        rc = main(["figures", "-o", str(tmp_path / "g"),
+                   "--apps", "strassen", "--repetitions", "1"])
+        assert rc == 0
+        svgs = sorted(p.name for p in (tmp_path / "g").glob("*.svg"))
+        assert "violin_strassen.svg" in svgs
+        assert "fig3_by_architecture.svg" in svgs
+
+    def test_workloads_listing(self, capsys):
+        rc = main(["workloads", "--arch", "a64fx"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nqueens" in out and "tasks" in out and "loops" in out
+
+    def test_energy(self, capsys):
+        rc = main(["energy", "--arch", "milan", "--workload", "nqueens"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "turnaround" in out and "edp_js" in out
+
+    def test_release_roundtrip(self, tmp_path, capsys):
+        csv_path = tmp_path / "ds.csv"
+        main(["sweep", "--arch", "a64fx", "--workloads", "strassen",
+              "--scale", "small", "--repetitions", "1", "-o", str(csv_path)])
+        rc = main(["release", str(csv_path), "-o", str(tmp_path / "rel"),
+                   "--version", "2.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "released" in out
+        assert (tmp_path / "rel" / "manifest.json").exists()
+        assert (tmp_path / "rel" / "a64fx-strassen.csv").exists()
+
+        from repro.core.release import load_release
+
+        manifest, table = load_release(tmp_path / "rel")
+        assert manifest.version == "2.0"
+        assert table.num_rows > 0

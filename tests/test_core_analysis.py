@@ -1,0 +1,208 @@
+"""Tests for influence analysis, recommendations and pruning."""
+
+import numpy as np
+import pytest
+
+from repro.arch.machines import MILAN
+from repro.core.envspace import EnvSpace
+from repro.core.influence import (
+    FEATURE_COLUMNS,
+    influence_by_application,
+    influence_by_arch_application,
+    influence_by_architecture,
+    linear_fit_quality,
+)
+from repro.core.pruning import hill_climb, prune_space
+from repro.core.recommend import best_variable_values, recommend, worst_trends
+from repro.errors import SchemaError
+from repro.frame.table import Table
+from repro.workloads.base import get_workload
+
+
+class TestInfluence:
+    def test_rows_and_features_per_grouping(self, milan_dataset):
+        by_app = influence_by_application(milan_dataset)
+        assert set(by_app.row_labels) == {"xsbench", "cg", "nqueens"}
+        assert "Architecture" in by_app.feature_names
+        assert "Application" not in by_app.feature_names
+
+        by_arch = influence_by_architecture(milan_dataset)
+        assert by_arch.row_labels == ["milan"]
+        assert "Application" in by_arch.feature_names
+
+        by_both = influence_by_arch_application(milan_dataset)
+        assert len(by_both.rows) == 3
+        assert "Application" not in by_both.feature_names
+        assert "Architecture" not in by_both.feature_names
+
+    def test_importances_are_distributions(self, milan_dataset):
+        for inf in (
+            influence_by_application(milan_dataset),
+            influence_by_architecture(milan_dataset),
+            influence_by_arch_application(milan_dataset),
+        ):
+            m = inf.matrix()
+            assert (m >= 0).all()
+            assert np.allclose(m.sum(axis=1), 1.0)
+
+    def test_single_arch_dataset_zero_arch_influence(self, milan_dataset):
+        """Sort/Strassen effect: a constant feature gets zero influence."""
+        inf = influence_by_application(milan_dataset)
+        idx = inf.feature_names.index("Architecture")
+        assert np.allclose(inf.matrix()[:, idx], 0.0)
+
+    def test_multi_arch_dataset_nonzero_arch_influence(self, tri_arch_dataset):
+        inf = influence_by_application(tri_arch_dataset)
+        row = {r.label[0]: r for r in inf.rows}
+        # XSBench's tuning headroom is milan-specific -> architecture matters.
+        assert row["xsbench"].as_dict()["Architecture"] > 0.05
+
+    def test_alignment_architecture_independent(self, tri_arch_dataset):
+        """Fig. 2: BOTS apps show low reliance on architecture."""
+        inf = influence_by_application(tri_arch_dataset)
+        row = {r.label[0]: r for r in inf.rows}
+        assert (
+            row["alignment"].as_dict()["Architecture"]
+            < row["xsbench"].as_dict()["Architecture"]
+        )
+
+    def test_nqueens_library_dominates(self, milan_dataset):
+        inf = influence_by_arch_application(milan_dataset)
+        row = {r.label: r for r in inf.rows}[("milan", "nqueens")]
+        scores = row.as_dict()
+        active_signal = scores["KMP_LIBRARY"] + scores["KMP_BLOCKTIME"]
+        assert active_signal > scores["OMP_SCHEDULE"]
+        assert active_signal > scores["KMP_ALIGN_ALLOC"]
+
+    def test_threads_matter_for_thread_swept_app(self, milan_dataset):
+        inf = influence_by_arch_application(milan_dataset)
+        row = {r.label: r for r in inf.rows}[("milan", "xsbench")]
+        assert row.as_dict()["OMP_NUM_THREADS"] > 0.15
+
+    def test_accuracy_beats_chance(self, milan_dataset):
+        inf = influence_by_architecture(milan_dataset)
+        assert inf.mean_accuracy() > 0.55
+
+    def test_to_table_roundtrip(self, milan_dataset):
+        inf = influence_by_application(milan_dataset)
+        t = inf.to_table()
+        assert t.num_rows == 3
+        assert "accuracy" in t and "n_samples" in t
+
+    def test_top_features(self, milan_dataset):
+        inf = influence_by_architecture(milan_dataset)
+        top = inf.rows[0].top_features(3)
+        assert len(top) == 3
+        scores = inf.rows[0].as_dict()
+        assert scores[top[0]] >= scores[top[1]] >= scores[top[2]]
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            influence_by_application(Table({"app": ["x"], "optimal": [1]}))
+
+    def test_degenerate_single_class_group(self):
+        t = Table(
+            {
+                "arch": ["m"] * 4,
+                "app": ["a"] * 4,
+                "input_size": ["s"] * 4,
+                "num_threads": [1, 2, 3, 4],
+                "places": ["unset"] * 4,
+                "proc_bind": ["unset"] * 4,
+                "schedule": ["unset"] * 4,
+                "library": ["unset"] * 4,
+                "blocktime": ["unset"] * 4,
+                "force_reduction": ["unset"] * 4,
+                "align_alloc": [0] * 4,
+                "optimal": [0, 0, 0, 0],
+            }
+        )
+        inf = influence_by_application(t)
+        assert np.allclose(inf.rows[0].importances, 0.0)
+        assert inf.rows[0].accuracy == 1.0
+
+    def test_linear_fit_is_poor(self, milan_dataset):
+        """The paper's motivation for switching to classification."""
+        r2 = linear_fit_quality(milan_dataset)
+        assert r2 < 0.6
+
+    def test_feature_columns_mapping_complete(self):
+        assert set(FEATURE_COLUMNS.values()) >= {
+            "OMP_NUM_THREADS", "OMP_PLACES", "OMP_PROC_BIND", "OMP_SCHEDULE",
+            "KMP_LIBRARY", "KMP_BLOCKTIME", "KMP_FORCE_REDUCTION",
+            "KMP_ALIGN_ALLOC", "Architecture", "Application", "Input Size",
+        }
+
+
+class TestRecommend:
+    def test_nqueens_turnaround_recommended(self, milan_dataset):
+        recs = recommend(milan_dataset, app="nqueens", arch="milan")
+        by_var = {r.variable: r for r in recs}
+        active = set()
+        if "library" in by_var:
+            active |= set(by_var["library"].values)
+        if "blocktime" in by_var:
+            active |= set(by_var["blocktime"].values)
+        assert "turnaround" in active or "infinite" in active
+
+    def test_recommendations_have_positive_lift(self, milan_dataset):
+        for r in best_variable_values(milan_dataset):
+            if r.variable != "defaults":
+                assert r.lift >= 1.3
+            assert r.best_speedup >= 1.0
+
+    def test_worst_trend_is_master_binding(self, milan_dataset):
+        trends = worst_trends(milan_dataset)
+        assert trends, "expected at least one worst trend"
+        assert trends[0].variable == "proc_bind"
+        assert trends[0].value == "master"
+        assert trends[0].mean_speedup < 0.5
+
+    def test_requires_speedup_column(self):
+        with pytest.raises(SchemaError):
+            best_variable_values(Table({"app": ["x"], "arch": ["m"]}))
+        with pytest.raises(SchemaError):
+            worst_trends(Table({"app": ["x"]}))
+
+
+class TestPruning:
+    def test_prune_keeps_influential_variables(self, milan_dataset):
+        space = EnvSpace()
+        inf = influence_by_architecture(milan_dataset).rows[0]
+        pruned = prune_space(space, inf, threshold=0.05)
+        assert 1 <= len(pruned.variables) < len(space.variables)
+
+    def test_prune_never_empty(self, milan_dataset):
+        space = EnvSpace()
+        inf = influence_by_architecture(milan_dataset).rows[0]
+        pruned = prune_space(space, inf, threshold=0.99)
+        assert len(pruned.variables) == 1
+
+    def test_hill_climb_improves_nqueens(self):
+        program = get_workload("nqueens").program("large")
+        result = hill_climb(program, MILAN, EnvSpace(), restarts=1, seed=0)
+        assert result.speedup > 1.5
+        assert result.best_runtime <= result.start_runtime
+        assert result.evaluations > 10
+
+    def test_hill_climb_deterministic(self):
+        program = get_workload("alignment").program("small")
+        a = hill_climb(program, MILAN, EnvSpace(), restarts=0, seed=3)
+        b = hill_climb(program, MILAN, EnvSpace(), restarts=0, seed=3)
+        assert a == b
+
+    def test_pruned_hill_climb_cheaper_and_close(self, milan_dataset):
+        """The paper's pruning claim: near-optimal at a fraction of the
+        evaluations."""
+        program = get_workload("nqueens").program("large")
+        space = EnvSpace()
+        inf_rows = {
+            r.label: r
+            for r in influence_by_arch_application(milan_dataset).rows
+        }
+        pruned = prune_space(space, inf_rows[("milan", "nqueens")],
+                             threshold=0.08)
+        full = hill_climb(program, MILAN, space, restarts=1, seed=0)
+        cheap = hill_climb(program, MILAN, pruned, restarts=1, seed=0)
+        assert cheap.evaluations < full.evaluations
+        assert cheap.best_runtime <= full.best_runtime * 1.3

@@ -1,0 +1,152 @@
+"""Tests for the swept environment-variable space."""
+
+import pytest
+
+from repro.arch.machines import A64FX, MILAN, SKYLAKE
+from repro.core.envspace import SWEPT_VARIABLES, EnvSpace, VariableSpec
+from repro.errors import ConfigError, UnknownVariable
+from repro.runtime.icv import UNSET, EnvConfig, resolve_icvs
+
+
+@pytest.fixture
+def space():
+    return EnvSpace()
+
+
+class TestVariableSpecs:
+    def test_seven_variables(self):
+        names = [v.env_name for v in SWEPT_VARIABLES]
+        assert names == [
+            "OMP_PLACES",
+            "OMP_PROC_BIND",
+            "OMP_SCHEDULE",
+            "KMP_LIBRARY",
+            "KMP_BLOCKTIME",
+            "KMP_FORCE_REDUCTION",
+            "KMP_ALIGN_ALLOC",
+        ]
+
+    def test_paper_exclusions(self, space):
+        # threads/numa_domains places and the serial library mode are not
+        # swept (Sec. III).
+        places = space.variable("OMP_PLACES").values(MILAN)
+        assert "threads" not in places and "numa_domains" not in places
+        assert "serial" not in space.variable("KMP_LIBRARY").values(MILAN)
+
+    def test_blocktime_three_points(self, space):
+        values = space.variable("KMP_BLOCKTIME").values(MILAN)
+        assert set(values) == {UNSET, "0", "infinite"}
+
+    def test_align_values_arch_dependent(self, space):
+        var = space.variable("KMP_ALIGN_ALLOC")
+        assert var.values(MILAN) == (None, 128, 256, 512)
+        assert var.values(A64FX) == (None, 512)
+
+    def test_unknown_variable(self, space):
+        with pytest.raises(UnknownVariable):
+            space.variable("OMP_STACKSIZE")
+
+
+class TestGridSizes:
+    def test_full_grid_cardinality_matches_paper_scale(self, space):
+        # 4 x 6 x 4 x 2 x 3 x 4 x {4 on x86, 2 on a64fx}
+        assert space.size(MILAN) == 9216
+        assert space.size(SKYLAKE) == 9216
+        assert space.size(A64FX) == 4608
+
+    def test_full_grid_enumerates_size(self, space):
+        configs = list(space.full_grid(A64FX))
+        assert len(configs) == space.size(A64FX)
+        assert len({c.key() for c in configs}) == len(configs)
+
+    def test_full_grid_contains_default(self, space):
+        keys = {c.key() for c in space.full_grid(A64FX)}
+        assert EnvConfig().key() in keys
+
+    def test_all_grid_points_valid(self, space):
+        for config in space.grid(MILAN, "medium"):
+            config.validate()
+            resolve_icvs(config.with_threads(4), MILAN)  # must resolve
+
+    def test_ofat_size(self, space):
+        ofat = space.ofat_grid(MILAN)
+        # 1 default + sum over vars of (len(values) - 1 default each)
+        expected = 1 + (3 + 5 + 3 + 1 + 2 + 3 + 3)
+        assert len(ofat) == expected
+
+    def test_scales_are_nested_in_size(self, space):
+        small = space.grid(MILAN, "small")
+        medium = space.grid(MILAN, "medium")
+        assert len(small) < len(medium) < space.size(MILAN)
+
+    def test_scaled_grids_include_ofat(self, space):
+        small_keys = {c.key() for c in space.grid(MILAN, "small")}
+        for c in space.ofat_grid(MILAN):
+            assert c.key() in small_keys
+
+    def test_grids_deduplicated(self, space):
+        for scale in ("small", "medium"):
+            grid = space.grid(MILAN, scale)
+            assert len({c.key() for c in grid}) == len(grid)
+
+    def test_random_grid_deterministic(self, space):
+        a = space.random_grid(MILAN, 10, seed=3)
+        b = space.random_grid(MILAN, 10, seed=3)
+        assert [c.key() for c in a] == [c.key() for c in b]
+
+    def test_unknown_scale(self, space):
+        with pytest.raises(ConfigError):
+            space.grid(MILAN, "enormous")
+
+    def test_two_factor_grid_design(self, space):
+        grid = space.two_factor_grid(MILAN)
+        keys = {c.key() for c in grid}
+        assert len(keys) == len(grid)  # no duplicates
+
+        from repro.runtime.icv import UNSET
+
+        def deviations(config):
+            n = 0
+            for var in space.variables:
+                if getattr(config, var.field) != var.default():
+                    n += 1
+            return n
+
+        counts = {}
+        for c in grid:
+            counts[deviations(c)] = counts.get(deviations(c), 0) + 1
+        # Exactly one default, all OFAT points, and every value pair.
+        assert counts[0] == 1
+        n_values = [len(v.values(MILAN)) - 1 for v in space.variables]
+        assert counts[1] == sum(n_values)
+        expected_pairs = 0
+        for i in range(len(n_values)):
+            for j in range(i + 1, len(n_values)):
+                expected_pairs += n_values[i] * n_values[j]
+        assert counts[2] == expected_pairs
+        assert set(counts) == {0, 1, 2}
+
+    def test_twofactor_scale_routes_to_design(self, space):
+        grid = space.grid(MILAN, "twofactor")
+        assert len(grid) == len(space.two_factor_grid(MILAN))
+
+
+class TestCustomSpaces:
+    def test_subset_space(self):
+        sub = EnvSpace([v for v in SWEPT_VARIABLES if v.field == "library"])
+        assert sub.size(MILAN) == 2
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ConfigError):
+            EnvSpace([])
+
+    def test_duplicate_variables_rejected(self):
+        v = SWEPT_VARIABLES[0]
+        with pytest.raises(ConfigError):
+            EnvSpace([v, v])
+
+    def test_custom_spec_values(self):
+        spec = VariableSpec("X", "schedule", (UNSET, "dynamic"))
+        assert spec.values(MILAN) == (UNSET, "dynamic")
+        assert spec.values(A64FX) == (UNSET, "dynamic")  # no largeline set
+        assert spec.default() == UNSET

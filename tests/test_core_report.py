@@ -1,0 +1,70 @@
+"""Tests for the one-shot study report generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import generate_report
+from repro.errors import SchemaError
+from repro.frame.table import Table
+
+
+class TestGenerateReport:
+    def test_report_contents(self, milan_dataset, tmp_path):
+        path = generate_report(milan_dataset, tmp_path / "r",
+                               title="Test Study")
+        text = path.read_text()
+        assert text.startswith("# Test Study")
+        for section in (
+            "## Headline speedup statistics",
+            "## Run-to-run consistency",
+            "## Best speedup per application",
+            "## Feature influence",
+            "## Recommendations",
+            "### Worst trends",
+        ):
+            assert section in text, section
+        # The Milan dataset's known facts appear.
+        assert "nqueens" in text
+        assert "proc_bind=master" in text
+        assert "R²" in text
+
+    def test_figures_written(self, milan_dataset, tmp_path):
+        generate_report(milan_dataset, tmp_path / "r")
+        svgs = sorted(p.name for p in (tmp_path / "r").glob("*.svg"))
+        assert svgs == [
+            "influence_by_application.svg",
+            "influence_by_arch_application.svg",
+            "influence_by_architecture.svg",
+        ]
+        for name in svgs:
+            assert f"({name})" in (tmp_path / "r" / "REPORT.md").read_text()
+
+    def test_multi_arch_report(self, tri_arch_dataset, tmp_path):
+        path = generate_report(tri_arch_dataset, tmp_path / "r")
+        text = path.read_text()
+        for arch in ("a64fx", "skylake", "milan"):
+            assert arch in text
+        # Consistency table distinguishes the machines.
+        assert "consistent" in text and "noisy" in text
+
+    def test_unenriched_dataset_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            generate_report(Table({"arch": ["m"]}), tmp_path)
+
+    def test_labels_added_if_missing(self, milan_dataset, tmp_path):
+        stripped = milan_dataset.without_columns(["optimal"])
+        path = generate_report(stripped, tmp_path / "r")
+        assert path.exists()
+
+    def test_cli_report(self, milan_dataset, tmp_path, capsys):
+        from repro.cli import main
+        from repro.frame.io import write_csv
+
+        csv_path = tmp_path / "ds.csv"
+        write_csv(milan_dataset, csv_path)
+        rc = main(["report", str(csv_path), "-o", str(tmp_path / "out"),
+                   "--title", "CLI Study"])
+        assert rc == 0
+        assert (tmp_path / "out" / "REPORT.md").read_text().startswith(
+            "# CLI Study"
+        )

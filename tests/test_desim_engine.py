@@ -1,0 +1,263 @@
+"""Tests for the discrete-event kernel and synchronization primitives."""
+
+import pytest
+
+from repro.desim.engine import Engine, Event, Process, Timeout
+from repro.desim.resources import Barrier, Lock, Semaphore
+from repro.errors import DeadlockError, SimulationError
+
+
+class TestEngineBasics:
+    def test_timeout_ordering(self):
+        eng = Engine()
+        log = []
+
+        def worker(name, delay):
+            yield Timeout(delay)
+            log.append((eng.now, name))
+
+        eng.process(worker("late", 2.0))
+        eng.process(worker("early", 1.0))
+        eng.run()
+        assert log == [(1.0, "early"), (2.0, "late")]
+
+    def test_tie_break_by_creation_order(self):
+        eng = Engine()
+        log = []
+
+        def worker(name):
+            yield Timeout(1.0)
+            log.append(name)
+
+        for n in "abc":
+            eng.process(worker(n))
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+    def test_process_result(self):
+        eng = Engine()
+
+        def compute():
+            yield Timeout(1.0)
+            return 42
+
+        proc = eng.process(compute())
+        eng.run()
+        assert proc.done
+        assert proc.result == 42
+
+    def test_join_process(self):
+        eng = Engine()
+        log = []
+
+        def child():
+            yield Timeout(3.0)
+            return "payload"
+
+        def parent():
+            c = eng.process(child())
+            value = yield c
+            log.append((eng.now, value))
+
+        eng.process(parent())
+        eng.run()
+        assert log == [(3.0, "payload")]
+
+    def test_event_value_delivery(self):
+        eng = Engine()
+        gate = eng.event()
+        got = []
+
+        def waiter():
+            value = yield gate
+            got.append(value)
+
+        def firer():
+            yield Timeout(5.0)
+            gate.succeed("hello")
+
+        eng.process(waiter())
+        eng.process(firer())
+        eng.run()
+        assert got == ["hello"]
+        assert gate.triggered and gate.value == "hello"
+
+    def test_wait_on_triggered_event_immediate(self):
+        eng = Engine()
+        gate = eng.event()
+        gate.succeed(7)
+        got = []
+
+        def waiter():
+            got.append((yield gate))
+
+        eng.process(waiter())
+        eng.run()
+        assert got == [7]
+
+    def test_double_succeed_rejected(self):
+        eng = Engine()
+        gate = eng.event()
+        gate.succeed()
+        with pytest.raises(SimulationError):
+            gate.succeed()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_bad_yield_rejected(self):
+        eng = Engine()
+
+        def bad():
+            yield 123
+
+        eng.process(bad())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_deadlock_detection(self):
+        eng = Engine()
+        gate = eng.event()  # never succeeds
+
+        def stuck():
+            yield gate
+
+        eng.process(stuck())
+        with pytest.raises(DeadlockError):
+            eng.run()
+
+    def test_run_until(self):
+        eng = Engine()
+
+        def worker():
+            yield Timeout(10.0)
+
+        eng.process(worker())
+        assert eng.run(until=5.0) == 5.0
+        assert eng.run() == 10.0
+
+    def test_non_generator_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            Process(eng, lambda: None)  # type: ignore[arg-type]
+
+
+class TestLock:
+    def test_mutual_exclusion_and_fifo(self):
+        eng = Engine()
+        lock = Lock(eng)
+        log = []
+
+        def worker(name, hold):
+            yield from lock.acquire()
+            log.append(("in", name, eng.now))
+            yield Timeout(hold)
+            log.append(("out", name, eng.now))
+            lock.release()
+
+        eng.process(worker("a", 2.0))
+        eng.process(worker("b", 1.0))
+        eng.process(worker("c", 1.0))
+        eng.run()
+        # Critical sections never overlap, FIFO order preserved.
+        assert [e[1] for e in log] == ["a", "a", "b", "b", "c", "c"]
+        assert log[2][2] == 2.0 and log[4][2] == 3.0
+        assert lock.acquisitions == 3
+        assert lock.contentions == 2
+
+    def test_release_unheld_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            Lock(eng).release()
+
+    def test_uncontended_acquire_is_immediate(self):
+        eng = Engine()
+        lock = Lock(eng)
+        times = []
+
+        def worker():
+            yield from lock.acquire()
+            times.append(eng.now)
+            lock.release()
+            yield Timeout(0.0)
+
+        eng.process(worker())
+        eng.run()
+        assert times == [0.0]
+
+
+class TestSemaphore:
+    def test_counting(self):
+        eng = Engine()
+        sem = Semaphore(eng, value=2)
+        running = []
+        peak = []
+
+        def worker(i):
+            yield from sem.acquire()
+            running.append(i)
+            peak.append(len(running))
+            yield Timeout(1.0)
+            running.remove(i)
+            sem.release()
+
+        for i in range(5):
+            eng.process(worker(i))
+        eng.run()
+        assert max(peak) == 2  # never more than 2 concurrent holders
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(SimulationError):
+            Semaphore(Engine(), value=-1)
+
+
+class TestBarrier:
+    def test_all_released_at_last_arrival(self):
+        eng = Engine()
+        bar = Barrier(eng, parties=3)
+        released = []
+
+        def worker(delay):
+            yield Timeout(delay)
+            yield from bar.wait()
+            released.append(eng.now)
+
+        for d in (1.0, 2.0, 5.0):
+            eng.process(worker(d))
+        eng.run()
+        assert released == [5.0, 5.0, 5.0]
+        assert bar.generations == 1
+
+    def test_cyclic_reuse(self):
+        eng = Engine()
+        bar = Barrier(eng, parties=2)
+        log = []
+
+        def worker(name):
+            for phase in range(3):
+                yield Timeout(1.0)
+                yield from bar.wait()
+                log.append((phase, name, eng.now))
+
+        eng.process(worker("a"))
+        eng.process(worker("b"))
+        eng.run()
+        assert bar.generations == 3
+        assert [e[2] for e in log] == [1.0, 1.0, 2.0, 2.0, 3.0, 3.0]
+
+    def test_single_party_never_blocks(self):
+        eng = Engine()
+        bar = Barrier(eng, parties=1)
+
+        def worker():
+            yield from bar.wait()
+            return "done"
+
+        proc = eng.process(worker())
+        eng.run()
+        assert proc.result == "done"
+
+    def test_invalid_parties(self):
+        with pytest.raises(SimulationError):
+            Barrier(Engine(), parties=0)

@@ -1,0 +1,136 @@
+"""Tests for the per-chunk loop simulator, including cross-validation of
+the analytic schedule model against it."""
+
+import numpy as np
+import pytest
+
+from repro.desim.loopsim import simulate_loop
+from repro.errors import SimulationError
+from repro.runtime.schedule import static_balance_factor
+from repro.runtime.program import LoadPattern
+
+
+class TestBasics:
+    def test_static_uniform_perfect_balance(self):
+        costs = np.full(100, 0.01)
+        res = simulate_loop(costs, n_workers=10, schedule="static")
+        assert res.makespan == pytest.approx(0.1)
+        assert res.imbalance == pytest.approx(1.0)
+        assert res.n_chunks == 10
+        assert res.dispatch_wait == 0.0
+
+    def test_work_conserved(self):
+        rng = np.random.default_rng(0)
+        costs = rng.uniform(0.001, 0.01, size=200)
+        for schedule in ("static", "dynamic", "guided"):
+            res = simulate_loop(costs, 8, schedule=schedule)
+            assert res.total_work == pytest.approx(costs.sum())
+
+    def test_single_worker_serial(self):
+        costs = np.full(50, 0.02)
+        for schedule in ("static", "dynamic", "guided"):
+            res = simulate_loop(costs, 1, schedule=schedule)
+            assert res.makespan == pytest.approx(1.0)
+
+    def test_dynamic_chunk_count(self):
+        costs = np.full(100, 0.001)
+        res = simulate_loop(costs, 4, schedule="dynamic", chunk=10)
+        assert res.n_chunks == 10
+
+    def test_guided_fewer_chunks_than_dynamic(self):
+        costs = np.full(1000, 1e-4)
+        dyn = simulate_loop(costs, 8, schedule="dynamic", chunk=1)
+        gui = simulate_loop(costs, 8, schedule="guided", chunk=1)
+        assert gui.n_chunks < dyn.n_chunks
+
+    def test_more_iterations_than_nothing(self):
+        with pytest.raises(SimulationError):
+            simulate_loop(np.array([]), 4)
+        with pytest.raises(SimulationError):
+            simulate_loop(np.ones(4), 0)
+        with pytest.raises(SimulationError):
+            simulate_loop(np.ones(4), 2, schedule="chaotic")
+        with pytest.raises(SimulationError):
+            simulate_loop(np.ones(4), 2, chunk=0)
+        with pytest.raises(SimulationError):
+            simulate_loop(-np.ones(4), 2)
+
+    def test_slow_worker_hurts_static_more(self):
+        costs = np.full(400, 1e-3)
+        speeds = np.array([1.0, 1.0, 1.0, 0.25])
+        st = simulate_loop(costs, 4, schedule="static",
+                           worker_speeds=speeds)
+        dy = simulate_loop(costs, 4, schedule="dynamic", chunk=4,
+                           worker_speeds=speeds)
+        assert st.makespan > 1.5 * dy.makespan
+
+
+class TestDispatchContention:
+    def test_dispatch_serializes_tiny_iterations(self):
+        # Iterations far cheaper than the dispatch: the counter dominates.
+        costs = np.full(2000, 1e-7)
+        res = simulate_loop(costs, 16, schedule="dynamic", chunk=1,
+                            dispatch_time=1e-5)
+        assert res.makespan >= 2000 * 1e-5  # serial dispatch floor
+        assert res.dispatch_wait > 0
+
+    def test_chunking_relieves_contention(self):
+        costs = np.full(2000, 1e-7)
+        fine = simulate_loop(costs, 16, "dynamic", chunk=1,
+                             dispatch_time=1e-5)
+        coarse = simulate_loop(costs, 16, "dynamic", chunk=100,
+                               dispatch_time=1e-5)
+        assert coarse.makespan < fine.makespan / 5
+
+    def test_no_dispatch_cost_no_wait(self):
+        costs = np.full(100, 1e-3)
+        res = simulate_loop(costs, 4, "dynamic", chunk=1, dispatch_time=0.0)
+        assert res.dispatch_wait == pytest.approx(0.0)
+
+
+class TestAnalyticValidation:
+    """The schedule model's closed forms vs the per-chunk DES."""
+
+    def test_static_balance_factor_tracks_des(self):
+        rng = np.random.default_rng(1)
+        n, T, sigma = 4000, 16, 0.7
+        ratios = []
+        for trial in range(10):
+            costs = np.maximum(
+                rng.normal(1e-4, sigma * 1e-4, size=n), 0.0
+            )
+            res = simulate_loop(costs, T, schedule="static")
+            ideal = costs.sum() / T
+            ratios.append(res.makespan / ideal)
+        des_balance = float(np.mean(ratios))
+        model = static_balance_factor(LoadPattern.RANDOM, sigma, n, T)
+        assert model == pytest.approx(des_balance, rel=0.1)
+
+    def test_dynamic_beats_static_on_linear_ramp_in_both_models(self):
+        n, T = 2000, 8
+        costs = 1e-4 * (1.0 + 1.0 * (np.arange(n) / n - 0.5))
+        st = simulate_loop(costs, T, schedule="static")
+        dy = simulate_loop(costs, T, schedule="dynamic", chunk=8,
+                           dispatch_time=1e-8)
+        assert dy.makespan < st.makespan
+        # The analytic model agrees on the direction.
+        st_model = static_balance_factor(LoadPattern.LINEAR, 1.0, n, T)
+        assert st_model > 1.2
+
+    def test_dispatch_bound_regime_matches_contention_floor(self):
+        """The analytic model's `contention_floor = n_chunks * serial_grab`
+        must match the DES when iterations are negligible."""
+        n, T = 1000, 12
+        dispatch = 2e-6
+        costs = np.full(n, 1e-9)
+        res = simulate_loop(costs, T, "dynamic", chunk=1,
+                            dispatch_time=dispatch)
+        floor = n * dispatch
+        assert res.makespan == pytest.approx(floor, rel=0.05)
+
+    def test_guided_balances_ramp_like_model_predicts(self):
+        n, T = 3000, 10
+        costs = 1e-4 * (1.0 + 0.8 * (np.arange(n) / n - 0.5))
+        gui = simulate_loop(costs, T, schedule="guided", dispatch_time=1e-8)
+        ideal = costs.sum() / T
+        assert gui.makespan / ideal < 1.15  # guided smooths the ramp

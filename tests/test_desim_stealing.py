@@ -1,0 +1,128 @@
+"""Tests for the work-stealing task-pool simulator."""
+
+import numpy as np
+import pytest
+
+from repro.desim.stealing import StealResult, Task, TaskGraph, WorkStealingSimulator
+from repro.errors import SimulationError
+
+
+class TestTaskGraph:
+    def test_balanced_tree_counts(self):
+        g = TaskGraph.balanced_tree(depth=3, branching=2, leaf_work=1.0)
+        assert g.n_tasks == 15
+        assert sum(1 for t in g.tasks if not t.children) == 8
+        assert g.total_work == pytest.approx(8.0)
+
+    def test_critical_path(self):
+        g = TaskGraph.balanced_tree(depth=3, branching=2, leaf_work=1.0,
+                                    node_work=0.5)
+        assert g.critical_path() == pytest.approx(3 * 0.5 + 1.0)
+
+    def test_critical_path_unbalanced(self):
+        g = TaskGraph()
+        leaf_deep = g.add(5.0)
+        mid = g.add(1.0, (leaf_deep,))
+        leaf_shallow = g.add(0.5)
+        g.root = g.add(1.0, (mid, leaf_shallow))
+        assert g.critical_path() == pytest.approx(7.0)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(SimulationError):
+            Task(0, -1.0)
+
+    def test_bad_tree_shape(self):
+        with pytest.raises(SimulationError):
+            TaskGraph.balanced_tree(depth=-1, branching=2, leaf_work=1.0)
+
+
+class TestSimulator:
+    def test_single_worker_serial_time(self):
+        g = TaskGraph.balanced_tree(depth=4, branching=2, leaf_work=1.0,
+                                    node_work=0.25)
+        sim = WorkStealingSimulator(n_workers=1, spawn_overhead=0.0)
+        res = sim.run(g)
+        assert res.makespan == pytest.approx(g.total_work)
+        assert res.steals == 0
+
+    def test_parallel_speedup(self):
+        g = TaskGraph.balanced_tree(depth=8, branching=2, leaf_work=1.0)
+        t1 = WorkStealingSimulator(1, steal_latency=1e-3).run(g).makespan
+        t8 = WorkStealingSimulator(8, steal_latency=1e-3).run(g).makespan
+        assert t1 / t8 > 5.0  # near-linear scaling on 256 coarse leaves
+
+    def test_makespan_bounds(self):
+        g = TaskGraph.balanced_tree(depth=6, branching=3, leaf_work=0.7,
+                                    node_work=0.1)
+        for workers in (2, 4, 16):
+            res = WorkStealingSimulator(workers, steal_latency=1e-4).run(g)
+            assert res.makespan >= g.total_work / workers - 1e-12
+            assert res.makespan >= g.critical_path() - 1e-12
+            # Within 3x of the greedy-scheduling bound.
+            greedy = g.total_work / workers + g.critical_path()
+            assert res.makespan < 3 * greedy
+
+    def test_work_conservation(self):
+        g = TaskGraph.balanced_tree(depth=5, branching=2, leaf_work=1.0)
+        res = WorkStealingSimulator(4, spawn_overhead=0.0).run(g)
+        assert res.busy_time == pytest.approx(g.total_work)
+
+    def test_deterministic(self):
+        g = TaskGraph.balanced_tree(depth=6, branching=2, leaf_work=0.3)
+        a = WorkStealingSimulator(4, seed=5).run(g)
+        b = WorkStealingSimulator(4, seed=5).run(g)
+        assert a == b
+
+    def test_seed_changes_trajectory(self):
+        g = TaskGraph.balanced_tree(depth=7, branching=2, leaf_work=0.3)
+        a = WorkStealingSimulator(6, seed=1).run(g)
+        b = WorkStealingSimulator(6, seed=2).run(g)
+        assert a.steals != b.steals or a.makespan != b.makespan
+
+    def test_slow_workers_slow_makespan(self):
+        g = TaskGraph.balanced_tree(depth=6, branching=2, leaf_work=1.0)
+        fast = WorkStealingSimulator(4).run(g).makespan
+        slow = WorkStealingSimulator(4).run(
+            g, worker_speeds=np.array([0.5, 0.5, 0.5, 0.5])
+        ).makespan
+        assert slow == pytest.approx(2 * fast, rel=0.25)
+
+    def test_higher_steal_latency_hurts(self):
+        g = TaskGraph.balanced_tree(depth=9, branching=2, leaf_work=1e-5)
+        cheap = WorkStealingSimulator(8, steal_latency=1e-7, seed=0).run(g)
+        costly = WorkStealingSimulator(8, steal_latency=1e-4, seed=0).run(g)
+        assert costly.makespan > cheap.makespan
+
+    def test_empty_graph(self):
+        res = WorkStealingSimulator(4).run(TaskGraph())
+        assert res.makespan == 0.0 and res.n_tasks == 0
+
+    def test_utilization_in_unit_range(self):
+        g = TaskGraph.balanced_tree(depth=6, branching=2, leaf_work=0.5)
+        res = WorkStealingSimulator(4).run(g)
+        assert 0.0 < res.utilization <= 1.0
+
+    def test_speedup_over_serial(self):
+        g = TaskGraph.balanced_tree(depth=8, branching=2, leaf_work=1.0)
+        res = WorkStealingSimulator(8, steal_latency=1e-4).run(g)
+        assert res.speedup_over_serial > 4.0
+
+    def test_bad_worker_speeds(self):
+        g = TaskGraph.balanced_tree(depth=2, branching=2, leaf_work=1.0)
+        with pytest.raises(SimulationError):
+            WorkStealingSimulator(2).run(g, worker_speeds=np.array([1.0]))
+        with pytest.raises(SimulationError):
+            WorkStealingSimulator(2).run(g, worker_speeds=np.array([1.0, 0.0]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            WorkStealingSimulator(0)
+        with pytest.raises(SimulationError):
+            WorkStealingSimulator(1, steal_latency=0.0)
+
+
+class TestStealResult:
+    def test_zero_makespan_degenerate(self):
+        res = StealResult(0.0, 0.0, 0, 0, 0, 0.0, 4)
+        assert res.utilization == 1.0
+        assert res.speedup_over_serial == 1.0

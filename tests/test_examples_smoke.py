@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts must keep running end to end.
+
+The two sweep-heavy examples (reproduce_paper_analysis, extensions_tour)
+are exercised by the benchmark suite's equivalents and skipped here to
+keep the test suite fast.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Speedup over the default configuration" in result.stdout
+        # The example's three headline readings appear in its output.
+        assert "nqueens" in result.stdout
+        assert "master" in result.stdout
+
+    def test_runtime_anatomy(self):
+        result = run_example("runtime_anatomy.py")
+        assert result.returncode == 0, result.stderr
+        assert "phase breakdown" in result.stdout
+        assert "ICV resolution" in result.stdout
+        assert "task-model fidelity" in result.stdout
+
+    def test_tune_new_application(self):
+        result = run_example("tune_new_application.py")
+        assert result.returncode == 0, result.stderr
+        assert "pruned space keeps" in result.stdout
+        assert "retaining" in result.stdout
+
+    def test_examples_directory_complete(self):
+        names = sorted(p.name for p in EXAMPLES.glob("*.py"))
+        assert names == [
+            "extensions_tour.py",
+            "quickstart.py",
+            "reproduce_paper_analysis.py",
+            "runtime_anatomy.py",
+            "tune_new_application.py",
+        ]

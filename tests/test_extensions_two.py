@@ -1,0 +1,164 @@
+"""Tests for interactions, execution traces and bootstrap CIs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arch.machines import MILAN
+from repro.core.interactions import interaction_matrix, strongest_interactions
+from repro.errors import SchemaError, SimulationError, StatsError
+from repro.frame.table import Table
+from repro.runtime.icv import EnvConfig
+from repro.runtime.trace import trace_execution
+from repro.stats.bootstrap import bootstrap_ci, bootstrap_speedup_ratio
+from repro.workloads.base import get_workload
+
+
+@pytest.fixture(scope="module")
+def interaction_dataset():
+    """A two-factor-design sweep (the grid interactions need)."""
+    from repro.core.dataset import enrich_with_speedup, records_to_table
+    from repro.core.sweep import SweepPlan, run_sweep
+
+    result = run_sweep(
+        SweepPlan(arch="milan", workload_names=("nqueens", "su3bench"),
+                  scale="twofactor", repetitions=1)
+    )
+    return enrich_with_speedup(records_to_table(result.records))
+
+
+class TestInteractions:
+    def test_pairs_present_and_sorted(self, interaction_dataset):
+        pairs = interaction_matrix(interaction_dataset)
+        assert pairs, "expected some measurable pairs"
+        strengths = [p.strength for p in pairs]
+        assert strengths == sorted(strengths, reverse=True)
+        for p in pairs:
+            assert p.strength >= 0.0
+            assert p.var_a != p.var_b
+
+    def test_library_blocktime_redundancy_detected(self, interaction_dataset):
+        """turnaround and blocktime=infinite buy the SAME active waiting:
+        their joint gain is far below the sum of marginals (negative
+        interaction) — the canonical redundancy the module must find."""
+        pairs = {(p.var_a, p.var_b): p
+                 for p in interaction_matrix(interaction_dataset)}
+        pair = pairs.get(("library", "blocktime"))
+        assert pair is not None
+        assert pair.worst_conflict_value < -0.01
+        combo = set(pair.worst_conflict)
+        assert "turnaround" in combo and "infinite" in combo
+
+    def test_strongest_interactions_k(self, interaction_dataset):
+        top = strongest_interactions(interaction_dataset, k=3)
+        assert len(top) <= 3
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            interaction_matrix(Table({"speedup": [1.0]}))
+
+    def test_independent_knobs_near_zero(self, interaction_dataset):
+        """align_alloc and schedule act on disjoint mechanisms: their
+        interaction must be far weaker than the wait-policy redundancy."""
+        pairs = {(p.var_a, p.var_b): p
+                 for p in interaction_matrix(interaction_dataset)}
+        lib_bt = pairs[("library", "blocktime")]
+        sched_align = pairs.get(("schedule", "align_alloc"))
+        if sched_align is not None:
+            assert sched_align.strength < lib_bt.strength
+
+
+class TestTrace:
+    def test_events_cover_program(self):
+        prog = get_workload("mg").program("W")
+        trace = trace_execution(prog, MILAN, EnvConfig())
+        assert len(trace.events) == len(prog.phases)
+        # Contiguous, ordered timeline.
+        clock = 0.0
+        for e in trace.events:
+            assert e.start_s == pytest.approx(clock)
+            assert e.duration_s >= 0
+            clock = e.end_s
+        assert trace.total_s == pytest.approx(clock)
+
+    def test_total_matches_executor(self):
+        from repro.runtime.executor import execute
+
+        prog = get_workload("nqueens").program("small")
+        trace = trace_execution(prog, MILAN, EnvConfig())
+        assert trace.total_s == pytest.approx(execute(prog, MILAN, EnvConfig()))
+
+    def test_parallel_fraction(self):
+        prog = get_workload("ep").program("A")
+        trace = trace_execution(prog, MILAN, EnvConfig())
+        assert 0.5 < trace.parallel_fraction <= 1.0
+
+    def test_to_table_shares_sum_to_one(self):
+        prog = get_workload("cg").program("S")
+        table = trace_execution(prog, MILAN, EnvConfig()).to_table()
+        assert np.asarray(table["share"], float).sum() == pytest.approx(1.0)
+
+    def test_chrome_trace_valid_json(self, tmp_path):
+        prog = get_workload("lu").program("S")
+        trace = trace_execution(prog, MILAN, EnvConfig(library="turnaround"))
+        path = tmp_path / "trace.json"
+        trace.save_chrome_trace(path)
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["arch"] == "milan"
+        assert doc["otherData"]["config"] == {"KMP_LIBRARY": "turnaround"}
+        events = doc["traceEvents"]
+        assert len(events) == len(prog.phases)
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert ev["dur"] >= 0
+
+
+class TestBootstrap:
+    def test_ci_contains_true_median_usually(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10.0, 2.0, size=400)
+        ci = bootstrap_ci(sample, np.median, seed=1)
+        assert 10.0 in ci
+        assert ci.low < ci.estimate < ci.high
+
+    def test_narrower_with_more_data(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_ci(rng.normal(size=30), np.mean, seed=2)
+        big = bootstrap_ci(rng.normal(size=3000), np.mean, seed=2)
+        assert big.width < small.width
+
+    def test_deterministic(self):
+        sample = np.arange(50.0)
+        a = bootstrap_ci(sample, np.mean, seed=7)
+        b = bootstrap_ci(sample, np.mean, seed=7)
+        assert a == b
+
+    def test_speedup_ratio_detects_real_difference(self):
+        rng = np.random.default_rng(3)
+        baseline = rng.lognormal(mean=0.0, sigma=0.05, size=30)
+        tuned = baseline * 0.5 * rng.lognormal(sigma=0.05, size=30)
+        ci = bootstrap_speedup_ratio(baseline, tuned, seed=4)
+        assert ci.low > 1.5  # clearly faster
+        assert 1.0 not in ci
+
+    def test_speedup_ratio_null_includes_one(self):
+        rng = np.random.default_rng(5)
+        a = rng.lognormal(sigma=0.1, size=40)
+        b = rng.lognormal(sigma=0.1, size=40)
+        ci = bootstrap_speedup_ratio(a, b, seed=6)
+        assert 1.0 in ci
+
+    def test_validation(self):
+        with pytest.raises(StatsError):
+            bootstrap_ci(np.array([]), np.mean)
+        with pytest.raises(StatsError):
+            bootstrap_ci(np.ones(5), np.mean, confidence=1.5)
+        with pytest.raises(StatsError):
+            bootstrap_ci(np.ones(5), np.mean, n_resamples=3)
+        with pytest.raises(StatsError):
+            bootstrap_speedup_ratio(np.array([1.0]), np.array([-1.0]))
+
+    def test_str_rendering(self):
+        ci = bootstrap_ci(np.arange(20.0), np.mean, seed=0)
+        assert "95% CI" in str(ci)

@@ -1,0 +1,148 @@
+"""Tests for frame aggregation helpers and CSV round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError
+from repro.frame.io import (
+    read_csv,
+    table_from_csv_text,
+    table_to_csv_text,
+    write_csv,
+)
+from repro.frame.ops import AGGREGATORS, aggregate_column, concat_tables
+from repro.frame.table import Table
+
+
+class TestAggregators:
+    @pytest.mark.parametrize(
+        "agg,expected",
+        [
+            ("mean", 2.5),
+            ("median", 2.5),
+            ("min", 1.0),
+            ("max", 4.0),
+            ("sum", 10.0),
+            ("count", 4),
+            ("nunique", 4),
+            ("first", 1.0),
+            ("last", 4.0),
+        ],
+    )
+    def test_named(self, agg, expected):
+        arr = np.array([1.0, 2.0, 3.0, 4.0])
+        assert aggregate_column(arr, agg) == expected
+
+    def test_std_single_sample_zero(self):
+        assert aggregate_column(np.array([5.0]), "std") == 0.0
+
+    def test_std_matches_numpy_ddof1(self):
+        arr = np.array([1.0, 2.0, 4.0])
+        assert aggregate_column(arr, "std") == pytest.approx(np.std(arr, ddof=1))
+
+    def test_unknown_aggregator(self):
+        with pytest.raises(FrameError):
+            aggregate_column(np.array([1.0]), "bogus")
+
+    def test_empty_column_rejected(self):
+        with pytest.raises(FrameError):
+            aggregate_column(np.array([]), "mean")
+
+    def test_count_of_empty_is_zero(self):
+        assert aggregate_column(np.array([]), "count") == 0
+
+    def test_non_numeric_mean_rejected(self):
+        arr = np.array(["a", "b"], dtype=object)
+        with pytest.raises(FrameError):
+            aggregate_column(arr, "mean")
+
+    def test_all_registered_aggregators_callable(self):
+        arr = np.array([1.0, 2.0])
+        for name in AGGREGATORS:
+            aggregate_column(arr, name)  # must not raise
+
+
+class TestConcat:
+    def test_concat_basic(self):
+        a = Table({"x": [1, 2], "s": ["a", "b"]})
+        b = Table({"x": [3], "s": ["c"]})
+        c = concat_tables([a, b])
+        assert c.num_rows == 3
+        assert list(c["s"]) == ["a", "b", "c"]
+
+    def test_concat_column_order_from_first(self):
+        a = Table({"x": [1], "y": [2]})
+        b = Table({"y": [3], "x": [4]})
+        c = concat_tables([a, b])
+        assert c.column_names == ["x", "y"]
+        assert list(c["x"]) == [1, 4]
+
+    def test_concat_mismatched_columns_rejected(self):
+        with pytest.raises(FrameError):
+            concat_tables([Table({"x": [1]}), Table({"y": [1]})])
+
+    def test_concat_empty_list(self):
+        assert concat_tables([]).num_rows == 0
+
+    def test_concat_mixed_dtypes_promotes_to_object(self):
+        a = Table({"x": [1, 2]})
+        b = Table({"x": ["s"]})
+        c = concat_tables([a, b])
+        assert c.num_rows == 3
+
+
+class TestCSV:
+    def test_roundtrip_types(self, tmp_path):
+        t = Table(
+            {
+                "name": ["cg", "bt"],
+                "count": [3, 4],
+                "val": [1.5, np.nan],
+            }
+        )
+        path = tmp_path / "t.csv"
+        write_csv(t, path)
+        back = read_csv(path)
+        assert back.column("count").dtype.kind == "i"
+        assert back.column("val").dtype.kind == "f"
+        assert np.isnan(back["val"][1])
+        assert list(back["name"]) == ["cg", "bt"]
+
+    def test_empty_cells_in_int_column_promote_to_float(self):
+        t = table_from_csv_text("a,b\n1,x\n,y\n3,z\n")
+        assert t.column("a").dtype.kind == "f"
+        assert np.isnan(t["a"][1])
+
+    def test_blank_lines_skipped(self):
+        t = table_from_csv_text("a\n1\n\n3\n")
+        assert t.num_rows == 2
+
+    def test_string_column_keeps_none_for_empty(self):
+        t = table_from_csv_text("a,b\nx,1\n,2\n")
+        assert t["a"][1] is None
+
+    def test_header_only(self):
+        t = table_from_csv_text("a,b\n")
+        assert t.num_rows == 0
+        assert t.column_names == ["a", "b"]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(FrameError):
+            table_from_csv_text("")
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(FrameError):
+            table_from_csv_text("a,a\n1,2\n")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(FrameError):
+            table_from_csv_text("a,b\n1\n")
+
+    def test_quoting_roundtrip(self):
+        t = Table({"s": ['with,comma', 'with "quote"']})
+        assert table_from_csv_text(table_to_csv_text(t)) == t
+
+    def test_float_precision_roundtrip(self):
+        t = Table({"v": [0.1 + 0.2, 1e-300, 1e300]})
+        back = table_from_csv_text(table_to_csv_text(t))
+        assert list(back["v"]) == list(t["v"])

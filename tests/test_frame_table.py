@@ -1,0 +1,243 @@
+"""Unit tests for the columnar Table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ColumnError, LengthMismatch
+from repro.frame.table import Table
+
+
+@pytest.fixture
+def simple():
+    return Table(
+        {
+            "app": ["cg", "cg", "bt", "bt", "mg"],
+            "arch": ["milan", "a64fx", "milan", "milan", "a64fx"],
+            "runtime": [1.0, 2.0, 3.0, 4.0, 5.0],
+        }
+    )
+
+
+class TestConstruction:
+    def test_shape(self, simple):
+        assert simple.shape == (5, 3)
+        assert simple.num_rows == 5
+        assert simple.num_columns == 3
+        assert len(simple) == 5
+
+    def test_column_names_in_order(self, simple):
+        assert simple.column_names == ["app", "arch", "runtime"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(LengthMismatch):
+            Table({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(LengthMismatch):
+            Table({"a": np.zeros((2, 2))})
+
+    def test_strings_become_object_dtype(self, simple):
+        assert simple.column("app").dtype == object
+
+    def test_numbers_keep_numeric_dtype(self, simple):
+        assert simple.column("runtime").dtype.kind == "f"
+
+    def test_from_records_missing_keys(self):
+        t = Table.from_records([{"a": 1, "b": 2}, {"a": 3}])
+        assert t.column("b")[1] is None
+
+    def test_from_records_column_order_first_appearance(self):
+        t = Table.from_records([{"b": 1}, {"a": 2, "b": 3}])
+        assert t.column_names == ["b", "a"]
+
+    def test_empty(self):
+        t = Table.empty(["x", "y"])
+        assert t.num_rows == 0
+        assert t.column_names == ["x", "y"]
+
+
+class TestAccess:
+    def test_missing_column_raises(self, simple):
+        with pytest.raises(ColumnError):
+            simple.column("nope")
+
+    def test_getitem(self, simple):
+        assert simple["runtime"][0] == 1.0
+
+    def test_contains(self, simple):
+        assert "app" in simple
+        assert "nope" not in simple
+
+    def test_row_returns_python_scalars(self, simple):
+        row = simple.row(0)
+        assert row == {"app": "cg", "arch": "milan", "runtime": 1.0}
+        assert isinstance(row["runtime"], float)
+
+    def test_row_negative_index(self, simple):
+        assert simple.row(-1)["app"] == "mg"
+
+    def test_row_out_of_range(self, simple):
+        with pytest.raises(IndexError):
+            simple.row(5)
+
+    def test_to_records_roundtrip(self, simple):
+        assert Table.from_records(simple.to_records()) == simple
+
+    def test_to_dict(self, simple):
+        d = simple.to_dict()
+        assert d["app"] == ["cg", "cg", "bt", "bt", "mg"]
+
+
+class TestTransforms:
+    def test_with_column_adds(self, simple):
+        t = simple.with_column("x", [1, 2, 3, 4, 5])
+        assert "x" in t
+        assert "x" not in simple  # original untouched
+
+    def test_with_column_replaces(self, simple):
+        t = simple.with_column("runtime", [0.0] * 5)
+        assert t["runtime"].sum() == 0.0
+
+    def test_with_column_wrong_length(self, simple):
+        with pytest.raises(LengthMismatch):
+            simple.with_column("x", [1, 2])
+
+    def test_without_columns(self, simple):
+        t = simple.without_columns(["arch"])
+        assert t.column_names == ["app", "runtime"]
+
+    def test_without_missing_raises(self, simple):
+        with pytest.raises(ColumnError):
+            simple.without_columns(["nope"])
+
+    def test_select_reorders(self, simple):
+        t = simple.select(["runtime", "app"])
+        assert t.column_names == ["runtime", "app"]
+
+    def test_rename(self, simple):
+        t = simple.rename({"runtime": "sec"})
+        assert "sec" in t and "runtime" not in t
+
+    def test_rename_collision_raises(self, simple):
+        with pytest.raises(ColumnError):
+            simple.rename({"runtime": "app"})
+
+    def test_map_column(self, simple):
+        t = simple.map_column("app", str.upper)
+        assert t["app"][0] == "CG"
+
+
+class TestFilterSort:
+    def test_filter(self, simple):
+        t = simple.filter(simple["runtime"] > 2.5)
+        assert t.num_rows == 3
+
+    def test_filter_wrong_length(self, simple):
+        with pytest.raises(LengthMismatch):
+            simple.filter([True, False])
+
+    def test_take_order(self, simple):
+        t = simple.take([4, 0])
+        assert list(t["app"]) == ["mg", "cg"]
+
+    def test_head(self, simple):
+        assert simple.head(2).num_rows == 2
+        assert simple.head(100).num_rows == 5
+
+    def test_sort_numeric_descending(self, simple):
+        t = simple.sort_by("runtime", descending=True)
+        assert list(t["runtime"]) == [5.0, 4.0, 3.0, 2.0, 1.0]
+
+    def test_sort_multi_key(self, simple):
+        t = simple.sort_by(["arch", "runtime"])
+        assert list(t["arch"]) == ["a64fx", "a64fx", "milan", "milan", "milan"]
+        assert list(t["runtime"])[:2] == [2.0, 5.0]
+
+    def test_unique_preserves_first_appearance(self, simple):
+        assert simple.unique("app") == ["cg", "bt", "mg"]
+
+
+class TestGroupAggregate:
+    def test_group_by_single(self, simple):
+        groups = dict(simple.group_by("arch"))
+        assert set(groups) == {("milan",), ("a64fx",)}
+        assert groups[("milan",)].num_rows == 3
+
+    def test_group_by_multi(self, simple):
+        groups = simple.group_by(["app", "arch"])
+        assert len(groups) == 4
+
+    def test_aggregate_mean(self, simple):
+        t = simple.aggregate("arch", {"runtime": "mean"})
+        by = dict(zip(t["arch"], t["runtime_mean"]))
+        assert by["milan"] == pytest.approx((1 + 3 + 4) / 3)
+
+    def test_aggregate_callable(self, simple):
+        t = simple.aggregate("arch", {"runtime": lambda a: float(a.max())})
+        by = dict(zip(t["arch"], t["runtime"]))
+        assert by["a64fx"] == 5.0
+
+    def test_pivot(self, simple):
+        p = simple.pivot(index="app", columns="arch", values="runtime")
+        assert p.column_names == ["app", "milan", "a64fx"]
+        row = {r["app"]: r for r in p.iter_rows()}
+        assert row["bt"]["milan"] == pytest.approx(3.5)
+        assert row["bt"]["a64fx"] is None
+
+
+class TestJoin:
+    def test_inner_join(self, simple):
+        meta = Table({"arch": ["milan", "a64fx"], "cores": [96, 48]})
+        j = simple.join(meta, on="arch")
+        assert j.num_rows == 5
+        assert set(j["cores"]) == {96, 48}
+
+    def test_left_join_fills_none(self, simple):
+        meta = Table({"arch": ["milan"], "cores": [96]})
+        j = simple.join(meta, on="arch", how="left")
+        assert j.num_rows == 5
+        assert any(v is None for v in j["cores"])
+
+    def test_inner_join_drops_unmatched(self, simple):
+        meta = Table({"arch": ["milan"], "cores": [96]})
+        j = simple.join(meta, on="arch")
+        assert j.num_rows == 3
+
+    def test_join_suffixes_overlap(self, simple):
+        other = Table({"arch": ["milan", "a64fx"], "runtime": [9.0, 8.0]})
+        j = simple.join(other, on="arch")
+        assert "runtime_right" in j
+
+    def test_join_bad_how(self, simple):
+        with pytest.raises(ValueError):
+            simple.join(simple, on="arch", how="outer")
+
+
+class TestDescribe:
+    def test_numeric_columns_only(self, simple):
+        d = simple.describe()
+        assert d.unique("column") == ["runtime"]
+        row = d.row(0)
+        assert row["mean"] == pytest.approx(3.0)
+        assert row["min"] == 1.0 and row["max"] == 5.0
+
+    def test_empty_numeric_set(self):
+        t = Table({"s": ["a", "b"]})
+        assert t.describe().num_rows == 0
+
+
+class TestRendering:
+    def test_to_text_contains_headers_and_rows(self, simple):
+        text = simple.to_text()
+        assert "app" in text and "cg" in text
+
+    def test_to_text_truncates(self, simple):
+        text = simple.to_text(max_rows=2)
+        assert "3 more rows" in text
+
+    def test_repr(self, simple):
+        assert "5 rows" in repr(simple)
+
+    def test_equality(self, simple):
+        assert simple == Table(simple.to_dict())
+        assert simple != simple.head(2)

@@ -1,0 +1,156 @@
+"""End-to-end integration: sweep -> dataset -> CSV -> analysis -> figures,
+plus cross-module invariants that mirror the paper's headline findings."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EnvConfig,
+    EnvSpace,
+    SweepPlan,
+    enrich_with_speedup,
+    execute,
+    get_machine,
+    get_workload,
+    influence_by_application,
+    influence_by_architecture,
+    label_optimal,
+    read_csv,
+    records_to_table,
+    run_sweep,
+    speedup_summary,
+    worst_trends,
+    write_csv,
+)
+from repro.viz.heatmap import influence_heatmap
+from repro.viz.violin import violin_plot
+
+
+class TestFullPipeline:
+    def test_csv_roundtrip_preserves_analysis(self, milan_dataset, tmp_path):
+        path = tmp_path / "dataset.csv"
+        write_csv(milan_dataset, path)
+        back = read_csv(path)
+        assert back.num_rows == milan_dataset.num_rows
+        a = influence_by_application(milan_dataset).matrix()
+        b = influence_by_application(back).matrix()
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_figures_render_from_sweep(self, milan_dataset, tmp_path):
+        inf = influence_by_architecture(milan_dataset)
+        svg = influence_heatmap(inf)
+        svg.save(str(tmp_path / "fig3.svg"))
+        # Violin of one app's runtime distribution across the sweep.
+        mask = np.asarray([a == "nqueens" for a in milan_dataset["app"]])
+        sub = milan_dataset.filter(mask)
+        samples, labels = [], []
+        for (inp,), group in sub.group_by("input_size"):
+            samples.append(np.asarray(group["runtime_mean"], float))
+            labels.append(str(inp))
+        v = violin_plot(samples, labels, log_scale=True)
+        v.save(str(tmp_path / "fig_violin.svg"))
+        assert (tmp_path / "fig3.svg").stat().st_size > 500
+        assert (tmp_path / "fig_violin.svg").stat().st_size > 500
+
+
+class TestPaperHeadlines:
+    """Shape-level assertions of the paper's Sec. V findings."""
+
+    def test_default_performs_well_but_all_apps_have_headroom(
+        self, milan_dataset
+    ):
+        summary = speedup_summary(milan_dataset, by=("app",))
+        maxima = np.asarray(summary["max_speedup"], float)
+        assert (maxima > 1.0).all()  # every app improvable
+        speedups = np.asarray(milan_dataset["speedup"], float)
+        # ... but the default is good: most configs do NOT beat it by much.
+        assert np.median(speedups) < 1.05
+
+    def test_nqueens_has_largest_headroom(self, milan_dataset):
+        summary = speedup_summary(milan_dataset, by=("app",))
+        by_app = dict(zip(summary["app"], summary["max_speedup"]))
+        assert by_app["nqueens"] == max(by_app.values())
+        assert by_app["nqueens"] > 2.0
+
+    def test_turnaround_best_for_nqueens_all_architectures(self):
+        """Table VII row 1: KMP_LIBRARY=turnaround helps NQueens on every
+        machine."""
+        prog = get_workload("nqueens").program("medium")
+        for arch in ("a64fx", "skylake", "milan"):
+            m = get_machine(arch)
+            default = execute(prog, m, EnvConfig())
+            turn = execute(prog, m, EnvConfig(library="turnaround"))
+            assert default / turn > 1.5, arch
+
+    def test_xsbench_headroom_is_milan_specific(self):
+        """Table V: XSBench improves >1.5x on Milan, ~nothing elsewhere."""
+        prog = get_workload("xsbench").program("default")
+        best = {}
+        for arch in ("a64fx", "skylake", "milan"):
+            m = get_machine(arch)
+            default = execute(prog, m, EnvConfig())
+            candidates = [
+                EnvConfig(places=p, proc_bind=b)
+                for p in ("cores", "sockets", "ll_caches")
+                for b in ("close", "spread")
+            ]
+            best[arch] = max(
+                default / execute(prog, m, c) for c in candidates
+            )
+        assert best["milan"] > 1.5
+        assert best["skylake"] < 1.15
+        assert best["a64fx"] < 1.15
+
+    def test_master_binding_worst_trend(self, milan_dataset):
+        trends = worst_trends(milan_dataset)
+        assert any(
+            t.variable == "proc_bind" and t.value == "master" for t in trends
+        )
+
+    def test_optimal_label_balance_sane(self, milan_dataset):
+        frac = np.asarray(milan_dataset["optimal"], float).mean()
+        assert 0.02 < frac < 0.9
+
+
+class TestCrossArchConsistency:
+    def test_same_sweep_same_apps_different_archs(self, tri_arch_dataset):
+        archs = set(tri_arch_dataset.unique("arch"))
+        assert archs == {"a64fx", "skylake", "milan"}
+        # Per-setting speedups are always computed against that arch's own
+        # default, so every arch contains speedup == 1 rows.
+        for (arch,), sub in tri_arch_dataset.group_by("arch"):
+            speedups = np.asarray(sub["speedup"], float)
+            assert np.isclose(speedups.max(), speedups.max())
+            assert (np.abs(speedups - 1.0) < 1e-9).any()
+
+    def test_a64fx_quietest_machine(self, tri_arch_dataset):
+        """Table IV shape: per-config run-to-run scatter smallest on A64FX."""
+        from repro.core.dataset import run_columns
+
+        cols = run_columns(tri_arch_dataset)
+        noise = {}
+        for (arch,), sub in tri_arch_dataset.group_by("arch"):
+            runs = np.stack(
+                [np.asarray(sub[c], float) for c in cols]
+            )
+            cv = runs.std(axis=0) / runs.mean(axis=0)
+            noise[arch] = float(np.median(cv))
+        assert noise["a64fx"] < noise["skylake"]
+        assert noise["a64fx"] < noise["milan"]
+
+
+class TestScaleKnobs:
+    def test_small_scale_sweep_is_fast_and_complete(self):
+        plan = SweepPlan(arch="skylake", workload_names=("ep",),
+                         scale="small", repetitions=1)
+        result = run_sweep(plan)
+        space = EnvSpace()
+        machine = get_machine("skylake")
+        assert result.n_samples == len(space.grid(machine, "small")) * 4
+
+    def test_inputs_limit(self):
+        plan = SweepPlan(arch="skylake", workload_names=("ep",),
+                         scale="small", repetitions=1, inputs_limit=2)
+        result = run_sweep(plan)
+        inputs = {r.input_size for r in result.records}
+        assert inputs == {"S", "W"}

@@ -1,0 +1,170 @@
+"""Tests for metrics and model selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError, StatsError
+from repro.mlkit.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    precision_score,
+    r2_score,
+    recall_score,
+    roc_auc_score,
+)
+from repro.mlkit.model_select import KFold, train_test_split
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_confusion_matrix_layout(self):
+        y_true = np.array([0, 0, 1, 1, 1])
+        y_pred = np.array([0, 1, 1, 0, 1])
+        cm = confusion_matrix(y_true, y_pred)
+        assert cm.tolist() == [[1, 1], [1, 2]]
+
+    def test_precision_recall_f1(self):
+        y_true = np.array([0, 0, 1, 1, 1])
+        y_pred = np.array([0, 1, 1, 0, 1])
+        p, r = precision_score(y_true, y_pred), recall_score(y_true, y_pred)
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_precision_zero_when_no_positive_predictions(self):
+        assert precision_score(np.array([1, 1]), np.array([0, 0])) == 0.0
+        assert f1_score(np.array([1, 1]), np.array([0, 0])) == 0.0
+
+    def test_nonbinary_confusion_rejected(self):
+        with pytest.raises(StatsError):
+            confusion_matrix(np.array([0, 2]), np.array([0, 1]))
+
+    def test_log_loss_perfect_and_clipped(self):
+        y = np.array([1.0, 0.0])
+        assert log_loss(y, np.array([1.0, 0.0])) < 1e-10
+        assert np.isfinite(log_loss(y, np.array([0.0, 1.0])))
+
+    def test_log_loss_accepts_proba_matrix(self):
+        y = np.array([1.0, 0.0])
+        proba = np.array([[0.2, 0.8], [0.7, 0.3]])
+        expected = -np.mean([np.log(0.8), np.log(0.7)])
+        assert log_loss(y, proba) == pytest.approx(expected)
+
+    def test_r2_perfect_and_mean_predictor(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        y = np.full(4, 5.0)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(StatsError):
+            accuracy_score(np.array([]), np.array([]))
+
+
+class TestRocAuc:
+    def test_perfect_and_inverted(self):
+        y = np.array([0, 0, 1, 1], float)
+        assert roc_auc_score(y, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+        assert roc_auc_score(y, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000).astype(float)
+        scores = rng.random(4000)
+        assert abs(roc_auc_score(y, scores) - 0.5) < 0.03
+
+    def test_ties_handled_exactly(self):
+        # All scores equal: AUC must be exactly 0.5 by midrank convention.
+        y = np.array([0, 1, 0, 1], float)
+        assert roc_auc_score(y, np.ones(4)) == pytest.approx(0.5)
+
+    def test_accepts_proba_matrix(self):
+        y = np.array([0, 1], float)
+        proba = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert roc_auc_score(y, proba) == 1.0
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=60).astype(float)
+        s = rng.random(60)
+        pos, neg = s[y == 1], s[y == 0]
+        wins = sum(
+            (1.0 if p > n else 0.5 if p == n else 0.0)
+            for p in pos for n in neg
+        )
+        assert roc_auc_score(y, s) == pytest.approx(wins / (len(pos) * len(neg)))
+
+    def test_single_class_rejected(self):
+        with pytest.raises(StatsError):
+            roc_auc_score(np.ones(4), np.random.default_rng(0).random(4))
+
+
+class TestTrainTestSplit:
+    def test_partition(self):
+        X = np.arange(40).reshape(20, 2)
+        y = np.arange(20)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_fraction=0.25, seed=1)
+        assert X_tr.shape[0] == 15 and X_te.shape[0] == 5
+        assert sorted(np.concatenate([y_tr, y_te]).tolist()) == list(range(20))
+
+    def test_deterministic(self):
+        X, y = np.arange(10).reshape(10, 1), np.arange(10)
+        a = train_test_split(X, y, seed=7)
+        b = train_test_split(X, y, seed=7)
+        assert np.array_equal(a[1], b[1])
+
+    def test_different_seed_different_split(self):
+        X, y = np.arange(30).reshape(30, 1), np.arange(30)
+        a = train_test_split(X, y, seed=1)
+        b = train_test_split(X, y, seed=2)
+        assert not np.array_equal(a[1], b[1])
+
+    def test_always_nonempty_sides(self):
+        X, y = np.arange(2).reshape(2, 1), np.arange(2)
+        X_tr, X_te, _, _ = train_test_split(X, y, test_fraction=0.01)
+        assert X_tr.shape[0] == 1 and X_te.shape[0] == 1
+
+    def test_bad_fraction(self):
+        with pytest.raises(FitError):
+            train_test_split(np.ones((5, 1)), np.ones(5), test_fraction=1.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(FitError):
+            train_test_split(np.ones((5, 1)), np.ones(4))
+
+
+class TestKFold:
+    def test_folds_cover_everything_once(self):
+        kf = KFold(n_splits=4, seed=0)
+        seen = []
+        for train_idx, test_idx in kf.split(21):
+            assert set(train_idx) & set(test_idx) == set()
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(21))
+
+    def test_too_few_samples(self):
+        with pytest.raises(FitError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_min_splits(self):
+        with pytest.raises(FitError):
+            KFold(n_splits=1)
+
+    def test_cross_val_accuracy(self):
+        from repro.mlkit.logreg import LogisticRegression
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(120, 2))
+        y = (X[:, 0] > 0).astype(float)
+        acc = KFold(n_splits=4, seed=0).cross_val_accuracy(
+            lambda: LogisticRegression(l2=0.1), X, y
+        )
+        assert acc > 0.9

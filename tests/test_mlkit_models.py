@@ -1,0 +1,157 @@
+"""Tests for linear and logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError, NotFittedError
+from repro.mlkit.linreg import LinearRegression
+from repro.mlkit.logreg import LogisticRegression
+from repro.mlkit.metrics import log_loss
+
+
+class TestLinearRegression:
+    def test_exact_recovery(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        true_w = np.array([2.0, -1.0, 0.5])
+        y = X @ true_w + 3.0
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, true_w, atol=1e-10)
+        assert model.intercept_ == pytest.approx(3.0)
+        assert model.score(X, y) == pytest.approx(1.0)
+
+    def test_matches_normal_equations_with_noise(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 4))
+        y = X @ np.array([1.0, 0.0, -2.0, 0.3]) + rng.normal(scale=0.1, size=200)
+        model = LinearRegression().fit(X, y)
+        Xa = np.hstack([X, np.ones((200, 1))])
+        beta = np.linalg.solve(Xa.T @ Xa, Xa.T @ y)
+        assert np.allclose(model.coef_, beta[:-1], atol=1e-8)
+        assert model.intercept_ == pytest.approx(beta[-1], abs=1e-8)
+
+    def test_no_intercept(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([2.0, 4.0, 6.0])
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.coef_[0] == pytest.approx(2.0)
+        assert model.intercept_ == 0.0
+
+    def test_ridge_shrinks(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 2))
+        y = X @ np.array([5.0, -5.0])
+        free = LinearRegression().fit(X, y)
+        ridge = LinearRegression(l2=100.0).fit(X, y)
+        assert np.linalg.norm(ridge.coef_) < np.linalg.norm(free.coef_)
+
+    def test_rank_deficient_design(self):
+        X = np.column_stack([np.arange(10.0), np.arange(10.0)])  # collinear
+        y = np.arange(10.0)
+        model = LinearRegression().fit(X, y)
+        assert np.isfinite(model.coef_).all()
+        assert model.score(X, y) == pytest.approx(1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict(np.ones((2, 2)))
+
+    def test_bad_shapes(self):
+        with pytest.raises(FitError):
+            LinearRegression().fit(np.ones(5), np.ones(5))
+        with pytest.raises(FitError):
+            LinearRegression().fit(np.ones((5, 2)), np.ones(4))
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(FitError):
+            LinearRegression(l2=-1.0)
+
+
+def _separable_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    logits = 2.5 * X[:, 0] - 1.5 * X[:, 1] + 0.4
+    y = (logits + rng.logistic(size=n) > 0).astype(float)
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_accuracy_on_learnable_problem(self):
+        X, y = _separable_data()
+        model = LogisticRegression(l2=1e-3).fit(X, y)
+        assert model.score(X, y) > 0.82
+        assert model.converged_
+
+    def test_newton_and_gd_agree(self):
+        X, y = _separable_data(seed=3)
+        newton = LogisticRegression(l2=1.0, solver="newton").fit(X, y)
+        gd = LogisticRegression(l2=1.0, solver="gd", max_iter=5000, tol=1e-9).fit(X, y)
+        assert np.allclose(newton.coef_, gd.coef_, atol=1e-3)
+        assert newton.intercept_ == pytest.approx(gd.intercept_, abs=1e-3)
+
+    def test_gradient_is_zero_at_optimum(self):
+        X, y = _separable_data(seed=4)
+        model = LogisticRegression(l2=2.0).fit(X, y)
+        n = X.shape[0]
+        w = model.coef_
+        p = model.predict_proba(X)[:, 1]
+        grad = X.T @ (p - y) / n + 2.0 * w / n
+        assert np.linalg.norm(grad) < 1e-6
+
+    def test_probabilities_valid(self):
+        X, y = _separable_data(seed=5)
+        proba = LogisticRegression().fit(X, y).predict_proba(X)
+        assert proba.shape == (X.shape[0], 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert ((proba >= 0) & (proba <= 1)).all()
+
+    def test_sign_of_coefficients(self):
+        X, y = _separable_data(seed=6)
+        model = LogisticRegression().fit(X, y)
+        assert model.coef_[0] > 0 and model.coef_[1] < 0
+
+    def test_perfectly_separable_regularized(self):
+        X = np.array([[-2.0], [-1.0], [1.0], [2.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        model = LogisticRegression(l2=0.5).fit(X, y)
+        assert model.score(X, y) == 1.0
+        assert np.isfinite(model.coef_).all()
+
+    def test_single_class_degenerate(self):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        y = np.ones(20)
+        model = LogisticRegression().fit(X, y)
+        assert np.allclose(model.coef_, 0.0)
+        assert (model.predict(X) == 1).all()
+
+    def test_normalized_importances_sum_to_one(self):
+        X, y = _separable_data(seed=7)
+        imp = LogisticRegression().fit(X, y).normalized_importances()
+        assert imp.sum() == pytest.approx(1.0)
+        assert (imp >= 0).all()
+        assert imp[0] > imp[1] * 1.2  # feature 0 has the larger true weight
+
+    def test_importances_uniform_for_zero_coef(self):
+        X = np.zeros((10, 4))
+        y = np.array([0, 1] * 5, dtype=float)
+        model = LogisticRegression(l2=10.0).fit(X, y)
+        assert np.allclose(model.normalized_importances(), 0.25)
+
+    def test_label_validation(self):
+        X = np.ones((4, 1))
+        with pytest.raises(FitError):
+            LogisticRegression().fit(X, np.array([0.0, 1.0, 2.0, 1.0]))
+
+    def test_unknown_solver(self):
+        with pytest.raises(FitError):
+            LogisticRegression(solver="adam")
+
+    def test_decision_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().decision_function(np.ones((2, 2)))
+
+    def test_lower_log_loss_than_prior(self):
+        X, y = _separable_data(seed=8)
+        model = LogisticRegression(l2=0.1).fit(X, y)
+        prior = np.full_like(y, y.mean())
+        assert log_loss(y, model.predict_proba(X)) < log_loss(y, prior)

@@ -1,0 +1,155 @@
+"""Tests for the CART decision tree and random forest."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError, NotFittedError
+from repro.mlkit.tree import DecisionTreeClassifier, RandomForestClassifier
+
+
+def xor_data(n=400, seed=0):
+    """A problem linear models cannot solve: XOR of two features."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(float)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_fits_simple_threshold(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        tree = DecisionTreeClassifier(min_samples_split=2).fit(X, y)
+        assert tree.score(X, y) == 1.0
+        assert tree.root_.feature == 0
+        assert 1.0 < tree.root_.threshold < 2.0
+
+    def test_solves_xor(self):
+        X, y = xor_data()
+        tree = DecisionTreeClassifier(max_depth=4, min_samples_split=4).fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_xor_beats_logistic(self):
+        from repro.mlkit.logreg import LogisticRegression
+
+        X, y = xor_data(seed=1)
+        tree = DecisionTreeClassifier(max_depth=4, min_samples_split=4).fit(X, y)
+        logit = LogisticRegression(l2=0.1).fit(X, y)
+        assert tree.score(X, y) > logit.score(X, y) + 0.2
+
+    def test_depth_cap_respected(self):
+        X, y = xor_data(seed=2)
+        tree = DecisionTreeClassifier(max_depth=3, min_samples_split=2).fit(X, y)
+        assert tree.depth <= 3
+
+    def test_pure_node_becomes_leaf(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.ones(3)
+        tree = DecisionTreeClassifier(min_samples_split=2).fit(X, y)
+        assert tree.root_.is_leaf
+        assert tree.n_leaves == 1
+
+    def test_probabilities_in_unit_interval(self):
+        X, y = xor_data(seed=3)
+        proba = DecisionTreeClassifier().fit(X, y).predict_proba(X)
+        assert proba.shape == (X.shape[0], 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert ((proba >= 0) & (proba <= 1)).all()
+
+    def test_importances_identify_relevant_feature(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(500, 3))
+        y = (X[:, 1] > 0).astype(float)  # only feature 1 matters
+        imp = DecisionTreeClassifier().fit(X, y).normalized_importances()
+        assert imp.sum() == pytest.approx(1.0)
+        assert imp[1] > 0.9
+
+    def test_importances_uniform_when_no_split(self):
+        X = np.zeros((20, 4))
+        y = np.array([0.0, 1.0] * 10)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert np.allclose(tree.normalized_importances(), 0.25)
+
+    def test_deterministic(self):
+        X, y = xor_data(seed=5)
+        a = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        b = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_min_gain_prunes(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(200, 2))
+        y = rng.integers(0, 2, size=200).astype(float)  # pure noise
+        tree = DecisionTreeClassifier(max_depth=8, min_gain=0.05).fit(X, y)
+        assert tree.n_leaves < 10  # refuses to chase noise
+
+    def test_validation(self):
+        with pytest.raises(FitError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(FitError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(FitError):
+            DecisionTreeClassifier().fit(np.ones(5), np.ones(5))
+        with pytest.raises(FitError):
+            DecisionTreeClassifier().fit(np.ones((3, 1)),
+                                         np.array([0.0, 1.0, 2.0]))
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.ones((1, 1)))
+
+
+class TestRandomForest:
+    def test_solves_xor(self):
+        X, y = xor_data(seed=7)
+        forest = RandomForestClassifier(n_trees=15, seed=0).fit(X, y)
+        assert forest.score(X, y) > 0.93
+
+    def test_deterministic_given_seed(self):
+        X, y = xor_data(seed=8)
+        a = RandomForestClassifier(n_trees=8, seed=3).fit(X, y)
+        b = RandomForestClassifier(n_trees=8, seed=3).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_seed_changes_ensemble(self):
+        X, y = xor_data(seed=9)
+        a = RandomForestClassifier(n_trees=5, seed=1).fit(X, y)
+        b = RandomForestClassifier(n_trees=5, seed=2).fit(X, y)
+        assert not np.allclose(
+            a.predict_proba(X)[:, 1], b.predict_proba(X)[:, 1]
+        )
+
+    def test_importances_distribution(self):
+        rng = np.random.default_rng(10)
+        X = rng.normal(size=(400, 4))
+        y = ((X[:, 0] > 0) & (X[:, 2] > 0)).astype(float)
+        imp = RandomForestClassifier(n_trees=20, seed=0).fit(
+            X, y
+        ).normalized_importances()
+        assert imp.sum() == pytest.approx(1.0)
+        assert imp[0] + imp[2] > imp[1] + imp[3]
+
+    def test_sqrt_feature_subsampling(self):
+        forest = RandomForestClassifier(max_features="sqrt")
+        assert forest._resolve_max_features(9) == 3
+        assert forest._resolve_max_features(2) == 1
+
+    def test_generalizes_better_than_single_tree(self):
+        X, y = xor_data(n=300, seed=11)
+        X_test, y_test = xor_data(n=300, seed=12)
+        noisy_y = y.copy()
+        rng = np.random.default_rng(13)
+        flip = rng.random(y.shape[0]) < 0.15
+        noisy_y[flip] = 1 - noisy_y[flip]
+        tree = DecisionTreeClassifier(max_depth=12, min_samples_split=2).fit(
+            X, noisy_y
+        )
+        forest = RandomForestClassifier(n_trees=25, max_depth=12,
+                                        min_samples_split=2, seed=0).fit(
+            X, noisy_y
+        )
+        assert forest.score(X_test, y_test) >= tree.score(X_test, y_test)
+
+    def test_validation(self):
+        with pytest.raises(FitError):
+            RandomForestClassifier(n_trees=0)
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict(np.ones((1, 1)))

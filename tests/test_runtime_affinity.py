@@ -1,0 +1,120 @@
+"""Tests for thread placement (OMP_PLACES x OMP_PROC_BIND)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.machines import A64FX, MILAN, SKYLAKE
+from repro.runtime.affinity import compute_placement
+from repro.runtime.icv import EnvConfig, resolve_icvs
+
+
+def place(machine, **kwargs):
+    return compute_placement(resolve_icvs(EnvConfig(**kwargs), machine), machine)
+
+
+class TestUnbound:
+    def test_default_unbound_round_robin(self):
+        p = place(MILAN)
+        assert not p.bound
+        assert p.nthreads == 96
+        assert p.max_oversubscription == 1
+
+    def test_oversubscribed_unbound(self):
+        p = place(MILAN, num_threads=192)
+        assert p.max_oversubscription == 2
+
+    def test_unbound_locality_penalty(self):
+        p = place(MILAN)
+        assert p.mean_numa_distance_to_local_data() > 1.0
+
+
+class TestMaster:
+    def test_master_all_on_master_place_cores(self):
+        # places unset + master -> synthesized per-core places -> one core!
+        p = place(MILAN, proc_bind="master")
+        assert p.bound
+        assert np.unique(p.cores).tolist() == [0]
+        assert p.max_oversubscription == 96
+
+    def test_master_socket_place(self):
+        p = place(MILAN, places="sockets", proc_bind="master")
+        # Whole team packed into socket 0: 96 threads on 48 cores.
+        assert set(np.unique(p.sockets)) == {0}
+        assert p.max_oversubscription == 2
+
+    def test_master_llc_place(self):
+        p = place(MILAN, places="ll_caches", proc_bind="master")
+        assert set(np.unique(p.llcs)) == {0}
+        assert p.max_oversubscription == 12  # 96 threads on 8 cores
+
+
+class TestCloseSpread:
+    def test_close_blocks_over_sockets(self):
+        # OpenMP close: blocks of ceil(T/P) consecutive threads per place.
+        p = place(MILAN, places="sockets", proc_bind="close", num_threads=48)
+        counts = np.bincount(p.sockets, minlength=2)
+        assert counts.tolist() == [24, 24]
+        assert list(p.sockets[:24]) == [0] * 24  # consecutive threads packed
+        assert p.max_oversubscription == 1
+
+    def test_close_vs_spread_when_fewer_threads_than_places(self):
+        # T=2 over 8 NUMA places: close keeps them adjacent, spread spaces.
+        close = place(MILAN, places="numa_domains", proc_bind="close",
+                      num_threads=2)
+        spread = place(MILAN, places="numa_domains", proc_bind="spread",
+                       num_threads=2)
+        assert list(close.numa_nodes) == [0, 1]
+        assert list(spread.numa_nodes) == [0, 4]
+
+    def test_spread_interleaves_sockets(self):
+        p = place(MILAN, places="sockets", proc_bind="spread", num_threads=48)
+        counts = np.bincount(p.sockets, minlength=2)
+        assert counts.tolist() == [24, 24]
+        assert p.max_oversubscription == 1
+
+    def test_true_equals_spread_distribution(self):
+        a = place(MILAN, places="ll_caches", proc_bind="spread", num_threads=24)
+        b = place(MILAN, places="ll_caches", proc_bind="true", num_threads=24)
+        assert np.array_equal(a.cores, b.cores)
+
+    def test_spread_uses_all_numa_nodes(self):
+        p = place(MILAN, places="ll_caches", proc_bind="spread", num_threads=96)
+        assert p.n_numa_used == 8
+
+    def test_close_few_threads_few_numa(self):
+        p = place(MILAN, places="cores", proc_bind="close", num_threads=12)
+        assert p.n_numa_used == 1
+
+    def test_spread_few_threads_many_numa(self):
+        p = place(MILAN, places="numa_domains", proc_bind="spread", num_threads=8)
+        assert p.n_numa_used == 8
+
+    def test_no_oversubscription_when_threads_fit(self):
+        for kind in ("cores", "sockets", "ll_caches"):
+            for bind in ("close", "spread", "true"):
+                p = place(SKYLAKE, places=kind, proc_bind=bind)
+                assert p.max_oversubscription == 1, (kind, bind)
+
+    def test_bind_without_places_synthesizes_core_places(self):
+        p = place(SKYLAKE, proc_bind="spread", num_threads=40)
+        assert p.bound
+        assert len(set(p.cores.tolist())) == 40
+
+
+class TestDerivedQuantities:
+    def test_effective_speed_reflects_sharing(self):
+        p = place(MILAN, places="sockets", proc_bind="master")
+        assert np.allclose(p.effective_speed(), 0.5)
+
+    def test_bound_distance_is_local(self):
+        p = place(MILAN, places="cores", proc_bind="close")
+        assert p.mean_numa_distance_to_local_data() == 1.0
+
+    def test_llc_accounting(self):
+        p = place(A64FX, places="ll_caches", proc_bind="spread", num_threads=4)
+        assert p.n_llc_used == 4
+
+    def test_single_thread(self):
+        p = place(MILAN, num_threads=1)
+        assert p.nthreads == 1
+        assert p.max_oversubscription == 1

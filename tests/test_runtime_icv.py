@@ -1,0 +1,168 @@
+"""Tests for EnvConfig validation and ICV resolution (Sec. III defaults)."""
+
+import math
+
+import pytest
+
+from repro.arch.machines import A64FX, MILAN, SKYLAKE
+from repro.arch.topology import PlaceKind
+from repro.errors import InvalidEnvValue
+from repro.runtime.icv import (
+    UNSET,
+    BindPolicy,
+    EnvConfig,
+    LibraryMode,
+    ReductionMethod,
+    ScheduleKind,
+    WaitPolicy,
+    resolve_icvs,
+)
+
+
+class TestValidation:
+    def test_default_config_valid(self):
+        EnvConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_threads": 0},
+            {"places": "tiles"},
+            {"proc_bind": "everywhere"},
+            {"schedule": "chaotic"},
+            {"library": "superfast"},
+            {"blocktime": "-5"},
+            {"blocktime": "forever"},
+            {"blocktime": str(2**31)},
+            {"force_reduction": "magic"},
+            {"align_alloc": 100},  # not a power of two
+            {"align_alloc": 4},  # too small
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(InvalidEnvValue):
+            EnvConfig(**kwargs).validate()
+
+    def test_blocktime_accepts_any_int32(self):
+        EnvConfig(blocktime="12345").validate()
+        EnvConfig(blocktime="infinite").validate()
+        EnvConfig(blocktime="0").validate()
+
+    def test_as_env_omits_unset(self):
+        assert EnvConfig().as_env() == {}
+        env = EnvConfig(num_threads=8, library="turnaround").as_env()
+        assert env == {"OMP_NUM_THREADS": "8", "KMP_LIBRARY": "turnaround"}
+
+    def test_key_distinguishes_configs(self):
+        assert EnvConfig().key() != EnvConfig(schedule="dynamic").key()
+        assert EnvConfig().key() == EnvConfig().key()
+
+    def test_with_threads(self):
+        cfg = EnvConfig(schedule="guided").with_threads(12)
+        assert cfg.num_threads == 12
+        assert cfg.schedule == "guided"
+
+
+class TestDefaults:
+    """The default-derivation rules of Sec. III."""
+
+    def test_all_unset_defaults(self):
+        icvs = resolve_icvs(EnvConfig(), SKYLAKE)
+        assert icvs.nthreads == 40
+        assert icvs.places is PlaceKind.UNSET
+        assert icvs.bind is BindPolicy.FALSE
+        assert icvs.schedule is ScheduleKind.STATIC
+        assert icvs.library is LibraryMode.THROUGHPUT
+        assert icvs.blocktime_ms == 200.0
+        assert icvs.align_alloc == 64
+
+    def test_bind_default_becomes_spread_with_places(self):
+        icvs = resolve_icvs(EnvConfig(places="cores"), SKYLAKE)
+        assert icvs.bind is BindPolicy.SPREAD
+
+    def test_bind_unset_value_matches_unset_variable(self):
+        a = resolve_icvs(EnvConfig(proc_bind=UNSET), SKYLAKE)
+        b = resolve_icvs(EnvConfig(), SKYLAKE)
+        assert a.bind == b.bind
+
+    def test_explicit_false_with_places_stays_false(self):
+        icvs = resolve_icvs(EnvConfig(places="cores", proc_bind="false"), MILAN)
+        assert icvs.bind is BindPolicy.FALSE
+        assert not icvs.threads_bound
+
+    def test_align_default_is_cache_line(self):
+        assert resolve_icvs(EnvConfig(), A64FX).align_alloc == 256
+        assert resolve_icvs(EnvConfig(), MILAN).align_alloc == 64
+
+    def test_align_explicit(self):
+        assert resolve_icvs(EnvConfig(align_alloc=512), A64FX).align_alloc == 512
+
+    def test_blocktime_infinite(self):
+        icvs = resolve_icvs(EnvConfig(blocktime="infinite"), MILAN)
+        assert math.isinf(icvs.blocktime_ms)
+
+    def test_default_threads_is_core_count(self):
+        assert resolve_icvs(EnvConfig(), MILAN).nthreads == 96
+        assert resolve_icvs(EnvConfig(num_threads=7), MILAN).nthreads == 7
+
+
+class TestSerialMode:
+    def test_serial_forces_one_thread(self):
+        icvs = resolve_icvs(EnvConfig(library="serial", num_threads=40), MILAN)
+        assert icvs.nthreads == 1
+        assert icvs.library is LibraryMode.SERIAL
+
+    def test_serial_runs_serially(self):
+        from repro.runtime.executor import execute
+        from repro.workloads.generator import synthetic_loop_workload
+
+        prog = synthetic_loop_workload(n_iters=10_000, iter_work=1e-6,
+                                       trips=2)
+        serial = execute(prog, MILAN, EnvConfig(library="serial"))
+        one_thread = execute(prog, MILAN, EnvConfig(num_threads=1))
+        parallel = execute(prog, MILAN, EnvConfig())
+        assert serial == pytest.approx(one_thread, rel=0.05)
+        assert serial > 10 * parallel
+
+
+class TestReductionHeuristic:
+    """Sec. III-6: none / critical (2-4) / tree (>4)."""
+
+    @pytest.mark.parametrize(
+        "threads,expected",
+        [
+            (1, ReductionMethod.NONE),
+            (2, ReductionMethod.CRITICAL),
+            (4, ReductionMethod.CRITICAL),
+            (5, ReductionMethod.TREE),
+            (96, ReductionMethod.TREE),
+        ],
+    )
+    def test_heuristic(self, threads, expected):
+        icvs = resolve_icvs(EnvConfig(num_threads=threads), MILAN)
+        assert icvs.reduction is expected
+
+    def test_explicit_overrides_heuristic(self):
+        icvs = resolve_icvs(
+            EnvConfig(num_threads=96, force_reduction="atomic"), MILAN
+        )
+        assert icvs.reduction is ReductionMethod.ATOMIC
+
+
+class TestWaitPolicyDerivation:
+    """OMP_WAIT_POLICY derives from KMP_LIBRARY + KMP_BLOCKTIME."""
+
+    def test_default_is_passive(self):
+        assert resolve_icvs(EnvConfig(), MILAN).wait_policy is WaitPolicy.PASSIVE
+
+    def test_turnaround_is_active(self):
+        icvs = resolve_icvs(EnvConfig(library="turnaround"), MILAN)
+        assert icvs.wait_policy is WaitPolicy.ACTIVE
+
+    def test_infinite_blocktime_is_active(self):
+        icvs = resolve_icvs(EnvConfig(blocktime="infinite"), MILAN)
+        assert icvs.wait_policy is WaitPolicy.ACTIVE
+
+    def test_blocktime_zero_is_passive(self):
+        icvs = resolve_icvs(EnvConfig(blocktime="0"), MILAN)
+        assert icvs.wait_policy is WaitPolicy.PASSIVE

@@ -1,0 +1,211 @@
+"""Tests for region pricing and whole-program execution — including the
+analytic-vs-DES task model cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.arch.machines import A64FX, MILAN, SKYLAKE
+from repro.errors import SimulationError
+from repro.runtime.affinity import compute_placement
+from repro.runtime.costs import get_costs, work_seconds
+from repro.runtime.executor import RuntimeExecutor, execute, observe
+from repro.runtime.icv import EnvConfig, resolve_icvs
+from repro.runtime.kernel import RegionEngine, task_acquire_seconds
+from repro.runtime.program import (
+    LoadPattern,
+    LoopRegion,
+    Program,
+    SerialPhase,
+    TaskRegion,
+)
+from repro.workloads.generator import synthetic_task_workload
+
+
+def engine(machine=MILAN, **env):
+    icvs = resolve_icvs(EnvConfig(**env), machine)
+    placement = compute_placement(icvs, machine)
+    return RegionEngine(machine, icvs, placement, get_costs(machine.name))
+
+
+class TestTaskAcquire:
+    def test_active_cheapest(self):
+        c = get_costs("milan")
+        active = task_acquire_seconds(
+            resolve_icvs(EnvConfig(library="turnaround"), MILAN), c
+        )
+        passive = task_acquire_seconds(resolve_icvs(EnvConfig(), MILAN), c)
+        blocktime0 = task_acquire_seconds(
+            resolve_icvs(EnvConfig(blocktime="0"), MILAN), c
+        )
+        assert active < passive < blocktime0
+
+    def test_infinite_blocktime_counts_as_active(self):
+        c = get_costs("milan")
+        inf = task_acquire_seconds(
+            resolve_icvs(EnvConfig(blocktime="infinite"), MILAN), c
+        )
+        active = task_acquire_seconds(
+            resolve_icvs(EnvConfig(library="turnaround"), MILAN), c
+        )
+        assert inf == active
+
+
+class TestLoopRegionPricing:
+    def test_more_threads_faster_when_parallel(self):
+        region = LoopRegion("l", n_iters=100_000, iter_work=1e-6)
+        t4 = engine(num_threads=4).loop_region_seconds(region)
+        t32 = engine(num_threads=32).loop_region_seconds(region)
+        assert t4 > 2 * t32
+
+    def test_reduction_heavy_region_slower(self):
+        base = LoopRegion("l", n_iters=1000, iter_work=1e-7)
+        red = LoopRegion("l", n_iters=1000, iter_work=1e-7, n_reductions=4)
+        e = engine()
+        assert e.loop_region_seconds(red) > e.loop_region_seconds(base)
+
+    def test_mem_intensity_exposes_bandwidth(self):
+        cpu = LoopRegion("l", n_iters=100_000, iter_work=1e-6,
+                         mem_intensity=0.0, bw_per_thread_gbps=4.5)
+        mem = LoopRegion("l", n_iters=100_000, iter_work=1e-6,
+                         mem_intensity=0.9, bw_per_thread_gbps=4.5)
+        e = engine()  # unbound milan team: saturated
+        assert e.loop_region_seconds(mem) > 1.5 * e.loop_region_seconds(cpu)
+
+    def test_alignment_discount_applies_to_sync(self):
+        region = LoopRegion("l", n_iters=1000, iter_work=1e-7, n_reductions=2)
+        base = engine().loop_region_seconds(region)
+        padded = engine(align_alloc=512).loop_region_seconds(region)
+        assert padded < base
+
+
+class TestTaskModelValidation:
+    """The analytic work-stealing estimate must track the DES."""
+
+    @pytest.mark.parametrize("env", [
+        {},  # default: passive
+        {"library": "turnaround"},  # active
+        {"num_threads": 8},
+        {"num_threads": 48, "library": "turnaround"},
+    ])
+    def test_analytic_within_factor_of_des(self, env):
+        region = TaskRegion("t", depth=6, branching=3, leaf_work=2e-5,
+                            node_work=2e-6, leaf_sigma=0.3)
+        e = engine(**env)
+        analytic = e.task_region_seconds(region, fidelity="analytic")
+        des = e.task_region_seconds(region, fidelity="des", seed=1)
+        assert analytic == pytest.approx(des, rel=0.45)
+
+    def test_both_modes_agree_on_policy_ordering(self):
+        # Whatever the absolute numbers, turnaround must beat default in
+        # both fidelity modes for fine-grained tasking.
+        region = TaskRegion("t", depth=7, branching=3, leaf_work=8e-7,
+                            node_work=2e-7)
+        for fidelity in ("analytic", "des"):
+            slow = engine().task_region_seconds(region, fidelity=fidelity)
+            fast = engine(library="turnaround").task_region_seconds(
+                region, fidelity=fidelity
+            )
+            assert fast < slow, fidelity
+
+    def test_analytic_respects_critical_path(self):
+        region = TaskRegion("t", depth=12, branching=1, leaf_work=1e-4,
+                            node_work=1e-4)  # a chain: no parallelism
+        e = engine(library="turnaround")
+        t = e.task_region_seconds(region)
+        assert t >= work_seconds(region.critical_path_work, MILAN)
+
+    def test_unknown_fidelity_rejected(self):
+        region = TaskRegion("t", depth=2, branching=2, leaf_work=1e-6)
+        with pytest.raises(SimulationError):
+            engine().task_region_seconds(region, fidelity="quantum")
+
+
+class TestProgramStructures:
+    def test_task_counts(self):
+        r = TaskRegion("t", depth=3, branching=2, leaf_work=1.0)
+        assert r.n_leaves == 8
+        assert r.n_tasks == 15
+        assert r.total_work == pytest.approx(8.0)
+        assert r.critical_path_work == pytest.approx(1.0)
+
+    def test_branching_one_chain(self):
+        r = TaskRegion("t", depth=5, branching=1, leaf_work=1.0, node_work=0.5)
+        assert r.n_tasks == 6
+        assert r.critical_path_work == pytest.approx(3.5)
+
+    def test_program_total_work(self):
+        prog = Program(
+            "p",
+            (
+                SerialPhase(work=1.0),
+                LoopRegion("l", n_iters=10, iter_work=0.1, trips=2,
+                           gap_work=0.5),
+            ),
+        )
+        assert prog.total_work == pytest.approx(1.0 + 2 * (1.0 + 0.5))
+        assert not prog.uses_tasks
+        assert len(prog.parallel_regions) == 1
+
+    def test_empty_program_rejected(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            Program("p", ())
+
+
+class TestExecutor:
+    def test_execute_deterministic(self):
+        prog = synthetic_task_workload()
+        a = execute(prog, MILAN, EnvConfig())
+        b = execute(prog, MILAN, EnvConfig())
+        assert a == b
+
+    def test_phase_costs_sum_to_execute(self):
+        prog = synthetic_task_workload()
+        ex = RuntimeExecutor(MILAN, EnvConfig())
+        costs = ex.phase_costs(prog)
+        assert sum(c.seconds for c in costs) == pytest.approx(ex.execute(prog))
+        assert [c.kind for c in costs] == ["serial", "task"]
+
+    def test_observe_applies_arch_noise(self):
+        prog = synthetic_task_workload()
+        true = execute(prog, MILAN, EnvConfig())
+        obs0 = observe(prog, MILAN, EnvConfig(), run_index=0)
+        obs1 = observe(prog, MILAN, EnvConfig(), run_index=1)
+        # Milan's first run is ~22% slower by drift.
+        assert obs0 / true > 1.1
+        assert obs0 > obs1
+
+    def test_observe_deterministic_per_identity(self):
+        prog = synthetic_task_workload()
+        a = observe(prog, SKYLAKE, EnvConfig(), run_index=2)
+        b = observe(prog, SKYLAKE, EnvConfig(), run_index=2)
+        assert a == b
+
+    def test_blocktime_zero_pays_wakes_on_forky_program(self):
+        prog = Program(
+            "forky",
+            (
+                SerialPhase(work=1e-4),
+                LoopRegion("l", n_iters=5000, iter_work=1e-7, trips=400,
+                           gap_work=1e-5),
+            ),
+        )
+        default = execute(prog, A64FX, EnvConfig())
+        bt0 = execute(prog, A64FX, EnvConfig(blocktime="0"))
+        assert bt0 > default * 1.02
+
+    def test_master_binding_catastrophe(self):
+        prog = synthetic_task_workload(depth=7, branching=3)
+        good = execute(prog, MILAN, EnvConfig())
+        bad = execute(prog, MILAN, EnvConfig(proc_bind="master"))
+        assert bad > 5 * good
+
+    def test_bad_fidelity_rejected(self):
+        with pytest.raises(SimulationError):
+            RuntimeExecutor(MILAN, EnvConfig(), fidelity="wrong")
+
+    def test_runtime_positive_for_all_machines(self):
+        prog = synthetic_task_workload()
+        for m in (A64FX, SKYLAKE, MILAN):
+            assert execute(prog, m, EnvConfig()) > 0

@@ -1,0 +1,58 @@
+"""Tests for the EPCC-style microbenchmark probes."""
+
+import numpy as np
+import pytest
+
+from repro.arch.machines import A64FX, MILAN, SKYLAKE
+from repro.runtime.icv import EnvConfig
+from repro.runtime.microbench import overhead_table, run_microbench
+
+
+class TestMicrobench:
+    def test_report_fields_positive(self):
+        rep = run_microbench(MILAN)
+        assert rep.parallel_us > 0
+        assert rep.barrier_us > 0
+        assert rep.wake_us > 0
+        assert rep.reduction_tree_us > 0
+        assert rep.dynamic_per_iter_ns > 0
+
+    def test_parallel_includes_barrier(self):
+        rep = run_microbench(MILAN)
+        assert rep.parallel_us > rep.barrier_us
+
+    def test_turnaround_barrier_cheaper(self):
+        passive = run_microbench(MILAN)
+        active = run_microbench(MILAN, EnvConfig(library="turnaround"))
+        assert active.barrier_us < passive.barrier_us
+        # Active waiting never sleeps: the wake probe costs nothing extra.
+        assert active.wake_us == 0.0
+
+    def test_tree_beats_critical_at_full_team(self):
+        for machine in (A64FX, SKYLAKE, MILAN):
+            rep = run_microbench(machine)
+            assert rep.reduction_tree_us < rep.reduction_critical_us, (
+                machine.name
+            )
+
+    def test_dynamic_costs_more_per_iter_than_guided(self):
+        rep = run_microbench(MILAN)
+        assert rep.dynamic_per_iter_ns > rep.guided_per_iter_ns
+        assert rep.guided_per_iter_ns >= 0.0
+
+    def test_a64fx_has_heaviest_os_paths(self):
+        reports = {m.name: run_microbench(m) for m in (A64FX, SKYLAKE, MILAN)}
+        assert reports["a64fx"].wake_us > reports["skylake"].wake_us
+        assert reports["a64fx"].wake_us > reports["milan"].wake_us
+        assert reports["a64fx"].parallel_us > reports["skylake"].parallel_us
+
+    def test_small_team_cheaper_barrier(self):
+        full = run_microbench(MILAN)
+        small = run_microbench(MILAN, EnvConfig(num_threads=8))
+        assert small.barrier_us < full.barrier_us
+
+    def test_overhead_table_covers_all_machines(self):
+        table = overhead_table()
+        assert set(table.unique("arch")) == {"a64fx", "skylake", "milan"}
+        assert table.num_rows == 3
+        assert (np.asarray(table["barrier_us"], float) > 0).all()

@@ -1,0 +1,137 @@
+"""Tests for descriptive statistics and KDE/violin shapes."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.errors import StatsError
+from repro.stats.descriptive import (
+    coefficient_of_variation,
+    geometric_mean,
+    summarize,
+)
+from repro.stats.distribution import GaussianKDE, violin_stats
+
+
+class TestSummarize:
+    def test_known_values(self):
+        s = summarize(np.array([1.0, 2.0, 3.0, 4.0, 5.0]))
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+        assert s.q1 == 2.0
+        assert s.q3 == 4.0
+        assert s.iqr == 2.0
+        assert s.range == 4.0
+        assert s.n == 5
+
+    def test_std_ddof1(self):
+        x = np.array([1.0, 2.0, 4.0])
+        assert summarize(x).std == pytest.approx(np.std(x, ddof=1))
+
+    def test_single_value_std_zero(self):
+        assert summarize(np.array([3.0])).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(StatsError):
+            summarize(np.array([]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(StatsError):
+            summarize(np.array([1.0, np.nan]))
+
+    def test_as_dict_keys(self):
+        d = summarize(np.arange(1.0, 10.0)).as_dict()
+        assert set(d) == {"n", "mean", "std", "min", "q1", "median", "q3", "max"}
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean(np.array([1.0, 4.0])) == pytest.approx(2.0)
+
+    def test_matches_scipy(self):
+        x = np.array([1.2, 0.8, 2.5, 1.0])
+        assert geometric_mean(x) == pytest.approx(scipy.stats.gmean(x))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(StatsError):
+            geometric_mean(np.array([1.0, 0.0]))
+
+
+class TestCoefficientOfVariation:
+    def test_scale_invariance(self):
+        x = np.array([1.0, 1.1, 0.9, 1.05])
+        assert coefficient_of_variation(x) == pytest.approx(
+            coefficient_of_variation(10 * x)
+        )
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(StatsError):
+            coefficient_of_variation(np.array([-1.0, 1.0]))
+
+
+class TestKDE:
+    def test_density_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        kde = GaussianKDE(rng.normal(size=400))
+        lo, hi = kde.support(cut=6.0)
+        grid = np.linspace(lo, hi, 4000)
+        integral = np.trapezoid(kde(grid), grid)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_density_nonnegative(self):
+        kde = GaussianKDE(np.array([1.0, 2.0, 5.0]))
+        grid = np.linspace(-10, 20, 100)
+        assert (kde(grid) >= 0).all()
+
+    def test_peak_near_mode(self):
+        rng = np.random.default_rng(1)
+        sample = np.concatenate([rng.normal(0, 0.2, 500), rng.normal(5, 0.2, 50)])
+        kde = GaussianKDE(sample)
+        grid = np.linspace(-2, 7, 500)
+        dens = kde(grid)
+        assert abs(grid[np.argmax(dens)]) < 0.5  # main mode near 0
+
+    def test_degenerate_sample_finite(self):
+        kde = GaussianKDE(np.array([2.0, 2.0, 2.0]))
+        assert np.isfinite(kde(np.array([2.0]))).all()
+        assert kde.bandwidth > 0
+
+    def test_scott_bandwidth(self):
+        rng = np.random.default_rng(2)
+        sample = rng.normal(size=200)
+        kde = GaussianKDE(sample)
+        expected = np.std(sample, ddof=1) * 200 ** (-0.2)
+        assert kde.bandwidth == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(StatsError):
+            GaussianKDE(np.array([]))
+
+
+class TestViolinStats:
+    def test_quartiles_and_extremes(self):
+        sample = np.arange(1.0, 101.0)
+        v = violin_stats(sample, label="x")
+        assert v.median == pytest.approx(50.5)
+        assert v.minimum == 1.0 and v.maximum == 100.0
+        assert v.n == 100
+        assert v.label == "x"
+
+    def test_grid_covers_sample(self):
+        sample = np.array([3.0, 4.0, 5.0])
+        v = violin_stats(sample)
+        assert v.grid.min() <= 3.0 and v.grid.max() >= 5.0
+
+    def test_grid_points_respected(self):
+        v = violin_stats(np.arange(10.0), grid_points=64)
+        assert v.grid.shape == (64,) and v.density.shape == (64,)
+
+    def test_too_few_grid_points_rejected(self):
+        with pytest.raises(StatsError):
+            violin_stats(np.arange(10.0), grid_points=2)
+
+    def test_peak_density_positive(self):
+        v = violin_stats(np.arange(50.0))
+        assert v.peak_density > 0

@@ -1,0 +1,111 @@
+"""Tests for the vendored offline wheel shim.
+
+The shim makes ``pip install -e .`` possible in this wheel-less
+environment (see DESIGN.md §8); these tests pin its spec compliance:
+RECORD hashes, name parsing, and archive layout.
+"""
+
+import base64
+import hashlib
+import sys
+import zipfile
+from pathlib import Path
+
+import pytest
+
+VENDOR = Path(__file__).parent.parent / "vendor"
+sys.path.insert(0, str(VENDOR))
+
+from wheel.wheelfile import WheelError, WheelFile  # noqa: E402
+
+
+@pytest.fixture
+def wheel_path(tmp_path):
+    return tmp_path / "demo-1.2.3-py3-none-any.whl"
+
+
+class TestNameParsing:
+    def test_fields(self, wheel_path):
+        wf = WheelFile(wheel_path, "w")
+        assert wf.dist_info_path == "demo-1.2.3.dist-info"
+        assert wf.record_path == "demo-1.2.3.dist-info/RECORD"
+        wf.close()
+
+    def test_build_tag(self, tmp_path):
+        wf = WheelFile(tmp_path / "demo-1.2.3-4-py3-none-any.whl", "w")
+        assert wf.parsed_filename.group("build") == "4"
+        wf.close()
+
+    def test_bad_name_rejected(self, tmp_path):
+        with pytest.raises(WheelError):
+            WheelFile(tmp_path / "not-a-wheel.zip", "w")
+
+
+class TestRecordGeneration:
+    def test_record_format_and_hashes(self, wheel_path):
+        payload = b"print('hello')\n"
+        with WheelFile(wheel_path, "w") as wf:
+            wf.writestr("demo/__init__.py", payload)
+            wf.writestr("demo-1.2.3.dist-info/METADATA",
+                        "Metadata-Version: 2.1\nName: demo\n")
+
+        with zipfile.ZipFile(wheel_path) as zf:
+            record = zf.read("demo-1.2.3.dist-info/RECORD").decode()
+        lines = dict(
+            (line.split(",")[0], line) for line in record.strip().splitlines()
+        )
+        # RECORD lists itself with empty hash and size.
+        assert lines["demo-1.2.3.dist-info/RECORD"].endswith(",,")
+        # Payload hash matches the spec encoding.
+        digest = hashlib.sha256(payload).digest()
+        expected = base64.urlsafe_b64encode(digest).rstrip(b"=").decode()
+        path, hash_part, size = lines["demo/__init__.py"].split(",")
+        assert hash_part == f"sha256={expected}"
+        assert int(size) == len(payload)
+
+    def test_write_files_walks_tree(self, wheel_path, tmp_path):
+        src = tmp_path / "unpacked"
+        (src / "pkg").mkdir(parents=True)
+        (src / "pkg" / "mod.py").write_text("x = 1\n")
+        (src / "demo-1.2.3.dist-info").mkdir()
+        (src / "demo-1.2.3.dist-info" / "METADATA").write_text("Name: demo\n")
+        with WheelFile(wheel_path, "w") as wf:
+            wf.write_files(str(src))
+        with zipfile.ZipFile(wheel_path) as zf:
+            names = set(zf.namelist())
+        assert "pkg/mod.py" in names
+        assert "demo-1.2.3.dist-info/METADATA" in names
+        assert "demo-1.2.3.dist-info/RECORD" in names
+
+    def test_archive_is_valid_zip(self, wheel_path):
+        with WheelFile(wheel_path, "w") as wf:
+            wf.writestr("a.py", "pass\n")
+        assert zipfile.is_zipfile(wheel_path)
+        with zipfile.ZipFile(wheel_path) as zf:
+            assert zf.testzip() is None
+
+
+class TestMetadataConversion:
+    def test_requires_txt_to_requires_dist(self, tmp_path):
+        from wheel.metadata import pkginfo_to_metadata
+
+        egg = tmp_path / "demo.egg-info"
+        egg.mkdir()
+        (egg / "PKG-INFO").write_text(
+            "Metadata-Version: 1.0\nName: demo\nVersion: 1.2.3\n"
+        )
+        (egg / "requires.txt").write_text(
+            "numpy>=1.22\n\n[test]\npytest\n"
+        )
+        msg = pkginfo_to_metadata(str(egg), str(egg / "PKG-INFO"))
+        assert msg["Metadata-Version"] == "2.1"
+        requires = msg.get_all("Requires-Dist")
+        assert "numpy>=1.22" in requires
+        assert 'pytest ; extra == "test"' in requires
+        assert msg.get_all("Provides-Extra") == ["test"]
+
+    def test_installed_shim_importable(self):
+        # The real environment uses the installed copy; both must exist.
+        import wheel
+
+        assert hasattr(wheel, "__version__")

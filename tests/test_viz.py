@@ -1,0 +1,187 @@
+"""Tests for SVG primitives, violin plots, heat maps and text renderings."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.errors import VizError
+from repro.viz.heatmap import heatmap, influence_heatmap
+from repro.viz.svg import SVGCanvas
+from repro.viz.text import text_heatmap, text_histogram
+from repro.viz.violin import violin_plot
+
+
+def parse_svg(canvas: SVGCanvas) -> ET.Element:
+    return ET.fromstring(canvas.to_string())
+
+
+SVGNS = "{http://www.w3.org/2000/svg}"
+
+
+class TestSVGCanvas:
+    def test_document_well_formed(self):
+        c = SVGCanvas(100, 50)
+        c.rect(0, 0, 10, 10, fill="red")
+        c.line(0, 0, 100, 50)
+        c.circle(5, 5, 2)
+        c.polygon([(0, 0), (10, 0), (5, 8)])
+        c.text(10, 20, "hello & <goodbye>")
+        root = parse_svg(c)
+        assert root.tag == f"{SVGNS}svg"
+        assert root.get("width") == "100"
+
+    def test_text_escaped(self):
+        c = SVGCanvas(10, 10)
+        c.text(0, 0, "a<b>&c")
+        assert "a<b>" not in c.to_string()
+        assert "a&lt;b&gt;&amp;c" in c.to_string()
+
+    def test_tooltip_title(self):
+        c = SVGCanvas(10, 10)
+        c.rect(0, 0, 5, 5, title="cell info")
+        root = parse_svg(c)
+        titles = root.findall(f".//{SVGNS}title")
+        assert [t.text for t in titles] == ["cell info"]
+
+    def test_rotation_transform(self):
+        c = SVGCanvas(10, 10)
+        c.text(3, 4, "x", rotate=-90)
+        assert 'transform="rotate(-90 3 4)"' in c.to_string()
+
+    def test_save(self, tmp_path):
+        c = SVGCanvas(10, 10)
+        path = tmp_path / "out.svg"
+        c.save(str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_invalid_size(self):
+        with pytest.raises(VizError):
+            SVGCanvas(0, 10)
+
+    def test_polygon_needs_three_points(self):
+        with pytest.raises(VizError):
+            SVGCanvas(10, 10).polygon([(0, 0), (1, 1)])
+
+
+class TestViolinPlot:
+    def test_basic_render(self):
+        rng = np.random.default_rng(0)
+        samples = [rng.lognormal(0, 0.3, 200) for _ in range(3)]
+        c = violin_plot(samples, ["a64fx", "milan", "skylake"],
+                        title="Fig 1", log_scale=True)
+        root = parse_svg(c)
+        polys = root.findall(f".//{SVGNS}polygon")
+        assert len(polys) == 3  # one violin body each
+        text = c.to_string()
+        assert "Fig 1" in text and "n=200" in text
+
+    def test_markers(self):
+        samples = [np.linspace(1, 2, 50)]
+        c = violin_plot(samples, ["x"], markers=[1.5])
+        root = parse_svg(c)
+        circles = root.findall(f".//{SVGNS}circle")
+        assert len(circles) == 2  # median dot + marker
+
+    def test_mismatched_labels(self):
+        with pytest.raises(VizError):
+            violin_plot([np.ones(5)], ["a", "b"])
+
+    def test_log_scale_requires_positive(self):
+        with pytest.raises(VizError):
+            violin_plot([np.array([-1.0, 1.0, 2.0])], ["x"], log_scale=True)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(VizError):
+            violin_plot([np.array([])], ["x"])
+
+    def test_marker_count_checked(self):
+        with pytest.raises(VizError):
+            violin_plot([np.ones(5)], ["x"], markers=[1.0, 2.0])
+
+    def test_extra_markers_render_diamonds(self):
+        samples = [np.linspace(1, 2, 40), np.linspace(2, 3, 40)]
+        c = violin_plot(samples, ["a", "b"], markers=[1.0, 2.0],
+                        extra_markers=[1.5, None])
+        root = parse_svg(c)
+        # 2 violin bodies + 1 diamond polygon.
+        polys = root.findall(f".//{SVGNS}polygon")
+        assert len(polys) == 3
+
+    def test_extra_markers_length_checked(self):
+        with pytest.raises(VizError):
+            violin_plot([np.ones(5)], ["x"], extra_markers=[1.0, 2.0])
+
+
+class TestHeatmap:
+    def test_cells_and_labels(self):
+        m = np.array([[0.1, 0.9], [0.5, 0.2], [0.0, 1.0]])
+        c = heatmap(m, ["r1", "r2", "r3"], ["c1", "c2"], title="T")
+        root = parse_svg(c)
+        # background + 6 cells
+        rects = root.findall(f".//{SVGNS}rect")
+        assert len(rects) == 7
+        text = c.to_string()
+        for label in ("r1", "r2", "r3", "c1", "c2", "T"):
+            assert label in text
+
+    def test_shading_monotone(self):
+        m = np.array([[0.0, 0.5, 1.0]])
+        c = heatmap(m, ["r"], ["a", "b", "c"], annotate=False)
+        root = parse_svg(c)
+        fills = [r.get("fill") for r in root.findall(f".//{SVGNS}rect")][1:]
+
+        def brightness(color):
+            return sum(int(color[i:i + 2], 16) for i in (1, 3, 5))
+
+        assert brightness(fills[0]) > brightness(fills[1]) > brightness(fills[2])
+
+    def test_label_mismatch(self):
+        with pytest.raises(VizError):
+            heatmap(np.ones((2, 2)), ["r"], ["a", "b"])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(VizError):
+            heatmap(np.ones(3), ["r"], ["a", "b", "c"])
+
+    def test_influence_heatmap_integration(self, milan_dataset):
+        from repro.core.influence import influence_by_application
+
+        inf = influence_by_application(milan_dataset)
+        c = influence_heatmap(inf)
+        text = c.to_string()
+        assert "KMP_LIBRARY" in text
+        assert "nqueens" in text
+
+
+class TestTextRenderings:
+    def test_text_heatmap_contains_values(self):
+        m = np.array([[0.25, 0.75]])
+        out = text_heatmap(m, ["row"], ["colA", "colB"])
+        assert "0.25" in out and "0.75" in out and "row" in out
+
+    def test_text_heatmap_denser_glyph_for_larger(self):
+        m = np.array([[0.0, 1.0]])
+        out = text_heatmap(m, ["r"], ["a", "b"])
+        row = out.splitlines()[2]
+        assert " 0.00" in row and "@1.00" in row
+
+    def test_text_heatmap_legend_has_full_names(self):
+        m = np.array([[0.5, 0.5]])
+        out = text_heatmap(m, ["r"], ["KMP_FORCE_REDUCTION", "OMP_PLACES"])
+        assert "KMP_FORCE_REDUCTION" in out.splitlines()[0]
+
+    def test_text_heatmap_mismatch(self):
+        with pytest.raises(VizError):
+            text_heatmap(np.ones((1, 2)), ["r"], ["a"])
+
+    def test_histogram(self):
+        out = text_histogram(np.concatenate([np.zeros(90), np.ones(10)]),
+                             bins=2, title="dist")
+        lines = out.splitlines()
+        assert lines[0] == "dist"
+        assert "90" in out and "10" in out
+
+    def test_histogram_empty_rejected(self):
+        with pytest.raises(VizError):
+            text_histogram(np.array([]))

@@ -1,0 +1,188 @@
+"""Tests for the 15 benchmark workload models and the registry."""
+
+import pytest
+
+from repro.arch.machines import A64FX, MILAN, SKYLAKE
+from repro.errors import UnknownInput, UnknownWorkload, WorkloadError
+from repro.runtime.program import LoopRegion, TaskRegion
+from repro.workloads import (
+    get_workload,
+    synthetic_loop_workload,
+    synthetic_task_workload,
+    workload_names,
+    workloads_for_arch,
+)
+from repro.workloads.base import Workload
+from repro.workloads.generator import random_program
+
+ALL_APPS = {
+    "bt", "cg", "ep", "ft", "lu", "mg",
+    "alignment", "health", "nqueens", "sort", "strassen",
+    "xsbench", "rsbench", "su3bench", "lulesh",
+}
+
+
+class TestRegistry:
+    def test_all_fifteen_registered(self):
+        assert set(workload_names()) == ALL_APPS
+
+    def test_unknown_rejected(self):
+        with pytest.raises(UnknownWorkload):
+            get_workload("hpl")
+
+    def test_lookup_case_insensitive(self):
+        assert get_workload("NQueens").name == "nqueens"
+
+    def test_paper_dataset_app_counts(self):
+        """Table II: 15 apps on A64FX, 13 on Milan, 12 on Skylake."""
+        assert len(workloads_for_arch("a64fx")) == 15
+        assert len(workloads_for_arch("milan")) == 13
+        assert len(workloads_for_arch("skylake")) == 12
+
+    def test_sort_strassen_a64fx_only(self):
+        for name in ("sort", "strassen"):
+            w = get_workload(name)
+            assert w.runs_on("a64fx")
+            assert not w.runs_on("milan")
+            assert not w.runs_on("skylake")
+
+    def test_suites(self):
+        assert get_workload("cg").suite == "npb"
+        assert get_workload("health").suite == "bots"
+        assert get_workload("xsbench").suite == "proxy"
+
+
+class TestExperimentalDesign:
+    """Sec. IV-B: inputs OR threads varied, never both."""
+
+    def test_npb_varies_input_at_full_threads(self):
+        w = get_workload("bt")
+        assert w.varies == "input_size"
+        settings = w.settings(MILAN)
+        assert [s[0] for s in settings] == ["S", "W", "A", "B"]
+        assert all(t == 96 for _, t in settings)
+
+    def test_bots_varies_input(self):
+        w = get_workload("nqueens")
+        assert [s[0] for s in w.settings(A64FX)] == ["small", "medium", "large"]
+
+    def test_proxies_vary_threads(self):
+        w = get_workload("xsbench")
+        assert w.varies == "threads"
+        settings = w.settings(SKYLAKE)
+        assert [t for _, t in settings] == [10, 20, 30, 40]
+        assert all(s == "default" for s, _ in settings)
+
+    def test_thread_counts_scale_with_machine(self):
+        w = get_workload("su3bench")
+        assert w.thread_counts(MILAN) == (24, 48, 72, 96)
+        assert w.thread_counts(A64FX) == (12, 24, 36, 48)
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(UnknownInput):
+            get_workload("cg").program("XL")
+
+
+class TestProgramShapes:
+    @pytest.mark.parametrize("name", sorted(ALL_APPS))
+    def test_all_programs_build_and_are_valid(self, name):
+        w = get_workload(name)
+        for inp in w.inputs:
+            prog = w.program(inp)
+            assert prog.phases
+            assert prog.total_work > 0
+            assert len(prog.parallel_regions) >= 1
+
+    def test_builders_deterministic(self):
+        w = get_workload("health")
+        assert w.program("small") == w.program("small")
+
+    def test_npb_are_loop_parallel(self):
+        for name in ("bt", "cg", "ep", "ft", "lu", "mg"):
+            prog = get_workload(name).program("A")
+            assert not prog.uses_tasks, name
+
+    def test_bots_are_task_parallel(self):
+        for name in ("alignment", "health", "nqueens", "sort", "strassen"):
+            prog = get_workload(name).program("small")
+            assert prog.uses_tasks, name
+
+    def test_input_scaling_monotone(self):
+        for name in sorted(ALL_APPS):
+            w = get_workload(name)
+            works = [w.program(i).total_work for i in w.inputs]
+            assert works == sorted(works), name
+
+    def test_nqueens_tasks_are_fine_grained(self):
+        prog = get_workload("nqueens").program("large")
+        region = next(p for p in prog.phases if isinstance(p, TaskRegion))
+        assert region.n_tasks > 10_000
+        assert region.leaf_work < 5e-6
+
+    def test_strassen_tasks_are_coarse(self):
+        prog = get_workload("strassen").program("large")
+        region = next(p for p in prog.phases if isinstance(p, TaskRegion))
+        assert region.leaf_work > 1e-4
+
+    def test_cg_has_reductions(self):
+        prog = get_workload("cg").program("A")
+        assert any(
+            isinstance(p, LoopRegion) and p.n_reductions > 0
+            for p in prog.phases
+        )
+
+    def test_xsbench_hardcodes_dynamic_schedule(self):
+        prog = get_workload("xsbench").program("default")
+        region = next(p for p in prog.phases if isinstance(p, LoopRegion))
+        assert region.fixed_schedule == "dynamic"
+        assert region.random_access
+
+
+class TestDescribe:
+    def test_describe_rows(self):
+        w = get_workload("nqueens")
+        d = w.describe(MILAN)
+        assert d["suite"] == "bots"
+        assert d["parallelism"] == "tasks"
+        assert d["settings"] == 3
+        assert d["archs"] == "all"
+
+    def test_describe_restricted_arch(self):
+        d = get_workload("sort").describe(A64FX)
+        assert d["archs"] == "a64fx"
+
+
+class TestWorkloadValidation:
+    def test_bad_varies_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="x", suite="s", varies="phase_of_moon",
+                     inputs=("a",), builder=lambda i: None)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="x", suite="s", varies="threads",
+                     inputs=(), builder=lambda i: None)
+
+
+class TestGenerator:
+    def test_synthetic_loop(self):
+        prog = synthetic_loop_workload(n_regions=4, trips=3)
+        assert len(prog.parallel_regions) == 4
+        assert not prog.uses_tasks
+
+    def test_synthetic_task(self):
+        prog = synthetic_task_workload(depth=3, branching=2)
+        assert prog.uses_tasks
+
+    def test_zero_regions_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthetic_loop_workload(n_regions=0)
+
+    def test_random_programs_always_valid(self):
+        for seed in range(40):
+            prog = random_program(seed)
+            assert prog.total_work > 0
+            assert len(prog.phases) >= 2
+
+    def test_random_program_deterministic(self):
+        assert random_program(7) == random_program(7)

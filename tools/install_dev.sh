@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline development install.
+#
+# This environment has setuptools but neither network access nor the
+# `wheel` distribution, which modern editable installs require.  This
+# script installs the vendored wheel shim into site-packages and performs
+# the editable install without build isolation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SITE_PACKAGES=$(python -c "import site; print(site.getsitepackages()[0])")
+
+if ! python -c "import wheel.wheelfile" >/dev/null 2>&1; then
+    echo "installing vendored wheel shim into ${SITE_PACKAGES}"
+    cp -r vendor/wheel "${SITE_PACKAGES}/"
+    cp -r vendor/wheel-0.0.0.dist-info "${SITE_PACKAGES}/"
+fi
+
+# pip quirk: both the env var and the config boolean are inverted —
+# 0/false DISABLE build isolation.  The explicit flag is authoritative.
+mkdir -p ~/.config/pip
+grep -q no-build-isolation ~/.config/pip/pip.conf 2>/dev/null ||     printf '[global]\nno-build-isolation = false\n' >> ~/.config/pip/pip.conf
+pip install -e ".[test]" --no-build-isolation

@@ -1,0 +1,11 @@
+"""Minimal offline shim for the PyPA ``wheel`` package.
+
+This environment has setuptools but no network and no ``wheel``
+distribution, which breaks ``pip install -e .`` (setuptools'
+``editable_wheel`` command imports :mod:`wheel.wheelfile`).  This shim
+implements the small :class:`wheel.wheelfile.WheelFile` surface setuptools
+uses — a ZipFile that records sha256 digests and emits a spec-compliant
+RECORD on close.  Installed into site-packages by ``tools/install_dev.sh``.
+"""
+
+__version__ = "0.0.0+reproshim"

@@ -1,0 +1,190 @@
+"""Minimal pure-Python ``bdist_wheel`` distutils command (shim).
+
+Supports exactly what this offline environment needs:
+
+- ``setup.py dist_info`` (setuptools calls ``bdist_wheel.egg2dist`` to turn
+  an egg-info directory into a dist-info directory),
+- building a ``py3-none-any`` wheel for pure-Python projects so
+  ``pip install .`` / ``pip wheel`` work.
+
+Projects with C extensions are rejected loudly rather than mis-tagged.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+
+from distutils import log
+from distutils.core import Command
+import io
+
+from email.generator import Generator
+
+from wheel import __version__ as wheel_version
+from wheel.metadata import pkginfo_to_metadata
+from wheel.wheelfile import WheelFile
+
+__all__ = ["bdist_wheel"]
+
+
+class bdist_wheel(Command):
+    description = "create a wheel distribution (offline shim)"
+
+    user_options = [
+        ("bdist-dir=", "b", "temporary directory for creating the distribution"),
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("keep-temp", "k", "keep the pseudo-installation tree"),
+        ("universal", None, "ignored (compatibility)"),
+        ("python-tag=", None, "Python implementation compatibility tag"),
+        ("build-number=", None, "build number"),
+        ("plat-name=", "p", "ignored (pure wheels only)"),
+    ]
+
+    boolean_options = ["keep-temp", "universal"]
+
+    def initialize_options(self) -> None:
+        self.bdist_dir = None
+        self.dist_dir = None
+        self.keep_temp = False
+        self.universal = False
+        self.python_tag = f"py{sys.version_info[0]}"
+        self.build_number = None
+        self.plat_name = None
+
+    def finalize_options(self) -> None:
+        if self.bdist_dir is None:
+            bdist_base = self.get_finalized_command("bdist").bdist_base
+            self.bdist_dir = os.path.join(bdist_base, "wheel")
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+        if self.distribution.has_ext_modules():
+            raise RuntimeError(
+                "the offline bdist_wheel shim only builds pure-Python wheels"
+            )
+        self.root_is_pure = True
+
+    # ------------------------------------------------------------------
+    def get_tag(self) -> tuple[str, str, str]:
+        return (self.python_tag, "none", "any")
+
+    @property
+    def wheel_dist_name(self) -> str:
+        components = [
+            self.distribution.get_name().replace("-", "_"),
+            self.distribution.get_version(),
+        ]
+        if self.build_number:
+            components.append(self.build_number)
+        return "-".join(components)
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        build_scripts = self.reinitialize_command("build_scripts")
+        build_scripts.executable = "python"
+        build_scripts.force = True
+
+        self.run_command("build")
+        install = self.reinitialize_command("install", reinit_subcommands=True)
+        install.root = self.bdist_dir
+        install.compile = False
+        install.skip_build = True
+        install.warn_dir = False
+        # Flatten: everything into the wheel root (purelib layout).
+        prefix = "/wheelroot"
+        install.install_lib = f"{prefix}/lib"
+        install.install_scripts = f"{prefix}/data/scripts"
+        install.install_headers = f"{prefix}/data/headers"
+        install.install_data = f"{prefix}/data/data"
+        self.run_command("install")
+
+        libdir = os.path.join(self.bdist_dir, "wheelroot", "lib")
+        if not os.path.isdir(libdir):
+            os.makedirs(libdir)
+
+        # dist-info alongside the installed modules.
+        egg_info_cmd = self.get_finalized_command("egg_info")
+        egg_info_cmd.run()
+        distinfo_name = (
+            f"{self.distribution.get_name().replace('-', '_')}-"
+            f"{self.distribution.get_version()}.dist-info"
+        )
+        distinfo_path = os.path.join(libdir, distinfo_name)
+        self.egg2dist(egg_info_cmd.egg_info, distinfo_path)
+
+        # Data directory (scripts etc.).
+        dataroot = os.path.join(self.bdist_dir, "wheelroot", "data")
+        if os.path.isdir(dataroot):
+            data_name = distinfo_name.replace(".dist-info", ".data")
+            target = os.path.join(libdir, data_name)
+            if os.path.exists(target):
+                shutil.rmtree(target)
+            shutil.move(dataroot, target)
+
+        os.makedirs(self.dist_dir, exist_ok=True)
+        impl_tag, abi_tag, plat_tag = self.get_tag()
+        archive_name = f"{self.wheel_dist_name}-{impl_tag}-{abi_tag}-{plat_tag}.whl"
+        wheel_path = os.path.join(self.dist_dir, archive_name)
+        log.info("creating %s", wheel_path)
+        with WheelFile(wheel_path, "w") as wf:
+            wf.write_files(libdir)
+
+        getattr(self.distribution, "dist_files", []).append(
+            ("bdist_wheel", f"py{sys.version_info[0]}", wheel_path)
+        )
+        if not self.keep_temp:
+            shutil.rmtree(self.bdist_dir, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    def write_wheelfile(
+        self, wheelfile_base: str, generator: str | None = None
+    ) -> None:
+        """Write the ``WHEEL`` metadata file into a dist-info directory."""
+        impl_tag, abi_tag, plat_tag = self.get_tag()
+        if generator is None:
+            generator = f"wheel-shim ({wheel_version})"
+        content = (
+            "Wheel-Version: 1.0\n"
+            f"Generator: {generator}\n"
+            f"Root-Is-Purelib: {'true' if self.root_is_pure else 'false'}\n"
+            f"Tag: {impl_tag}-{abi_tag}-{plat_tag}\n"
+        )
+        if self.build_number:
+            content += f"Build: {self.build_number}\n"
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+
+    # ------------------------------------------------------------------
+    def egg2dist(self, egginfo_path: str, distinfo_path: str) -> None:
+        """Convert an egg-info directory into a dist-info directory."""
+        if os.path.exists(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path)
+
+        pkginfo = os.path.join(egginfo_path, "PKG-INFO")
+        msg = pkginfo_to_metadata(egginfo_path, pkginfo)
+        # Flatten to text and write UTF-8 explicitly: the wheel spec says
+        # METADATA is UTF-8, and BytesGenerator's compat32 ascii encoding
+        # chokes on non-ascii summaries/readmes regardless of locale.
+        buf = io.StringIO()
+        Generator(buf, maxheaderlen=0).flatten(msg)
+        with open(os.path.join(distinfo_path, "METADATA"), "w",
+                  encoding="utf-8") as fh:
+            fh.write(buf.getvalue())
+
+        for extra in ("entry_points.txt", "top_level.txt"):
+            src = os.path.join(egginfo_path, extra)
+            if os.path.exists(src):
+                shutil.copy(src, os.path.join(distinfo_path, extra))
+
+        impl_tag, abi_tag, plat_tag = self.get_tag()
+        wheel_msg = (
+            "Wheel-Version: 1.0\n"
+            f"Generator: wheel-shim ({wheel_version})\n"
+            f"Root-Is-Purelib: true\n"
+            f"Tag: {impl_tag}-{abi_tag}-{plat_tag}\n"
+        )
+        with open(os.path.join(distinfo_path, "WHEEL"), "w", encoding="utf-8") as fh:
+            fh.write(wheel_msg)

@@ -1,0 +1,78 @@
+"""egg-info -> wheel METADATA conversion (shim).
+
+Implements the wheel project's ``pkginfo_to_metadata``: merge an egg-info
+``PKG-INFO`` with ``requires.txt`` into a Metadata-2.1 message carrying
+``Requires-Dist`` / ``Provides-Extra`` headers.
+"""
+
+from __future__ import annotations
+
+import os
+from email.message import Message
+from email.parser import Parser
+
+__all__ = ["pkginfo_to_metadata"]
+
+
+def _requires_to_requires_dist(requirement: str) -> str:
+    """Normalize an egg-info requirement line to Requires-Dist syntax."""
+    return requirement.strip()
+
+
+def _convert_requirements(lines: list[str], extra: str | None) -> list[str]:
+    out = []
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        spec = _requires_to_requires_dist(line)
+        if extra:
+            if ";" in spec:
+                req, marker = spec.split(";", 1)
+                spec = f'{req.strip()} ; ({marker.strip()}) and extra == "{extra}"'
+            else:
+                spec = f'{spec} ; extra == "{extra}"'
+        out.append(spec)
+    return out
+
+
+def _parse_requires_txt(text: str) -> list[tuple[str | None, list[str]]]:
+    """Split requires.txt into (extra-or-None, requirement-lines) sections."""
+    sections: list[tuple[str | None, list[str]]] = [(None, [])]
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("[") and line.endswith("]"):
+            sections.append((line[1:-1], []))
+        elif line:
+            sections[-1][1].append(line)
+    return sections
+
+
+def pkginfo_to_metadata(egg_info_path: str, pkginfo_path: str) -> Message:
+    """Build the wheel METADATA message from an egg-info directory."""
+    with open(pkginfo_path, encoding="utf-8") as fh:
+        msg = Parser().parse(fh)
+    # Upgrade declared metadata version; drop egg-only fields.
+    if "Metadata-Version" in msg:
+        del msg["Metadata-Version"]
+    msg["Metadata-Version"] = "2.1"
+    for field in ("Requires", "Provides", "Obsoletes"):
+        del msg[field]
+
+    requires_path = os.path.join(egg_info_path, "requires.txt")
+    if os.path.exists(requires_path) and "Requires-Dist" not in msg:
+        with open(requires_path, encoding="utf-8") as fh:
+            sections = _parse_requires_txt(fh.read())
+        for extra, lines in sections:
+            condition = None
+            extra_name = extra
+            if extra and ":" in extra:
+                extra_name, condition = extra.split(":", 1)
+                extra_name = extra_name.strip() or None
+            if extra_name:
+                msg["Provides-Extra"] = extra_name
+            for spec in _convert_requirements(lines, extra_name):
+                if condition and ";" not in spec:
+                    spec = f"{spec} ; {condition.strip()}"
+                msg["Requires-Dist"] = spec
+    return msg

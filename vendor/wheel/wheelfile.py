@@ -1,0 +1,109 @@
+"""Spec-compliant minimal ``WheelFile`` (see package docstring).
+
+Implements the subset of the real ``wheel.wheelfile.WheelFile`` API that
+setuptools' ``bdist_wheel``/``editable_wheel`` paths use:
+
+- construction from a ``{name}-{version}(-{build})?-{tags}.whl`` path,
+- ``writestr`` / ``write`` / ``write_files`` with sha256 tracking,
+- RECORD generation on ``close()`` per the binary-distribution spec
+  (``path,sha256=<urlsafe-b64-nopad>,size``; RECORD's own row empty).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import stat
+import zipfile
+
+__all__ = ["WheelFile", "WheelError"]
+
+_WHEEL_NAME_RE = re.compile(
+    r"""^(?P<name>[^\s-]+?)-(?P<version>[^\s-]+?)
+        (-(?P<build>\d[^\s-]*))?
+        -(?P<pyver>[^\s-]+?)-(?P<abi>[^\s-]+?)-(?P<plat>\S+)\.whl$""",
+    re.VERBOSE,
+)
+
+
+class WheelError(Exception):
+    """Raised for malformed wheel names or misuse."""
+
+
+def _urlsafe_b64_nopad(digest: bytes) -> str:
+    return base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """A ZipFile that maintains the wheel RECORD automatically."""
+
+    def __init__(self, file, mode: str = "r", compression=zipfile.ZIP_DEFLATED):
+        basename = os.path.basename(os.fspath(file))
+        match = _WHEEL_NAME_RE.match(basename)
+        if match is None:
+            raise WheelError(f"bad wheel filename {basename!r}")
+        self.parsed_filename = match
+        name, version = match.group("name"), match.group("version")
+        self.dist_info_path = f"{name}-{version}.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._file_hashes: dict[str, tuple[str, int] | None] = {}
+        super().__init__(file, mode=mode, compression=compression)
+
+    # -- write side -----------------------------------------------------
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs) -> None:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+        arcname = (
+            zinfo_or_arcname.filename
+            if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+            else zinfo_or_arcname
+        )
+        if arcname != self.record_path:
+            digest = hashlib.sha256(data).digest()
+            self._file_hashes[arcname] = (
+                f"sha256={_urlsafe_b64_nopad(digest)}",
+                len(data),
+            )
+
+    def write(self, filename, arcname=None, compress_type=None) -> None:
+        with open(filename, "rb") as fh:
+            data = fh.read()
+        if arcname is None:
+            arcname = os.path.relpath(filename, os.path.curdir)
+        arcname = os.path.normpath(arcname).replace(os.sep, "/")
+        zinfo = zipfile.ZipInfo.from_file(filename, arcname)
+        zinfo.compress_type = (
+            self.compression if compress_type is None else compress_type
+        )
+        # Preserve the executable bit like the real implementation.
+        st_mode = os.stat(filename).st_mode
+        zinfo.external_attr = (stat.S_IMODE(st_mode) | stat.S_IFMT(st_mode)) << 16
+        self.writestr(zinfo, data)
+
+    def write_files(self, base_dir) -> None:
+        """Add every file under ``base_dir``, RECORD last."""
+        deferred: list[tuple[str, str]] = []
+        for root, _dirs, files in os.walk(base_dir):
+            for name in sorted(files):
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                if arcname == self.record_path:
+                    continue
+                deferred.append((arcname, path))
+        deferred.sort()
+        for arcname, path in deferred:
+            self.write(path, arcname)
+
+    def close(self) -> None:
+        if self.fp is not None and self.mode == "w":
+            lines = [
+                f"{arc},{h[0]},{h[1]}"
+                for arc, h in sorted(self._file_hashes.items())
+                if h is not None
+            ]
+            lines.append(f"{self.record_path},,")
+            super().writestr(self.record_path, "\n".join(lines) + "\n")
+        super().close()
