@@ -39,6 +39,7 @@ from repro.arch import (
 )
 from repro.core import (
     EnvSpace,
+    SweepCache,
     SweepPlan,
     SweepResult,
     best_variable_values,
@@ -90,6 +91,7 @@ __all__ = [
     "workloads_for_arch",
     # sweep + analysis
     "EnvSpace",
+    "SweepCache",
     "SweepPlan",
     "SweepResult",
     "run_sweep",

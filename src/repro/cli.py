@@ -78,6 +78,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--repetitions", type=int, default=3)
     p_sweep.add_argument("--processes", type=int, default=1)
     p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--fidelity", default="analytic",
+                         choices=("analytic", "des"),
+                         help="task-region fidelity (default: analytic)")
+    p_sweep.add_argument("--inputs-limit", type=int, default=None,
+                         help="cap settings per workload (quick runs)")
+    p_sweep.add_argument("--cache-dir", default=None,
+                         help="persistent batch cache directory; batches "
+                              "already cached are not re-simulated")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="resume from the batch cache (defaults "
+                              "--cache-dir to <output>.cache)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="ignore the batch cache even if --cache-dir/"
+                              "--resume is given")
     p_sweep.add_argument("-o", "--output", required=True,
                          help="dataset CSV path")
 
@@ -152,20 +166,56 @@ def _cmd_machines() -> int:
     return 0
 
 
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+def _sweep_cache(args: argparse.Namespace):
+    """The batch cache the sweep flags select, or None."""
+    if args.no_cache:
+        return None
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.resume:
+        cache_dir = f"{args.output}.cache"
+    if cache_dir is None:
+        return None
+    from repro.core.cache import SweepCache
+
+    return SweepCache(cache_dir)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+
     plan = SweepPlan(
         arch=args.arch,
         workload_names=tuple(args.workloads) if args.workloads else None,
         scale=args.scale,
         repetitions=args.repetitions,
+        inputs_limit=args.inputs_limit,
         seed=args.seed,
+        fidelity=args.fidelity,
     )
-    def progress(done: int, total: int, app: str, inp: str, threads: int) -> None:
-        print(f"  [{done:3d}/{total}] {app}.{inp} T={threads}", flush=True)
+    cache = _sweep_cache(args)
+    start = time.monotonic()
 
-    result = run_sweep(plan, n_processes=args.processes, progress=progress)
+    def progress(done: int, total: int, app: str, inp: str, threads: int) -> None:
+        elapsed = time.monotonic() - start
+        eta = elapsed / done * (total - done)
+        print(f"  [{done:3d}/{total}] {app}.{inp} T={threads} "
+              f"eta {_fmt_seconds(eta)}", flush=True)
+
+    result = run_sweep(plan, n_processes=args.processes, progress=progress,
+                       cache=cache)
     table = enrich_with_speedup(aggregate_runs(records_to_table(result.records)))
     write_csv(table, args.output)
+    if cache is not None:
+        print(f"cache: {result.n_cached_batches} batches reused, "
+              f"{result.n_computed_batches} simulated -> {cache.root}")
     print(
         f"{result.n_samples} samples ({result.n_measurements} measurements) "
         f"for {len(result.apps())} applications on {args.arch} "

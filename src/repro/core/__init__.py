@@ -19,7 +19,9 @@
 from repro.core.envspace import (EnvSpace, VariableSpec, SWEPT_VARIABLES,
                                  chunked_schedule_variables,
                                  extended_variables, wait_policy_variables)
-from repro.core.sweep import SweepPlan, SweepResult, run_sweep
+from repro.core.sweep import (BatchSpec, SweepPlan, SweepResult,
+                              plan_batches, run_sweep)
+from repro.core.cache import SweepCache
 from repro.core.dataset import (
     aggregate_runs,
     enrich_with_speedup,
@@ -72,8 +74,11 @@ __all__ = [
     "EnvSpace",
     "VariableSpec",
     "SWEPT_VARIABLES",
+    "BatchSpec",
     "SweepPlan",
     "SweepResult",
+    "SweepCache",
+    "plan_batches",
     "run_sweep",
     "records_to_table",
     "aggregate_runs",

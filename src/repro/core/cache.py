@@ -1,0 +1,180 @@
+"""Persistent, content-addressed cache of sweep batches.
+
+A sweep's unit of work is one (workload, setting) batch — the full
+configuration grid at one ``(app, input_size, num_threads)`` point
+(:class:`~repro.core.sweep.BatchSpec`).  This module stores each batch's
+records on disk under a key that is a stable SHA-256 over everything the
+batch's contents depend on:
+
+1. **plan identity** — ``arch``, ``scale``, ``repetitions``, ``seed``,
+   ``fidelity``.  ``workload_names`` and ``inputs_limit`` are deliberately
+   *excluded*: they select which batches a sweep runs, not what any batch
+   contains, so a capped or subset sweep warms the cache for the full one.
+2. **grid fingerprint** — a digest of every configuration's identity key,
+   in grid order.  Changing the environment space (extensions, chunked
+   schedules, a different scale's subsample) changes the fingerprint and
+   therefore invalidates nothing — old entries simply stop matching.
+3. **batch identity** — ``app``, ``suite``, ``input_size``,
+   ``num_threads``.
+
+Entries are one JSON file per batch named ``<key>.json``, written
+atomically (temp file + rename) so a killed sweep never leaves a torn
+entry; unreadable or version-mismatched files are treated as misses and
+rewritten.  Because runtimes round-trip JSON exactly (``repr``-based
+float serialization), cached records are bit-identical to freshly
+simulated ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.core.sweep import BatchSpec, SweepPlan, SweepRecord
+from repro.errors import CacheError
+from repro.runtime.icv import EnvConfig
+
+__all__ = ["CACHE_FORMAT_VERSION", "SweepCache", "batch_key",
+           "grid_fingerprint"]
+
+#: Bump when the on-disk payload layout changes; old entries become misses.
+CACHE_FORMAT_VERSION = 1
+
+_CONFIG_FIELDS = (
+    "num_threads",
+    "places",
+    "proc_bind",
+    "schedule",
+    "library",
+    "blocktime",
+    "force_reduction",
+    "align_alloc",
+)
+
+
+def grid_fingerprint(configs: Sequence[EnvConfig]) -> str:
+    """Stable digest of a configuration grid's identity, order included."""
+    h = hashlib.sha256()
+    for config in configs:
+        h.update(repr(config.key()).encode("utf-8"))
+    return h.hexdigest()
+
+
+def batch_key(plan: SweepPlan, grid_fp: str, batch: BatchSpec) -> str:
+    """The content address of one batch (see the module docstring)."""
+    identity = (
+        CACHE_FORMAT_VERSION,
+        plan.arch,
+        plan.scale,
+        plan.repetitions,
+        plan.seed,
+        plan.fidelity,
+        grid_fp,
+        batch.app,
+        batch.suite,
+        batch.input_size,
+        batch.nthreads,
+    )
+    return hashlib.sha256(repr(identity).encode("utf-8")).hexdigest()
+
+
+def _record_to_dict(record: SweepRecord) -> dict:
+    return {
+        "arch": record.arch,
+        "app": record.app,
+        "suite": record.suite,
+        "input_size": record.input_size,
+        "num_threads": record.num_threads,
+        "config": {f: getattr(record.config, f) for f in _CONFIG_FIELDS},
+        "runtimes": list(record.runtimes),
+    }
+
+
+def _record_from_dict(payload: dict) -> SweepRecord:
+    try:
+        return SweepRecord(
+            arch=payload["arch"],
+            app=payload["app"],
+            suite=payload["suite"],
+            input_size=payload["input_size"],
+            num_threads=payload["num_threads"],
+            config=EnvConfig(**payload["config"]),
+            runtimes=tuple(payload["runtimes"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise CacheError(f"malformed cache record: {exc}") from exc
+
+
+class SweepCache:
+    """On-disk batch cache rooted at a directory.
+
+    Thread-model: a single writer (the orchestrating process) and any
+    number of readers.  Writes are atomic renames; concurrent sweeps over
+    one directory at worst recompute a batch and overwrite it with
+    identical content.
+    """
+
+    #: Re-exported so callers holding a cache need not import the module.
+    grid_fingerprint = staticmethod(grid_fingerprint)
+    batch_key = staticmethod(batch_key)
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> list[SweepRecord] | None:
+        """The cached records for ``key``, or None (counts as a miss)."""
+        try:
+            payload = json.loads(
+                self._path(key).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError):
+            # Missing, unreadable, or torn entry: recompute and overwrite.
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != CACHE_FORMAT_VERSION
+            or "records" not in payload
+        ):
+            self.misses += 1
+            return None
+        try:
+            records = [_record_from_dict(d) for d in payload["records"]]
+        except CacheError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return records
+
+    def put(self, key: str, records: Sequence[SweepRecord]) -> None:
+        """Persist one batch atomically under ``key``."""
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "records": [_record_to_dict(r) for r in records],
+        }
+        path = self._path(key)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, path)
+        self.writes += 1
+
+    def __len__(self) -> int:
+        """Number of batch entries currently on disk."""
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepCache({str(self.root)!r}: {len(self)} entries, "
+            f"{self.hits} hits / {self.misses} misses this session)"
+        )

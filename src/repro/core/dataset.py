@@ -118,9 +118,53 @@ def _is_default_row(table: Table) -> np.ndarray:
     mask = np.ones(n, dtype=bool)
     for col in ("places", "proc_bind", "schedule", "library", "blocktime",
                 "force_reduction"):
-        mask &= np.asarray([v == UNSET for v in table.column(col)])
+        mask &= np.asarray(table.column(col) == UNSET, dtype=bool)
     mask &= np.asarray(table.column("align_alloc"), dtype=np.int64) == 0
     return mask
+
+
+def _factorize(col: np.ndarray) -> tuple[np.ndarray, int]:
+    """Integer codes (0..k-1) for one key column, plus k.
+
+    Run-length based: one vectorized neighbour comparison finds the run
+    boundaries, then only the (few) run-start values pass through a
+    Python dict.  Sweep tables are batch-contiguous, so runs are long and
+    this is effectively O(n) C work; on adversarially shuffled input it
+    degrades to one dict lookup per row but stays correct.
+    """
+    arr = np.asarray(col)
+    n = len(arr)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    np.not_equal(arr[1:], arr[:-1], out=is_start[1:])
+    starts = np.nonzero(is_start)[0]
+    lookup: dict = {}
+    run_codes = np.empty(len(starts), dtype=np.int64)
+    for j, v in enumerate(arr[starts]):
+        code = lookup.get(v)
+        if code is None:
+            code = lookup[v] = len(lookup)
+        run_codes[j] = code
+    lengths = np.diff(np.append(starts, n))
+    return np.repeat(run_codes, lengths), len(lookup)
+
+
+def _setting_codes(*key_cols: np.ndarray) -> np.ndarray:
+    """Factorize the row-wise combination of key columns into group ids.
+
+    Equivalent to hashing each row's key tuple, but vectorized: each
+    column is factorized independently and the per-column codes are mixed
+    positionally.  Rows share an id iff they share every key value.
+    """
+    n = len(key_cols[0])
+    codes = np.zeros(n, dtype=np.int64)
+    for col in key_cols:
+        col_codes, k = _factorize(col)
+        codes = codes * (k + 1) + col_codes
+    _, dense = np.unique(codes, return_inverse=True)
+    return dense
 
 
 def enrich_with_speedup(table: Table) -> Table:
@@ -140,24 +184,32 @@ def enrich_with_speedup(table: Table) -> Table:
     )
     default_mask = _is_default_row(table)
 
-    defaults: dict[tuple, float] = {}
     archs = table.column("arch")
     apps = table.column("app")
     inputs = table.column("input_size")
     threads = np.asarray(table.column("num_threads"), dtype=np.int64)
     means = np.asarray(table.column("runtime_mean"), dtype=float)
-    for i in np.nonzero(default_mask)[0]:
-        defaults[(archs[i], apps[i], inputs[i], int(threads[i]))] = float(means[i])
 
-    default_col = np.empty(table.num_rows)
-    for i in range(table.num_rows):
+    # Factorize-and-gather: one group id per setting, a per-group default
+    # runtime gathered back onto every row (no per-row Python loop).
+    codes = _setting_codes(archs, apps, inputs, threads)
+    n_groups = int(codes.max()) + 1 if table.num_rows else 0
+    default_mean = np.empty(n_groups)
+    has_default = np.zeros(n_groups, dtype=bool)
+    default_idx = np.nonzero(default_mask)[0]
+    # Later default rows overwrite earlier ones, like the dict they replace.
+    default_mean[codes[default_idx]] = means[default_idx]
+    has_default[codes[default_idx]] = True
+
+    missing = ~has_default[codes]
+    if missing.any():
+        i = int(np.nonzero(missing)[0][0])
         key = (archs[i], apps[i], inputs[i], int(threads[i]))
-        if key not in defaults:
-            raise DatasetError(
-                f"no default-configuration row for setting {key}; every "
-                "setting's batch must include the all-unset config"
-            )
-        default_col[i] = defaults[key]
+        raise DatasetError(
+            f"no default-configuration row for setting {key}; every "
+            "setting's batch must include the all-unset config"
+        )
+    default_col = default_mean[codes]
 
     table = table.with_column("default_runtime", default_col)
     return table.with_column("speedup", default_col / means)

@@ -9,24 +9,46 @@ the simulator's noise streams are keyed by sample identity, results are
 bit-identical under any reordering (verified by tests), which is the
 property the paper's batching strategy exists to protect on real metal.
 
-Sweeps can optionally fan out across processes; each (workload, setting)
-batch is an independent unit of work.
+Sweeps can fan out across processes; each (workload, setting) batch is an
+independent unit of work (:class:`BatchSpec`).  The parallel path streams
+results back in batch order (``imap``), so the ``progress`` callback
+fires as each batch lands rather than after a full barrier, and a worker
+initializer materializes the machine model and configuration grid once
+per process — batch payloads carry only the four-field batch identity,
+never the grid.
+
+Passing ``cache=`` (a :class:`~repro.core.cache.SweepCache` or a
+directory path) makes the sweep incremental: batches already present in
+the cache are loaded instead of re-simulated, and every freshly computed
+batch is persisted, so an interrupted full-scale sweep resumes where it
+stopped.  Cached, parallel, and serial execution all yield bit-identical
+records.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from collections.abc import Iterable, Sequence
+import os
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.arch.machines import get_machine
+from repro.arch.topology import MachineTopology
 from repro.core.envspace import EnvSpace
 from repro.errors import ConfigError
 from repro.runtime.executor import RuntimeExecutor
 from repro.runtime.icv import EnvConfig
 from repro.workloads.base import Workload, workloads_for_arch
 
-__all__ = ["SweepPlan", "SweepRecord", "SweepResult", "run_sweep"]
+__all__ = [
+    "BatchSpec",
+    "SweepPlan",
+    "SweepRecord",
+    "SweepResult",
+    "plan_batches",
+    "run_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +85,25 @@ class SweepPlan:
     def __post_init__(self) -> None:
         if self.repetitions < 1:
             raise ConfigError("repetitions must be >= 1")
+        if self.fidelity not in ("analytic", "des"):
+            raise ConfigError(
+                f"fidelity must be 'analytic' or 'des', got {self.fidelity!r}"
+            )
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """One (workload, setting): the sweep's unit of dispatch and caching.
+
+    Deliberately tiny — this is the only payload pickled per batch when
+    fanning out across processes; the configuration grid itself lives in
+    per-process worker state.
+    """
+
+    app: str
+    suite: str
+    input_size: str
+    nthreads: int
 
 
 @dataclass(frozen=True)
@@ -89,6 +130,9 @@ class SweepResult:
 
     plan: SweepPlan
     records: list[SweepRecord] = field(default_factory=list)
+    #: Batches served from the cache vs simulated in this call.
+    n_cached_batches: int = 0
+    n_computed_batches: int = 0
 
     @property
     def n_samples(self) -> int:
@@ -108,18 +152,22 @@ class SweepResult:
         return list(seen)
 
 
-def _sweep_one_setting(
-    args: tuple[SweepPlan, str, str, str, int, list[EnvConfig]],
+# ----------------------------------------------------------------------
+# Batch execution
+# ----------------------------------------------------------------------
+def _execute_batch(
+    plan: SweepPlan,
+    machine: MachineTopology,
+    configs: Sequence[EnvConfig],
+    batch: BatchSpec,
 ) -> list[SweepRecord]:
-    """Run the full config batch for one (workload, setting)."""
-    plan, app, suite, input_size, nthreads, configs = args
-    machine = get_machine(plan.arch)
+    """Run the full config grid for one (workload, setting)."""
     from repro.workloads.base import get_workload
 
-    program = get_workload(app).program(input_size)
+    program = get_workload(batch.app).program(batch.input_size)
     records: list[SweepRecord] = []
     for config in configs:
-        cfg = config.with_threads(nthreads)
+        cfg = config.with_threads(batch.nthreads)
         executor = RuntimeExecutor(machine, cfg, fidelity=plan.fidelity)
         runtimes = tuple(
             executor.observe(program, run_index=rep, seed=plan.seed)
@@ -128,10 +176,10 @@ def _sweep_one_setting(
         records.append(
             SweepRecord(
                 arch=plan.arch,
-                app=app,
-                suite=suite,
-                input_size=input_size,
-                num_threads=nthreads,
+                app=batch.app,
+                suite=batch.suite,
+                input_size=batch.input_size,
+                num_threads=batch.nthreads,
                 config=cfg,
                 runtimes=runtimes,
             )
@@ -139,67 +187,159 @@ def _sweep_one_setting(
     return records
 
 
-def _batches(
-    plan: SweepPlan, workloads: Sequence[Workload], space: EnvSpace
-) -> Iterable[tuple]:
+#: Per-process sweep state (machine model + materialized config grid),
+#: populated once by :func:`_init_worker` instead of being pickled into
+#: every batch payload.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(plan: SweepPlan, space: EnvSpace) -> None:
     machine = get_machine(plan.arch)
-    configs = space.grid(machine, plan.scale, seed=plan.seed)
-    for workload in workloads:
+    _WORKER_STATE["plan"] = plan
+    _WORKER_STATE["machine"] = machine
+    _WORKER_STATE["configs"] = space.grid(machine, plan.scale, seed=plan.seed)
+
+
+def _worker_run_batch(batch: BatchSpec) -> list[SweepRecord]:
+    state = _WORKER_STATE
+    return _execute_batch(
+        state["plan"], state["machine"], state["configs"], batch
+    )
+
+
+def _make_pool(
+    n_processes: int, plan: SweepPlan, space: EnvSpace
+) -> multiprocessing.pool.Pool:
+    """A worker pool whose processes hold the sweep state (test seam)."""
+    return multiprocessing.Pool(
+        n_processes, initializer=_init_worker, initargs=(plan, space)
+    )
+
+
+def _chunksize(n_batches: int, n_processes: int) -> int:
+    """Batches per dispatch: ~4 chunks per worker balances the dispatch
+    overhead on small batches against load balance on stragglers."""
+    return max(1, n_batches // (n_processes * 4))
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def _resolve_workloads(plan: SweepPlan) -> list[Workload]:
+    if plan.workload_names is None:
+        return workloads_for_arch(plan.arch)
+    from repro.workloads.base import get_workload
+
+    workloads = [get_workload(n) for n in plan.workload_names]
+    for w in workloads:
+        if not w.runs_on(plan.arch):
+            raise ConfigError(
+                f"workload {w.name!r} was not run on {plan.arch} in the "
+                "paper's dataset"
+            )
+    return workloads
+
+
+def plan_batches(plan: SweepPlan) -> list[BatchSpec]:
+    """The (workload, setting) batches of a plan, in execution order."""
+    machine = get_machine(plan.arch)
+    out: list[BatchSpec] = []
+    for workload in _resolve_workloads(plan):
         settings = workload.settings(machine)
         if plan.inputs_limit is not None:
             settings = settings[: plan.inputs_limit]
         for input_size, nthreads in settings:
-            yield (
-                plan,
-                workload.name,
-                workload.suite,
-                input_size,
-                nthreads,
-                configs,
+            out.append(
+                BatchSpec(workload.name, workload.suite, input_size, nthreads)
             )
+    return out
 
 
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
 def run_sweep(
     plan: SweepPlan,
     space: EnvSpace | None = None,
     n_processes: int = 1,
     progress: "callable | None" = None,
+    cache: "SweepCache | str | os.PathLike | None" = None,
 ) -> SweepResult:
     """Execute a sweep plan; deterministic for a given plan.
 
-    ``progress``, if given, is called after each (workload, setting)
-    batch with ``(batches_done, batches_total, app, input_size,
-    nthreads)`` — useful feedback on full-scale grids.
+    ``progress``, if given, is called as each (workload, setting) batch
+    *lands* — incrementally, also on the multiprocess path — with
+    ``(batches_done, batches_total, app, input_size, nthreads)``; useful
+    feedback on full-scale grids.
+
+    ``cache``, if given (a :class:`~repro.core.cache.SweepCache` or a
+    directory path), skips batches whose records are already on disk and
+    persists each newly computed batch, making interrupted sweeps
+    resumable.  See ``docs/SWEEP_CACHE.md`` for the key scheme.
     """
     space = space or EnvSpace()
     machine = get_machine(plan.arch)
-    if plan.workload_names is None:
-        workloads = workloads_for_arch(plan.arch)
-    else:
-        from repro.workloads.base import get_workload
-
-        workloads = [get_workload(n) for n in plan.workload_names]
-        for w in workloads:
-            if not w.runs_on(plan.arch):
-                raise ConfigError(
-                    f"workload {w.name!r} was not run on {plan.arch} in the "
-                    "paper's dataset"
-                )
-    del machine  # validated the arch name
-
-    batches = list(_batches(plan, workloads, space))
+    batches = plan_batches(plan)
+    total = len(batches)
     result = SweepResult(plan=plan)
-    if n_processes > 1 and len(batches) > 1:
-        with multiprocessing.Pool(n_processes) as pool:
-            for done, (batch, records) in enumerate(
-                zip(batches, pool.map(_sweep_one_setting, batches)), 1
-            ):
-                result.records.extend(records)
-                if progress is not None:
-                    progress(done, len(batches), batch[1], batch[3], batch[4])
-    else:
-        for done, batch in enumerate(batches, 1):
-            result.records.extend(_sweep_one_setting(batch))
+
+    if cache is not None:
+        from repro.core.cache import SweepCache
+
+        if not isinstance(cache, SweepCache):
+            cache = SweepCache(cache)
+
+    # Resolve cache hits up front so only misses are dispatched to workers.
+    cached: dict[int, list[SweepRecord]] = {}
+    keys: dict[int, str] = {}
+    if cache is not None:
+        configs = space.grid(machine, plan.scale, seed=plan.seed)
+        grid_fp = cache.grid_fingerprint(configs)
+        for i, batch in enumerate(batches):
+            keys[i] = cache.batch_key(plan, grid_fp, batch)
+            hit = cache.get(keys[i])
+            if hit is not None:
+                cached[i] = hit
+    misses = [i for i in range(total) if i not in cached]
+
+    def in_order(
+        miss_stream: Iterator[list[SweepRecord]],
+    ) -> Iterator[tuple[int, BatchSpec, list[SweepRecord], bool]]:
+        """Merge cached batches with streamed misses, in batch order."""
+        for i, batch in enumerate(batches):
+            if i in cached:
+                yield i, batch, cached[i], True
+            else:
+                yield i, batch, next(miss_stream), False
+
+    def consume(miss_stream: Iterator[list[SweepRecord]]) -> None:
+        for done, (i, batch, records, was_cached) in enumerate(
+            in_order(miss_stream), 1
+        ):
+            result.records.extend(records)
+            if was_cached:
+                result.n_cached_batches += 1
+            else:
+                result.n_computed_batches += 1
+                if cache is not None:
+                    cache.put(keys[i], records)
             if progress is not None:
-                progress(done, len(batches), batch[1], batch[3], batch[4])
+                progress(done, total, batch.app, batch.input_size,
+                         batch.nthreads)
+
+    if n_processes > 1 and len(misses) > 1:
+        n_workers = min(n_processes, len(misses))
+        with _make_pool(n_workers, plan, space) as pool:
+            stream = pool.imap(
+                _worker_run_batch,
+                [batches[i] for i in misses],
+                chunksize=_chunksize(len(misses), n_workers),
+            )
+            consume(stream)
+    else:
+        configs = space.grid(machine, plan.scale, seed=plan.seed)
+        consume(
+            _execute_batch(plan, machine, configs, batches[i])
+            for i in misses
+        )
     return result

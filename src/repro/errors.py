@@ -23,6 +23,7 @@ __all__ = [
     "DeadlockError",
     "DatasetError",
     "SchemaError",
+    "CacheError",
     "FrameError",
     "ColumnError",
     "LengthMismatch",
@@ -108,6 +109,10 @@ class DatasetError(ReproError):
 
 class SchemaError(DatasetError):
     """A table does not contain the columns an operation requires."""
+
+
+class CacheError(DatasetError):
+    """A sweep-cache entry is malformed (torn write, foreign file)."""
 
 
 # --------------------------------------------------------------------------

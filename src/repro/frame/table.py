@@ -48,6 +48,32 @@ def _as_column(values: Any) -> np.ndarray:
     return arr
 
 
+def _nan_for_missing(values: list) -> Any:
+    """Turn a numeric-except-``None`` record column into a float column.
+
+    ``None`` placeholders (missing record keys, unmatched join rows)
+    become ``nan`` so the column keeps a float dtype instead of silently
+    degrading to ``object``.  Columns with any non-numeric value — or no
+    numeric value at all — are returned untouched.
+    """
+    has_none = False
+    has_number = False
+    for v in values:
+        if v is None:
+            has_none = True
+        elif isinstance(v, (int, float, np.integer, np.floating)) and not isinstance(
+            v, (bool, np.bool_)
+        ):
+            has_number = True
+        else:
+            return values
+    if not (has_none and has_number):
+        return values
+    return np.asarray(
+        [np.nan if v is None else float(v) for v in values], dtype=float
+    )
+
+
 def _group_key(row_values: tuple) -> tuple:
     """Normalize a tuple of cell values into a hashable group key."""
     out = []
@@ -106,7 +132,10 @@ class Table:
         """Build a table from an iterable of dict rows.
 
         Missing keys become ``None`` in object columns / ``nan`` in float
-        columns.  Column order follows first appearance.
+        columns: a column whose present values are all numeric is coerced
+        to float64 with ``nan`` filling the gaps, so it stays usable in
+        arithmetic and round-trips through CSV.  Column order follows
+        first appearance.
         """
         records = list(records)
         names: list[str] = []
@@ -120,7 +149,7 @@ class Table:
         for rec in records:
             for n in names:
                 cols[n].append(rec.get(n))
-        return cls({n: cols[n] for n in names})
+        return cls({n: _nan_for_missing(cols[n]) for n in names})
 
     @classmethod
     def empty(cls, names: Sequence[str]) -> "Table":
@@ -374,7 +403,8 @@ class Table:
 
         Supports ``how="inner"`` and ``how="left"``.  Non-key columns present
         in both tables take the right table's values under a ``_right``
-        suffix.  Left join fills unmatched right columns with ``None``.
+        suffix.  Left join fills unmatched right columns with ``None``
+        (``nan`` when the column is otherwise numeric).
         """
         if how not in ("inner", "left"):
             raise ValueError(f"unsupported join type {how!r}")

@@ -130,3 +130,101 @@ class TestCommands:
         manifest, table = load_release(tmp_path / "rel")
         assert manifest.version == "2.0"
         assert table.num_rows > 0
+
+
+class TestSweepFlags:
+    """The sweep subcommand's fidelity / inputs-limit / cache plumbing."""
+
+    def test_fidelity_and_inputs_limit_parsed(self):
+        args = build_parser().parse_args(
+            ["sweep", "--arch", "milan", "--fidelity", "des",
+             "--inputs-limit", "2", "-o", "x.csv"]
+        )
+        assert args.fidelity == "des" and args.inputs_limit == 2
+
+    def test_fidelity_defaults_analytic(self):
+        args = build_parser().parse_args(
+            ["sweep", "--arch", "milan", "-o", "x.csv"]
+        )
+        assert args.fidelity == "analytic"
+        assert args.inputs_limit is None
+        assert args.cache_dir is None and not args.resume
+
+    def test_bad_fidelity_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--arch", "milan", "--fidelity", "exact",
+                 "-o", "x.csv"]
+            )
+
+    def test_fidelity_and_inputs_limit_reach_the_plan(self, tmp_path,
+                                                      monkeypatch, capsys):
+        """Regression: these flags used to be silently dropped."""
+        import repro.cli as cli_mod
+
+        captured = {}
+        real = cli_mod.run_sweep
+
+        def spy(plan, **kwargs):
+            captured["plan"] = plan
+            return real(plan, **kwargs)
+
+        monkeypatch.setattr(cli_mod, "run_sweep", spy)
+        rc = main(["sweep", "--arch", "milan", "--workloads", "nqueens",
+                   "--scale", "small", "--repetitions", "1",
+                   "--fidelity", "des", "--inputs-limit", "1",
+                   "-o", str(tmp_path / "ds.csv")])
+        assert rc == 0
+        assert captured["plan"].fidelity == "des"
+        assert captured["plan"].inputs_limit == 1
+        # inputs_limit=1 -> exactly one (workload, setting) batch ran.
+        assert "[  1/1]" in capsys.readouterr().out
+
+
+class TestSweepCacheCLI:
+    def _sweep(self, tmp_path, *extra):
+        return main(["sweep", "--arch", "milan", "--workloads", "nqueens",
+                     "--scale", "small", "--repetitions", "1",
+                     "-o", str(tmp_path / "ds.csv"), *extra])
+
+    def test_cache_dir_resumes_with_zero_resimulation(self, tmp_path,
+                                                      monkeypatch, capsys):
+        import repro.core.sweep as sweep_mod
+
+        cache_dir = str(tmp_path / "cache")
+        assert self._sweep(tmp_path, "--cache-dir", cache_dir) == 0
+        out = capsys.readouterr().out
+        assert "0 batches reused, 3 simulated" in out
+
+        calls = []
+        real = sweep_mod._execute_batch
+        monkeypatch.setattr(
+            sweep_mod, "_execute_batch",
+            lambda *a: calls.append(a) or real(*a),
+        )
+        assert self._sweep(tmp_path, "--cache-dir", cache_dir) == 0
+        out = capsys.readouterr().out
+        assert "3 batches reused, 0 simulated" in out
+        assert calls == []
+        assert "eta" in out  # progress line carries a batch ETA
+
+    def test_resume_defaults_cache_dir_from_output(self, tmp_path, capsys):
+        assert self._sweep(tmp_path, "--resume") == 0
+        assert (tmp_path / "ds.csv.cache").is_dir()
+        assert self._sweep(tmp_path, "--resume") == 0
+        assert "0 simulated" in capsys.readouterr().out
+
+    def test_no_cache_wins(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert self._sweep(tmp_path, "--cache-dir", str(cache_dir),
+                           "--no-cache") == 0
+        assert not cache_dir.exists()
+        assert "reused" not in capsys.readouterr().out
+
+    def test_cached_rerun_writes_identical_csv(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        self._sweep(tmp_path, "--cache-dir", cache_dir)
+        first = (tmp_path / "ds.csv").read_bytes()
+        self._sweep(tmp_path, "--cache-dir", cache_dir)
+        assert (tmp_path / "ds.csv").read_bytes() == first
+        capsys.readouterr()

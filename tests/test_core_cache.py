@@ -1,0 +1,194 @@
+"""Tests for the persistent sweep batch cache (resume semantics)."""
+
+import json
+
+import pytest
+
+import repro.core.sweep as sweep_mod
+from repro.arch.machines import get_machine
+from repro.core.cache import (
+    CACHE_FORMAT_VERSION,
+    SweepCache,
+    batch_key,
+    grid_fingerprint,
+)
+from repro.core.envspace import EnvSpace
+from repro.core.sweep import BatchSpec, SweepPlan, plan_batches, run_sweep
+
+
+@pytest.fixture
+def plan():
+    return SweepPlan(arch="milan", workload_names=("cg",), scale="small",
+                     repetitions=2)
+
+
+@pytest.fixture
+def grid_fp(plan):
+    machine = get_machine(plan.arch)
+    return grid_fingerprint(EnvSpace().grid(machine, plan.scale,
+                                            seed=plan.seed))
+
+
+@pytest.fixture
+def counted_batches(monkeypatch):
+    """Count (and pass through) every batch execution in this process."""
+    calls = []
+    real = sweep_mod._execute_batch
+
+    def counting(plan, machine, configs, batch):
+        calls.append(batch)
+        return real(plan, machine, configs, batch)
+
+    monkeypatch.setattr(sweep_mod, "_execute_batch", counting)
+    return calls
+
+
+class TestBatchKey:
+    def test_stable_across_calls(self, plan, grid_fp):
+        batch = BatchSpec("cg", "NPB", "A", 96)
+        assert batch_key(plan, grid_fp, batch) == batch_key(plan, grid_fp,
+                                                            batch)
+
+    @pytest.mark.parametrize("change", [
+        dict(arch="skylake"), dict(scale="medium"), dict(repetitions=3),
+        dict(seed=1), dict(fidelity="des"),
+    ])
+    def test_sensitive_to_plan_identity(self, plan, grid_fp, change):
+        from dataclasses import replace
+
+        batch = BatchSpec("cg", "NPB", "A", 96)
+        assert batch_key(plan, grid_fp, batch) != batch_key(
+            replace(plan, **change), grid_fp, batch
+        )
+
+    def test_sensitive_to_grid(self, plan, grid_fp):
+        batch = BatchSpec("cg", "NPB", "A", 96)
+        machine = get_machine("milan")
+        other_fp = grid_fingerprint(EnvSpace().grid(machine, "small", seed=9))
+        assert other_fp != grid_fp
+        assert batch_key(plan, grid_fp, batch) != batch_key(plan, other_fp,
+                                                            batch)
+
+    def test_sensitive_to_batch_identity(self, plan, grid_fp):
+        a = BatchSpec("cg", "NPB", "A", 96)
+        b = BatchSpec("cg", "NPB", "A", 48)
+        assert batch_key(plan, grid_fp, a) != batch_key(plan, grid_fp, b)
+
+    def test_insensitive_to_batch_selection_fields(self, plan, grid_fp):
+        """workload_names / inputs_limit select batches, not contents —
+        a capped or subset sweep must warm the cache for the full one."""
+        from dataclasses import replace
+
+        batch = BatchSpec("cg", "NPB", "A", 96)
+        widened = replace(plan, workload_names=None, inputs_limit=1)
+        assert batch_key(plan, grid_fp, batch) == batch_key(widened, grid_fp,
+                                                            batch)
+
+
+class TestSweepCacheStore:
+    def test_roundtrip_bit_identical(self, tmp_path, plan):
+        result = run_sweep(plan)
+        cache = SweepCache(tmp_path / "c")
+        cache.put("k1", result.records)
+        assert cache.get("k1") == result.records
+        assert cache.hits == 1 and cache.writes == 1
+
+    def test_missing_key_is_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        assert cache.get("nope") is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        (tmp_path / "bad.json").write_text("{ torn", encoding="utf-8")
+        assert cache.get("bad") is None
+
+    def test_version_mismatch_is_miss(self, tmp_path, plan):
+        cache = SweepCache(tmp_path)
+        cache.put("k", run_sweep(plan).records[:1])
+        payload = json.loads((tmp_path / "k.json").read_text())
+        payload["version"] = CACHE_FORMAT_VERSION + 1
+        (tmp_path / "k.json").write_text(json.dumps(payload))
+        assert cache.get("k") is None
+
+    def test_len_counts_entries(self, tmp_path, plan):
+        cache = SweepCache(tmp_path)
+        assert len(cache) == 0
+        cache.put("k", run_sweep(plan).records[:1])
+        assert len(cache) == 1
+
+
+class TestRunSweepResume:
+    def test_second_run_resimulates_zero_batches(self, tmp_path, plan,
+                                                 counted_batches):
+        first = run_sweep(plan, cache=tmp_path / "cache")
+        n_batches = len(plan_batches(plan))
+        assert len(counted_batches) == n_batches
+        assert first.n_computed_batches == n_batches
+
+        counted_batches.clear()
+        again = run_sweep(plan, cache=tmp_path / "cache")
+        assert counted_batches == []
+        assert again.n_computed_batches == 0
+        assert again.n_cached_batches == n_batches
+        assert again.records == first.records
+
+    def test_resume_mid_sweep_computes_only_remainder(self, tmp_path, plan,
+                                                      counted_batches):
+        """An interrupted sweep (modeled by a capped one) resumes where it
+        stopped: only uncached batches are simulated."""
+        from dataclasses import replace
+
+        cache = SweepCache(tmp_path)
+        run_sweep(replace(plan, inputs_limit=2), cache=cache)
+        counted_batches.clear()
+
+        full = run_sweep(plan, cache=cache)
+        n_batches = len(plan_batches(plan))
+        assert len(counted_batches) == n_batches - 2
+        assert full.n_cached_batches == 2
+        assert full.records == run_sweep(plan).records
+
+    def test_deleted_entry_recomputed(self, tmp_path, plan, counted_batches):
+        cache = SweepCache(tmp_path)
+        run_sweep(plan, cache=cache)
+        victim = next(iter(cache.root.glob("*.json")))
+        victim.unlink()
+        counted_batches.clear()
+        run_sweep(plan, cache=cache)
+        assert len(counted_batches) == 1
+
+    def test_parallel_cached_and_resumed_match_serial(self, tmp_path):
+        plan = SweepPlan(arch="a64fx", workload_names=("sort", "strassen"),
+                         scale="small", repetitions=2, inputs_limit=2)
+        serial = run_sweep(plan)
+
+        # Cold parallel run populating the cache.
+        cold = run_sweep(plan, n_processes=2, cache=tmp_path / "c")
+        assert cold.records == serial.records
+        assert cold.n_computed_batches == len(plan_batches(plan))
+
+        # Partially warmed cache (mid-sweep interruption): drop one entry.
+        cache = SweepCache(tmp_path / "c")
+        next(iter(cache.root.glob("*.json"))).unlink()
+        resumed = run_sweep(plan, n_processes=2, cache=cache)
+        assert resumed.records == serial.records
+        assert resumed.n_cached_batches == len(plan_batches(plan)) - 1
+
+        # Fully warmed parallel run: everything from the cache.
+        warm = run_sweep(plan, n_processes=2, cache=cache)
+        assert warm.records == serial.records
+        assert warm.n_computed_batches == 0
+
+    def test_cache_accepts_str_path(self, tmp_path, plan):
+        result = run_sweep(plan, cache=str(tmp_path / "strcache"))
+        assert result.n_computed_batches > 0
+        assert (tmp_path / "strcache").is_dir()
+
+    def test_progress_fires_for_cached_batches_too(self, tmp_path, plan):
+        run_sweep(plan, cache=tmp_path)
+        calls = []
+        run_sweep(plan, cache=tmp_path,
+                  progress=lambda *args: calls.append(args))
+        n = len(plan_batches(plan))
+        assert [c[0] for c in calls] == list(range(1, n + 1))

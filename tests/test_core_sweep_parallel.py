@@ -1,0 +1,141 @@
+"""Regression tests for the streaming multiprocess sweep path.
+
+The historical bug: ``run_sweep(n_processes > 1)`` used ``pool.map`` — a
+full barrier — so the ``progress`` callback documented as incremental
+fired only after the entire sweep had completed, and every batch payload
+re-pickled the full configuration grid.  These tests pin the streaming
+contract: results are consumed (and progress emitted) as each batch
+lands, and workers receive only a lightweight :class:`BatchSpec`.
+"""
+
+import pytest
+
+import repro.core.sweep as sweep_mod
+from repro.core.sweep import BatchSpec, SweepPlan, plan_batches, run_sweep
+
+
+class _LazyFakePool:
+    """In-process Pool stand-in whose ``imap`` computes lazily.
+
+    Each item is computed only when the consumer asks for the next
+    result, so the event log distinguishes streaming consumption
+    (compute/progress interleaved) from a ``pool.map`` barrier (all
+    computes, then all progress).
+    """
+
+    def __init__(self, plan, space, log):
+        sweep_mod._init_worker(plan, space)
+        self.log = log
+        self.items = []
+
+    def imap(self, func, iterable, chunksize=1):
+        self.items = list(iterable)
+        assert chunksize >= 1
+
+        def stream():
+            for item in self.items:
+                self.log.append(("compute", item.app, item.input_size))
+                yield func(item)
+
+        return stream()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+@pytest.fixture
+def two_batch_plan():
+    return SweepPlan(arch="milan", workload_names=("cg",), scale="small",
+                     repetitions=2, inputs_limit=4)
+
+
+class TestStreamingProgress:
+    def test_progress_interleaves_with_batch_arrival(self, monkeypatch,
+                                                     two_batch_plan):
+        log = []
+        monkeypatch.setattr(
+            sweep_mod, "_make_pool",
+            lambda n, plan, space: _LazyFakePool(plan, space, log),
+        )
+
+        def progress(done, total, app, inp, threads):
+            log.append(("progress", done, total))
+
+        result = run_sweep(two_batch_plan, n_processes=2, progress=progress)
+        assert result.n_samples > 0
+
+        kinds = [e[0] for e in log]
+        n = len(plan_batches(two_batch_plan))
+        assert n >= 2
+        # Strict interleaving: compute_i is immediately followed by
+        # progress_i.  Under the old pool.map barrier the log would have
+        # been n computes followed by n progress calls.
+        assert kinds == ["compute", "progress"] * n
+        dones = [e[1] for e in log if e[0] == "progress"]
+        assert dones == list(range(1, n + 1))
+
+    def test_worker_payload_is_batchspec_only(self, monkeypatch,
+                                              two_batch_plan):
+        """The grid must live in worker state, not in batch payloads."""
+        log = []
+        pools = []
+
+        def make_pool(n, plan, space):
+            pool = _LazyFakePool(plan, space, log)
+            pools.append(pool)
+            return pool
+
+        monkeypatch.setattr(sweep_mod, "_make_pool", make_pool)
+        run_sweep(two_batch_plan, n_processes=2)
+        (pool,) = pools
+        assert pool.items == plan_batches(two_batch_plan)
+        assert all(type(item) is BatchSpec for item in pool.items)
+        # The initializer materialized the grid once for the process.
+        assert len(sweep_mod._WORKER_STATE["configs"]) > 1
+
+    def test_real_pool_progress_fires_per_batch_in_order(self):
+        plan = SweepPlan(arch="milan", workload_names=("cg", "nqueens"),
+                         scale="small", repetitions=2)
+        calls = []
+        run_sweep(plan, n_processes=2,
+                  progress=lambda *args: calls.append(args))
+        batches = plan_batches(plan)
+        assert [c[0] for c in calls] == list(range(1, len(batches) + 1))
+        assert all(c[1] == len(batches) for c in calls)
+        assert [(c[2], c[3], c[4]) for c in calls] == [
+            (b.app, b.input_size, b.nthreads) for b in batches
+        ]
+
+
+class TestParallelParity:
+    def test_parallel_bit_identical_to_serial(self):
+        plan = SweepPlan(arch="skylake", workload_names=("alignment", "ep"),
+                         scale="small", repetitions=2, inputs_limit=2)
+        serial = run_sweep(plan, n_processes=1)
+        parallel = run_sweep(plan, n_processes=3)
+        assert parallel.records == serial.records
+
+    def test_parallel_des_fidelity(self):
+        plan = SweepPlan(arch="milan", workload_names=("nqueens",),
+                         scale="small", repetitions=1, inputs_limit=2,
+                         fidelity="des")
+        serial = run_sweep(plan)
+        parallel = run_sweep(plan, n_processes=2)
+        assert parallel.records == serial.records
+
+
+class TestDispatchTuning:
+    def test_chunksize_floor_is_one(self):
+        assert sweep_mod._chunksize(3, 8) == 1
+
+    def test_chunksize_targets_four_chunks_per_worker(self):
+        assert sweep_mod._chunksize(96, 4) == 6
+
+    def test_invalid_fidelity_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            SweepPlan(arch="milan", fidelity="quantum")

@@ -44,7 +44,20 @@ class TestConstruction:
 
     def test_from_records_missing_keys(self):
         t = Table.from_records([{"a": 1, "b": 2}, {"a": 3}])
+        # Numeric-except-missing columns become float with nan (as the
+        # docstring promises), not object columns holding None.
+        assert t.column("b").dtype.kind == "f"
+        assert t.column("b")[0] == 2.0
+        assert np.isnan(t.column("b")[1])
+
+    def test_from_records_missing_keys_non_numeric_stay_none(self):
+        t = Table.from_records([{"a": "x", "b": "y"}, {"a": "z"}])
+        assert t.column("b").dtype == object
         assert t.column("b")[1] is None
+
+    def test_from_records_all_missing_stays_object(self):
+        t = Table.from_records([{"a": 1, "b": None}, {"a": 2}])
+        assert t.column("b").dtype == object
 
     def test_from_records_column_order_first_appearance(self):
         t = Table.from_records([{"b": 1}, {"a": 2, "b": 3}])
@@ -192,11 +205,13 @@ class TestJoin:
         assert j.num_rows == 5
         assert set(j["cores"]) == {96, 48}
 
-    def test_left_join_fills_none(self, simple):
+    def test_left_join_fills_nan(self, simple):
         meta = Table({"arch": ["milan"], "cores": [96]})
         j = simple.join(meta, on="arch", how="left")
         assert j.num_rows == 5
-        assert any(v is None for v in j["cores"])
+        # Numeric right column: unmatched rows fill with nan, not None.
+        assert j["cores"].dtype.kind == "f"
+        assert np.isnan(np.asarray(j["cores"], float)).any()
 
     def test_inner_join_drops_unmatched(self, simple):
         meta = Table({"arch": ["milan"], "cores": [96]})
@@ -241,3 +256,23 @@ class TestRendering:
     def test_equality(self, simple):
         assert simple == Table(simple.to_dict())
         assert simple != simple.head(2)
+
+
+class TestMissingKeyCSVRoundTrip:
+    """from_records' nan-filled float columns survive CSV serialization."""
+
+    def test_roundtrip_preserves_float_dtype_and_nan(self, tmp_path):
+        from repro.frame.io import read_csv, write_csv
+
+        t = Table.from_records(
+            [{"app": "cg", "runtime": 1.5, "extra": 2},
+             {"app": "bt", "runtime": 2.5}]
+        )
+        assert t.column("extra").dtype.kind == "f"
+        path = tmp_path / "t.csv"
+        write_csv(t, path)
+        back = read_csv(path)
+        assert back.column("extra").dtype.kind == "f"
+        assert back.column("extra")[0] == 2.0
+        assert np.isnan(back.column("extra")[1])
+        assert back == t
