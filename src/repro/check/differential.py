@@ -1,0 +1,215 @@
+"""Differential and golden-trace checks.
+
+Two oracle-free ways to catch regressions the example-based tests miss:
+
+- **execution-path parity** — the same sweep plan replayed through the
+  serial path, the multiprocess path, a cold cache (simulate + store) and
+  a warm cache (load only) must produce bit-identical records.  Any
+  nondeterminism, ordering sensitivity, or cache-serialization loss shows
+  up as a record mismatch,
+- **golden traces** — phase-level execution timelines for a pinned set of
+  (machine, workload, config) cases, compared against blessed fixtures in
+  ``tests/golden/``.  A numeric drift means the model changed; if the
+  change is intentional, re-bless with ``repro check --suite differential
+  --bless`` (or ``python -m repro.cli check --bless``) and review the
+  fixture diff in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import tempfile
+from pathlib import Path
+
+from repro.arch.machines import get_machine
+from repro.core.cache import SweepCache
+from repro.core.sweep import SweepPlan, run_sweep
+from repro.errors import CheckFailure
+from repro.runtime.icv import EnvConfig
+from repro.runtime.trace import ExecutionTrace, trace_execution
+from repro.workloads import get_workload
+
+__all__ = [
+    "GOLDEN_CASES",
+    "default_golden_dir",
+    "differential_parity",
+    "golden_trace_check",
+    "bless_golden_traces",
+]
+
+#: Pinned golden-trace cases: id -> (arch, workload, input, EnvConfig).
+#: Chosen to cover loop + task parallelism, all three machines, and the
+#: wait-policy / schedule / reduction model paths.
+GOLDEN_CASES: dict[str, tuple[str, str, str, EnvConfig]] = {
+    "milan_cg_default": (
+        "milan", "cg", "A", EnvConfig(num_threads=96),
+    ),
+    "skylake_xsbench_dynamic_turnaround": (
+        "skylake", "xsbench", "default",
+        EnvConfig(num_threads=40, schedule="dynamic",
+                  library="turnaround"),
+    ),
+    "a64fx_nqueens_blocktime0_tree": (
+        "a64fx", "nqueens", "small",
+        EnvConfig(num_threads=48, blocktime="0", force_reduction="tree"),
+    ),
+    "milan_lulesh_spread_guided": (
+        "milan", "lulesh", "default",
+        EnvConfig(num_threads=48, places="cores", proc_bind="spread",
+                  schedule="guided"),
+    ),
+}
+
+
+def default_golden_dir() -> Path:
+    """The repository's golden fixture directory (``tests/golden``).
+
+    Resolved relative to the package source tree so the check works from
+    any working directory of a source checkout; installed environments
+    must pass an explicit directory.
+    """
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def _quick_plan() -> SweepPlan:
+    """A small but multi-path plan for parity replay (two workloads so the
+    parallel path actually interleaves batches)."""
+    return SweepPlan(arch="milan", workload_names=("cg", "ep"),
+                     scale="small", repetitions=2, inputs_limit=2)
+
+
+def full_plan() -> SweepPlan:
+    """The deeper parity plan (``repro check`` without ``--quick``): a
+    denser grid, more workloads, paper-level repetitions."""
+    return SweepPlan(arch="milan",
+                     workload_names=("cg", "ep", "xsbench", "nqueens"),
+                     scale="medium", repetitions=3, inputs_limit=2)
+
+
+def differential_parity(plan: SweepPlan | None = None) -> dict:
+    """Replay one plan through all execution paths; records must match."""
+    plan = plan or _quick_plan()
+    serial = run_sweep(plan)
+    if not serial.records:
+        raise CheckFailure("differential plan produced no records")
+
+    with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
+        cache = SweepCache(Path(tmp) / "cache")
+        paths = {
+            "parallel": run_sweep(plan, n_processes=2),
+            "cold-cache": run_sweep(plan, cache=cache),
+            "warm-cache": run_sweep(plan, cache=cache),
+        }
+        if paths["warm-cache"].n_computed_batches != 0:
+            raise CheckFailure(
+                "warm-cache path recomputed "
+                f"{paths['warm-cache'].n_computed_batches} batch(es); "
+                "expected all from cache"
+            )
+    for name, result in paths.items():
+        if result.records != serial.records:
+            n = sum(
+                1 for a, b in zip(serial.records, result.records) if a != b
+            ) + abs(len(serial.records) - len(result.records))
+            raise CheckFailure(
+                f"{name} path diverged from serial: {n} record(s) differ "
+                f"(serial {len(serial.records)} vs {name} "
+                f"{len(result.records)})"
+            )
+    return {
+        "details": f"{len(serial.records)} records bit-identical across "
+                   f"serial/parallel/cold-cache/warm-cache",
+        "n_records": len(serial.records),
+        "paths": sorted(paths),
+    }
+
+
+def _compute_trace(case_id: str) -> ExecutionTrace:
+    arch, workload_name, input_name, config = GOLDEN_CASES[case_id]
+    program = get_workload(workload_name).program(input_name)
+    return trace_execution(program, get_machine(arch), config)
+
+
+def _compare_traces(case_id: str, golden: ExecutionTrace,
+                    fresh: ExecutionTrace) -> None:
+    if (golden.program, golden.arch, golden.config) != (
+        fresh.program, fresh.arch, fresh.config
+    ):
+        raise CheckFailure(
+            f"golden {case_id}: fixture identity "
+            f"({golden.program}, {golden.arch}) does not match the case "
+            f"definition ({fresh.program}, {fresh.arch}) — re-bless"
+        )
+    if len(golden.events) != len(fresh.events):
+        raise CheckFailure(
+            f"golden {case_id}: {len(fresh.events)} phases computed, "
+            f"fixture has {len(golden.events)}"
+        )
+    for g, f in zip(golden.events, fresh.events):
+        if (g.name, g.kind, g.trips) != (f.name, f.kind, f.trips):
+            raise CheckFailure(
+                f"golden {case_id}: phase {g.name!r} identity changed to "
+                f"({f.name!r}, {f.kind!r}, trips={f.trips})"
+            )
+        for field in ("start_s", "duration_s"):
+            gv, fv = getattr(g, field), getattr(f, field)
+            if not math.isclose(gv, fv, rel_tol=1e-9, abs_tol=1e-15):
+                raise CheckFailure(
+                    f"golden {case_id}: phase {g.name!r} {field} drifted "
+                    f"{gv!r} -> {fv!r} (model change? bless if intended)"
+                )
+
+
+def golden_trace_check(golden_dir: str | Path | None = None) -> dict:
+    """Compare freshly computed traces against the blessed fixtures."""
+    root = Path(golden_dir) if golden_dir is not None else default_golden_dir()
+    if not root.is_dir():
+        raise CheckFailure(
+            f"golden directory {root} does not exist — run the bless flow "
+            "first (repro check --suite differential --bless)"
+        )
+    n_events = 0
+    for case_id in sorted(GOLDEN_CASES):
+        path = root / f"{case_id}.json"
+        if not path.is_file():
+            raise CheckFailure(
+                f"golden fixture {path.name} missing from {root} — bless it"
+            )
+        try:
+            golden = ExecutionTrace.from_dict(
+                json.loads(path.read_text(encoding="utf-8"))
+            )
+        except (json.JSONDecodeError, OSError) as exc:
+            raise CheckFailure(
+                f"golden fixture {path.name} unreadable: {exc}"
+            ) from exc
+        fresh = _compute_trace(case_id)
+        _compare_traces(case_id, golden, fresh)
+        n_events += len(fresh.events)
+    return {
+        "details": f"{len(GOLDEN_CASES)} golden traces, {n_events} phase "
+                   "events match blessed fixtures",
+        "n_cases": len(GOLDEN_CASES),
+        "n_events": n_events,
+    }
+
+
+def bless_golden_traces(golden_dir: str | Path | None = None) -> list[str]:
+    """(Re)write every golden fixture from the current model.
+
+    Returns the paths written.  Review the resulting diff — blessing
+    encodes the current model output as correct.
+    """
+    root = Path(golden_dir) if golden_dir is not None else default_golden_dir()
+    root.mkdir(parents=True, exist_ok=True)
+    written = []
+    for case_id in sorted(GOLDEN_CASES):
+        trace = _compute_trace(case_id)
+        path = root / f"{case_id}.json"
+        path.write_text(
+            json.dumps(trace.to_dict(), indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(str(path))
+    return written

@@ -1,0 +1,85 @@
+"""Check outcomes and the run-one-check harness.
+
+Every verification check — invariant, metamorphic relation, differential
+comparison, golden-trace match — reduces to a named pass/fail with a
+human-readable detail string.  :func:`run_check` is the uniform adapter:
+it times the check body, converts a clean return into a passing
+:class:`CheckResult` and a :class:`~repro.errors.CheckFailure` into a
+failing one, and lets any *other* exception propagate (a crash is a bug
+in the checker, not a finding).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import CheckFailure
+
+__all__ = ["CheckResult", "run_check"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one verification check."""
+
+    name: str
+    passed: bool
+    details: str = ""
+    duration_s: float = 0.0
+    #: Which suite the check belongs to (invariants | metamorphic |
+    #: differential) — used for reporting and CLI suite selection.
+    suite: str = ""
+    #: Structured extras (counts, deltas) for the JSON report.
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for the parity report artifact."""
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "passed": self.passed,
+            "details": self.details,
+            "duration_s": self.duration_s,
+            "data": self.data,
+        }
+
+
+def run_check(
+    name: str, suite: str, body: Callable[[], str | dict | None]
+) -> CheckResult:
+    """Execute one check body under the uniform pass/fail contract.
+
+    The body either returns (pass) — optionally a detail string or a data
+    dict — or raises :class:`CheckFailure` (fail).  Timing uses the wall
+    clock; checks are deterministic so the duration is informational only.
+    """
+    start = time.perf_counter()
+    try:
+        outcome = body()
+    except CheckFailure as exc:
+        return CheckResult(
+            name=name,
+            suite=suite,
+            passed=False,
+            details=str(exc),
+            duration_s=time.perf_counter() - start,
+        )
+    duration = time.perf_counter() - start
+    if isinstance(outcome, dict):
+        return CheckResult(
+            name=name,
+            suite=suite,
+            passed=True,
+            details=str(outcome.pop("details", "")),
+            duration_s=duration,
+            data=outcome,
+        )
+    return CheckResult(
+        name=name,
+        suite=suite,
+        passed=True,
+        details=outcome or "",
+        duration_s=duration,
+    )

@@ -1,0 +1,124 @@
+"""Suite orchestration for the verification subsystem.
+
+Maps suite names to their checks, runs them under the uniform
+:func:`~repro.check.result.run_check` harness, and renders results for
+the CLI and the JSON parity-report artifact.  The pytest suite
+(``-m check``) exercises the same check functions, so CI and users run
+identical machinery.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.check import differential, invariants, metamorphic
+from repro.check.result import CheckResult, run_check
+from repro.errors import CheckFailure
+
+__all__ = [
+    "SUITES",
+    "run_suite",
+    "run_all",
+    "format_results",
+    "write_report",
+]
+
+#: Suite name -> ordered (check name, zero-arg callable) pairs.
+SUITES: dict[str, tuple] = {
+    "invariants": (
+        ("engine-invariants", invariants.check_engine_invariants),
+        ("no-negative-delay", invariants.check_no_negative_delay),
+        ("loop-iteration-coverage", invariants.check_loop_iteration_coverage),
+        ("schedule-chunk-coverage", invariants.check_schedule_chunk_coverage),
+        ("work-stealing-conservation",
+         invariants.check_work_stealing_conservation),
+    ),
+    "metamorphic": (
+        ("cost-scaling", metamorphic.relation_cost_scaling),
+        ("serial-phase-threads", metamorphic.relation_serial_phase_threads),
+        ("blocktime-bracketing", metamorphic.relation_blocktime_bracketing),
+        ("default-speedup-unity", metamorphic.relation_default_speedup_unity),
+    ),
+    "differential": (
+        ("execution-path-parity", differential.differential_parity),
+        ("golden-traces", differential.golden_trace_check),
+    ),
+}
+
+
+def run_suite(
+    suite: str,
+    golden_dir: str | Path | None = None,
+    quick: bool = True,
+) -> list[CheckResult]:
+    """Run one suite's checks; never raises on check failure.
+
+    ``quick`` selects the scaled-down differential parity plan (the
+    default, and what ``repro check --quick`` / CI run); ``quick=False``
+    replays the denser :func:`~repro.check.differential.full_plan`.
+    """
+    if suite not in SUITES:
+        raise CheckFailure(
+            f"unknown check suite {suite!r}; have {sorted(SUITES)}"
+        )
+    results = []
+    for name, fn in SUITES[suite]:
+        if name == "golden-traces":
+            body = lambda fn=fn: fn(golden_dir=golden_dir)
+        elif name == "execution-path-parity" and not quick:
+            body = lambda fn=fn: fn(plan=differential.full_plan())
+        else:
+            body = fn
+        results.append(run_check(name, suite, body))
+    return results
+
+
+def run_all(
+    suites: tuple[str, ...] | None = None,
+    golden_dir: str | Path | None = None,
+    quick: bool = True,
+) -> list[CheckResult]:
+    """Run the selected suites (default: all, in catalog order)."""
+    out: list[CheckResult] = []
+    for suite in suites or tuple(SUITES):
+        out.extend(run_suite(suite, golden_dir=golden_dir, quick=quick))
+    return out
+
+
+def format_results(results: list[CheckResult]) -> str:
+    """Human-readable summary, one line per check plus a verdict."""
+    lines = []
+    width = max((len(r.name) for r in results), default=0)
+    current_suite = None
+    for r in results:
+        if r.suite != current_suite:
+            current_suite = r.suite
+            lines.append(f"[{current_suite}]")
+        mark = "PASS" if r.passed else "FAIL"
+        lines.append(
+            f"  {mark}  {r.name:<{width}}  {r.duration_s * 1e3:7.1f} ms"
+            + (f"  {r.details}" if r.details else "")
+        )
+    n_failed = sum(1 for r in results if not r.passed)
+    total = sum(r.duration_s for r in results)
+    verdict = (
+        f"{len(results)} checks passed"
+        if n_failed == 0
+        else f"{n_failed}/{len(results)} checks FAILED"
+    )
+    lines.append(f"{verdict} in {total:.2f} s")
+    return "\n".join(lines)
+
+
+def write_report(results: list[CheckResult], path: str | Path) -> None:
+    """Write the JSON report artifact (the CI differential-parity report)."""
+    payload = {
+        "n_checks": len(results),
+        "n_failed": sum(1 for r in results if not r.passed),
+        "total_duration_s": sum(r.duration_s for r in results),
+        "checks": [r.to_dict() for r in results],
+    }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")

@@ -18,6 +18,9 @@ Subcommands mirror the study's workflow:
   simulated runtime,
 - ``trace`` — phase timeline of one run, optionally exported as Chrome
   trace JSON,
+- ``check`` — run the simulation verification suites (invariants,
+  metamorphic relations, differential parity + golden traces; see
+  ``docs/TESTING.md``),
 - ``workloads`` — the 15 benchmark models and their experimental design,
 - ``figures`` — regenerate the paper's figure gallery (violins + heat
   maps) from a fresh sweep in one command,
@@ -149,6 +152,24 @@ def build_parser() -> argparse.ArgumentParser:
                        default=("alignment", "bt", "health", "rsbench"),
                        help="violin-figure applications (paper: Figs 1, 5-7)")
     p_fig.add_argument("--repetitions", type=int, default=2)
+
+    p_chk = sub.add_parser(
+        "check", help="run the simulation verification suites"
+    )
+    p_chk.add_argument("--suite", default="all",
+                       choices=("invariants", "metamorphic", "differential",
+                                "all"),
+                       help="which suite to run (default: all)")
+    p_chk.add_argument("--quick", action="store_true",
+                       help="scaled-down differential grid (what CI runs)")
+    p_chk.add_argument("--golden-dir", default=None,
+                       help="golden-trace fixture directory "
+                            "(default: tests/golden of the source tree)")
+    p_chk.add_argument("--bless", action="store_true",
+                       help="regenerate the golden-trace fixtures from the "
+                            "current model instead of checking")
+    p_chk.add_argument("--report", default=None,
+                       help="write a JSON check report here")
 
     p_tr = sub.add_parser("trace", help="phase timeline of one run")
     p_tr.add_argument("--arch", required=True, choices=machine_names())
@@ -450,6 +471,24 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import bless_golden_traces, run_all
+    from repro.check.runner import format_results, write_report
+
+    if args.bless:
+        for path in bless_golden_traces(args.golden_dir):
+            print(f"blessed {path}")
+        print("review the fixture diff before committing")
+        return 0
+    suites = None if args.suite == "all" else (args.suite,)
+    results = run_all(suites, golden_dir=args.golden_dir, quick=args.quick)
+    print(format_results(results))
+    if args.report:
+        write_report(results, args.report)
+        print(f"report -> {args.report}")
+    return 0 if all(r.passed for r in results) else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.runtime.icv import EnvConfig
     from repro.runtime.trace import trace_execution
@@ -488,6 +527,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_energy(args)
         if args.command == "microbench":
             return _cmd_microbench(args)
+        if args.command == "check":
+            return _cmd_check(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "workloads":

@@ -14,7 +14,12 @@ batch's contents depend on:
    in grid order.  Changing the environment space (extensions, chunked
    schedules, a different scale's subsample) changes the fingerprint and
    therefore invalidates nothing — old entries simply stop matching.
-3. **batch identity** — ``app``, ``suite``, ``input_size``,
+3. **machine fingerprint** — a digest of the architecture's model tables:
+   every :class:`~repro.arch.topology.MachineTopology` field plus the
+   per-arch :class:`~repro.runtime.costs.RuntimeCosts` calibration.
+   Editing the machine table (a clock, a NUMA penalty, a futex latency)
+   changes the records a batch would produce, so it must miss.
+4. **batch identity** — ``app``, ``suite``, ``input_size``,
    ``num_threads``.
 
 Entries are one JSON file per batch named ``<key>.json``, written
@@ -27,21 +32,25 @@ simulated ones.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro.arch.topology import MachineTopology
 from repro.core.sweep import BatchSpec, SweepPlan, SweepRecord
-from repro.errors import CacheError
+from repro.errors import CacheError, UnknownMachine
+from repro.runtime.costs import get_costs
 from repro.runtime.icv import EnvConfig
 
 __all__ = ["CACHE_FORMAT_VERSION", "SweepCache", "batch_key",
-           "grid_fingerprint"]
+           "grid_fingerprint", "machine_fingerprint"]
 
-#: Bump when the on-disk payload layout changes; old entries become misses.
-CACHE_FORMAT_VERSION = 1
+#: Bump when the on-disk payload layout or key scheme changes; old entries
+#: become misses.  v2: batch keys gained the machine fingerprint.
+CACHE_FORMAT_VERSION = 2
 
 _CONFIG_FIELDS = (
     "num_threads",
@@ -63,7 +72,29 @@ def grid_fingerprint(configs: Sequence[EnvConfig]) -> str:
     return h.hexdigest()
 
 
-def batch_key(plan: SweepPlan, grid_fp: str, batch: BatchSpec) -> str:
+def machine_fingerprint(machine: MachineTopology) -> str:
+    """Stable digest of the machine model a sweep runs against.
+
+    Covers every declared topology field plus the architecture's runtime
+    cost table, so editing either invalidates cached batches.  Unregistered
+    (synthetic test) machines simply contribute no cost-table component.
+    """
+    h = hashlib.sha256()
+    for f in dataclasses.fields(machine):
+        h.update(f"{f.name}={getattr(machine, f.name)!r};".encode("utf-8"))
+    try:
+        costs = get_costs(machine.name)
+    except UnknownMachine:
+        costs = None
+    if costs is not None:
+        for f in dataclasses.fields(costs):
+            h.update(f"{f.name}={getattr(costs, f.name)!r};".encode("utf-8"))
+    return h.hexdigest()
+
+
+def batch_key(
+    plan: SweepPlan, grid_fp: str, machine_fp: str, batch: BatchSpec
+) -> str:
     """The content address of one batch (see the module docstring)."""
     identity = (
         CACHE_FORMAT_VERSION,
@@ -73,6 +104,7 @@ def batch_key(plan: SweepPlan, grid_fp: str, batch: BatchSpec) -> str:
         plan.seed,
         plan.fidelity,
         grid_fp,
+        machine_fp,
         batch.app,
         batch.suite,
         batch.input_size,
@@ -119,6 +151,7 @@ class SweepCache:
 
     #: Re-exported so callers holding a cache need not import the module.
     grid_fingerprint = staticmethod(grid_fingerprint)
+    machine_fingerprint = staticmethod(machine_fingerprint)
     batch_key = staticmethod(batch_key)
 
     def __init__(self, root: str | os.PathLike):

@@ -295,8 +295,9 @@ def run_sweep(
     if cache is not None:
         configs = space.grid(machine, plan.scale, seed=plan.seed)
         grid_fp = cache.grid_fingerprint(configs)
+        machine_fp = cache.machine_fingerprint(machine)
         for i, batch in enumerate(batches):
-            keys[i] = cache.batch_key(plan, grid_fp, batch)
+            keys[i] = cache.batch_key(plan, grid_fp, machine_fp, batch)
             hit = cache.get(keys[i])
             if hit is not None:
                 cached[i] = hit

@@ -10,6 +10,24 @@ The engine advances simulated time through a binary heap of scheduled
 callbacks.  Ties in time are broken by insertion order, making runs fully
 deterministic.
 
+Instrumented mode
+-----------------
+An engine optionally carries a single *observer* — any object exposing a
+subset of the hook methods below — attached at construction
+(``Engine(observer=...)``) or later (:meth:`Engine.attach_observer`).
+The hooks fire on the engine's state transitions:
+
+- ``on_schedule(now, delay)`` — a callback was pushed on the event heap,
+- ``on_advance(time)`` — the clock moved to ``time`` to run a callback,
+- ``on_process_start(process)`` — a generator was registered,
+- ``on_process_finish(process)`` — a generator finished.
+
+When no observer is attached (the default) the hooks cost a single
+``is not None`` test per transition, so production sweeps pay nothing.
+:class:`repro.check.InvariantObserver` builds the verification subsystem's
+engine-invariant checks (monotonic clock, schedule/advance accounting,
+live-process conservation) on these hooks.
+
 Example
 -------
 >>> eng = Engine()
@@ -20,6 +38,7 @@ Example
 >>> _ = eng.process(worker("a", 2.0))
 >>> _ = eng.process(worker("b", 1.0))
 >>> eng.run()
+2.0
 >>> log
 [(1.0, 'b'), (2.0, 'a')]
 """
@@ -123,6 +142,12 @@ class Process:
         try:
             target = self._gen.send(send_value)
         except StopIteration as stop:
+            # Account synchronously: the live-process count must be exact
+            # the instant the generator finishes.  Deferring the decrement
+            # through a scheduled callback would let a run(until=...) cut
+            # return with the count still elevated, and a later draining
+            # run() could then report a spurious deadlock.
+            self.engine._process_finished(self)
             self._done_event.succeed(stop.value)
             return
         if isinstance(target, Timeout):
@@ -138,19 +163,49 @@ class Process:
 
 
 class Engine:
-    """The simulation clock and event loop."""
+    """The simulation clock and event loop.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    observer:
+        Optional instrumentation hook object (see the module docstring).
+        ``None`` (the default) disables instrumentation entirely.
+    """
+
+    def __init__(self, observer: Any = None) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable, Any]] = []
         self._seq = 0
         self._live_processes = 0
+        self._observer = observer
 
     @property
     def now(self) -> float:
         """Current simulated time."""
         return self._now
 
+    @property
+    def live_processes(self) -> int:
+        """Registered processes whose generators have not finished."""
+        return self._live_processes
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def attach_observer(self, observer: Any) -> None:
+        """Attach the instrumentation observer (one per engine)."""
+        if self._observer is not None:
+            raise SimulationError("engine already has an observer attached")
+        self._observer = observer
+
+    def detach_observer(self) -> Any:
+        """Detach and return the current observer (None if absent)."""
+        observer, self._observer = self._observer, None
+        return observer
+
+    # ------------------------------------------------------------------
+    # Process / event management
+    # ------------------------------------------------------------------
     def event(self) -> Event:
         """Create a fresh event bound to this engine."""
         return Event(self)
@@ -159,15 +214,26 @@ class Engine:
         """Register a generator as a process, starting it at the current time."""
         proc = Process(self, gen, name)
         self._live_processes += 1
-
-        def finish(_value: Any) -> None:
-            self._live_processes -= 1
-
-        proc._done_event._waiters.append(_Sentinel(finish))
+        if self._observer is not None:
+            self._observer.on_process_start(proc)
         self._schedule(0.0, proc._advance, None)
         return proc
 
+    def _process_finished(self, proc: Process) -> None:
+        self._live_processes -= 1
+        if self._observer is not None:
+            self._observer.on_process_finish(proc)
+
     def _schedule(self, delay: float, fn: Callable, arg: Any) -> None:
+        if delay < 0:
+            # Timeout.__init__ validates user-facing delays; this guards the
+            # internal callers (events, joins, primitives) so nothing can
+            # ever schedule into the simulated past.
+            raise SimulationError(
+                f"cannot schedule into the past (negative delay {delay!r})"
+            )
+        if self._observer is not None:
+            self._observer.on_schedule(self._now, delay)
         heapq.heappush(self._heap, (self._now + delay, self._seq, fn, arg))
         self._seq += 1
 
@@ -176,8 +242,18 @@ class Engine:
 
         Returns the final simulated time.  Raises :class:`DeadlockError` if
         events drain while registered processes are still blocked (e.g. a
-        lock never released).
+        lock never released) — only for unbounded runs: a truncated
+        ``run(until=...)`` legitimately returns with processes still live,
+        and a subsequent ``run()`` resumes them without spurious deadlock
+        reports because process accounting is synchronous.  Asking to run
+        until a time before the current clock raises
+        :class:`SimulationError` (the clock is monotonic).
         """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until!r}) would move the clock backwards "
+                f"from {self._now!r}"
+            )
         while self._heap:
             t, _, fn, arg = self._heap[0]
             if until is not None and t > until:
@@ -185,6 +261,8 @@ class Engine:
                 return self._now
             heapq.heappop(self._heap)
             self._now = t
+            if self._observer is not None:
+                self._observer.on_advance(t)
             fn(arg)
         if self._live_processes > 0 and until is None:
             raise DeadlockError(
@@ -192,15 +270,3 @@ class Engine:
                 "still blocked"
             )
         return self._now
-
-
-class _Sentinel:
-    """Adapter letting plain callbacks sit in an event's waiter list."""
-
-    __slots__ = ("_fn",)
-
-    def __init__(self, fn: Callable[[Any], None]):
-        self._fn = fn
-
-    def _advance(self, value: Any = None) -> None:
-        self._fn(value)

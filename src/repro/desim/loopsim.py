@@ -9,11 +9,18 @@ Used as ground truth for :mod:`repro.runtime.schedule`'s closed forms —
 tests check that the analytic balance factors and dispatch-contention
 bounds track this simulation across schedules, chunk sizes, team sizes
 and iteration-cost profiles.
+
+For verification, :func:`simulate_loop` accepts an ``on_chunk`` callback
+(fired once per executed chunk with its bounds and timing) and an
+``engine_observer`` forwarded to the underlying :class:`Engine` — the
+``repro.check`` iteration-coverage invariant asserts every loop iteration
+is executed exactly once across all reported chunks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -67,6 +74,8 @@ def simulate_loop(
     chunk: int = 1,
     dispatch_time: float = 0.0,
     worker_speeds: np.ndarray | None = None,
+    on_chunk: Callable[[int, int, int, float, float], None] | None = None,
+    engine_observer: object = None,
 ) -> LoopSimResult:
     """Simulate one worksharing loop at per-chunk granularity.
 
@@ -80,6 +89,12 @@ def simulate_loop(
         ``"guided"`` (chunk = ceil(remaining / 2T), floored at ``chunk``).
     dispatch_time:
         Time the shared chunk counter is held per grab (serializes).
+    on_chunk:
+        Optional instrumentation callback invoked once per executed chunk
+        as ``on_chunk(worker, lo, hi, start_time, duration)`` — the
+        half-open iteration range ``[lo, hi)`` the worker ran.
+    engine_observer:
+        Optional observer forwarded to the internal :class:`Engine`.
     """
     iter_costs = np.asarray(iter_costs, dtype=float)
     if iter_costs.ndim != 1 or iter_costs.shape[0] == 0:
@@ -103,7 +118,7 @@ def simulate_loop(
     n = iter_costs.shape[0]
     prefix = np.concatenate([[0.0], np.cumsum(iter_costs)])
 
-    engine = Engine()
+    engine = Engine(observer=engine_observer)
     busy = [0.0] * n_workers
     state = {"next": 0, "chunks": 0, "dispatch_wait": 0.0}
     lock = Lock(engine)
@@ -117,6 +132,8 @@ def simulate_loop(
                 duration = (prefix[hi] - prefix[lo]) / speeds[w]
                 busy[w] += duration
                 state["chunks"] += 1
+                if on_chunk is not None:
+                    on_chunk(w, lo, hi, engine.now, duration)
                 yield Timeout(duration)
 
         for w in range(n_workers):
@@ -156,6 +173,8 @@ def simulate_loop(
                 return
             duration = (prefix[hi] - prefix[lo]) / speeds[w]
             busy[w] += duration
+            if on_chunk is not None:
+                on_chunk(w, lo, hi, engine.now, duration)
             yield Timeout(duration)
 
     for w in range(n_workers):

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -175,11 +176,20 @@ class WorkStealingSimulator:
         self.backoff_max_factor = backoff_max_factor
         self.seed = seed
 
-    def run(self, graph: TaskGraph, worker_speeds: np.ndarray | None = None) -> StealResult:
+    def run(
+        self,
+        graph: TaskGraph,
+        worker_speeds: np.ndarray | None = None,
+        on_task: Callable[[int, int, float, float], None] | None = None,
+    ) -> StealResult:
         """Execute ``graph``; returns a :class:`StealResult`.
 
         ``worker_speeds`` scales each worker's execution rate (1.0 =
         nominal); oversubscribed or remote-memory threads pass < 1.0.
+        ``on_task`` is an optional instrumentation callback fired once per
+        executed task as ``on_task(worker, task_id, start, end)`` — the
+        ``repro.check`` task-conservation invariant uses it to assert every
+        task in the graph executes exactly once.
         """
         if graph.n_tasks == 0:
             return StealResult(0.0, 0.0, 0, 0, 0, 0.0, self.n_workers)
@@ -222,6 +232,8 @@ class WorkStealingSimulator:
                 deques[w].append(child)
             remaining += len(task.children)
             remaining -= 1
+            if on_task is not None:
+                on_task(w, tid, now, done)
             return done
 
         while heap:

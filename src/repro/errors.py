@@ -21,6 +21,7 @@ __all__ = [
     "UnknownInput",
     "SimulationError",
     "DeadlockError",
+    "CheckFailure",
     "DatasetError",
     "SchemaError",
     "CacheError",
@@ -98,6 +99,11 @@ class SimulationError(ReproError):
 
 class DeadlockError(SimulationError):
     """The discrete-event engine ran out of events with live processes."""
+
+
+class CheckFailure(ReproError):
+    """A verification check (invariant, metamorphic relation, differential
+    comparison, or golden-trace match) found a violation."""
 
 
 # --------------------------------------------------------------------------

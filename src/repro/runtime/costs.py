@@ -16,12 +16,19 @@ architecture-level regularities that drive the paper's shapes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.arch.topology import MachineTopology
 from repro.errors import UnknownMachine
 
-__all__ = ["RuntimeCosts", "RUNTIME_COSTS", "get_costs", "work_seconds"]
+__all__ = [
+    "RuntimeCosts",
+    "RUNTIME_COSTS",
+    "TIME_COST_FIELDS",
+    "get_costs",
+    "scale_costs",
+    "work_seconds",
+]
 
 
 @dataclass(frozen=True)
@@ -125,6 +132,40 @@ RUNTIME_COSTS: dict[str, RuntimeCosts] = {
         unbound_bw_efficiency=0.75,
     ),
 }
+
+
+#: The time-valued fields of :class:`RuntimeCosts` — everything measured in
+#: seconds-derived units.  Excludes the dimensionless knobs (wake fractions,
+#: congestion exponent, bandwidth efficiency), which describe *probabilities
+#: and shapes*, not durations.
+TIME_COST_FIELDS = (
+    "fork_base_us",
+    "fork_per_thread_us",
+    "barrier_step_us",
+    "wake_latency_us",
+    "dispatch_ns",
+    "atomic_ns",
+    "critical_ns",
+    "tree_step_us",
+    "spin_steal_us",
+    "os_yield_us",
+    "spawn_us",
+)
+
+
+def scale_costs(costs: RuntimeCosts, factor: float) -> RuntimeCosts:
+    """A copy of ``costs`` with every time-valued field multiplied by
+    ``factor`` (dimensionless fields untouched).
+
+    The runtime-overhead model is linear in these primitives, so scaling
+    them by ``k`` scales every overhead component by exactly ``k`` — the
+    homogeneity law the ``repro.check`` metamorphic suite asserts.
+    """
+    if factor <= 0:
+        raise ValueError(f"cost scale factor must be positive, got {factor}")
+    return replace(
+        costs, **{f: getattr(costs, f) * factor for f in TIME_COST_FIELDS}
+    )
 
 
 def get_costs(arch: str) -> RuntimeCosts:

@@ -50,6 +50,7 @@ class RuntimeExecutor:
         machine: MachineTopology,
         config: EnvConfig,
         fidelity: str = "analytic",
+        costs: RuntimeCosts | None = None,
     ):
         if fidelity not in ("analytic", "des"):
             raise SimulationError(f"unknown fidelity {fidelity!r}")
@@ -58,7 +59,11 @@ class RuntimeExecutor:
         self.fidelity = fidelity
         self.icvs: ResolvedICVs = resolve_icvs(config, machine)
         self.placement: ThreadPlacement = compute_placement(self.icvs, machine)
-        self.costs: RuntimeCosts = get_costs(machine.name)
+        # A custom cost table (e.g. scale_costs output) overrides the
+        # machine's calibrated one — the metamorphic harness's entry point.
+        self.costs: RuntimeCosts = costs if costs is not None else get_costs(
+            machine.name
+        )
         self.engine = RegionEngine(machine, self.icvs, self.placement, self.costs)
 
     # ------------------------------------------------------------------
@@ -117,9 +122,12 @@ def execute(
     config: EnvConfig,
     fidelity: str = "analytic",
     seed: int = 0,
+    costs: RuntimeCosts | None = None,
 ) -> float:
     """Convenience one-shot wrapper around :class:`RuntimeExecutor`."""
-    return RuntimeExecutor(machine, config, fidelity).execute(program, seed)
+    return RuntimeExecutor(machine, config, fidelity, costs=costs).execute(
+        program, seed
+    )
 
 
 def observe(

@@ -29,7 +29,12 @@ from repro.runtime.costs import RuntimeCosts, work_seconds
 from repro.runtime.icv import ResolvedICVs, ScheduleKind
 from repro.runtime.program import LoadPattern, LoopRegion
 
-__all__ = ["ScheduleOutcome", "static_balance_factor", "price_loop_schedule"]
+__all__ = [
+    "ScheduleOutcome",
+    "static_balance_factor",
+    "price_loop_schedule",
+    "iterate_chunks",
+]
 
 
 @dataclass(frozen=True)
@@ -99,6 +104,58 @@ def static_chunked_balance_factor(
     else:
         interleaved = 1.0 + min(chunk, n_iters) * T / n_iters
     return min(contiguous, max(1.0, interleaved))
+
+
+def iterate_chunks(
+    kind: str, n_iters: int, nthreads: int, chunk: int | None = None
+):
+    """Yield each chunk's half-open iteration range ``(lo, hi)``.
+
+    The executable specification of libomp's chunk-bound rules that the
+    closed forms in this module approximate — kept out of the pricing hot
+    path (it is O(n_chunks), the pricing is O(1)).  ``repro.check``'s
+    iteration-coverage invariant asserts the ranges tile ``[0, n_iters)``
+    exactly once and cross-validates chunk counts against the closed forms.
+
+    - ``static`` (no chunk): ``min(T, n)`` contiguous blocks, remainder
+      spread one extra iteration over the leading blocks,
+    - ``static`` (chunked): round-robin fixed-size chunks,
+    - ``dynamic``: fixed-size chunks handed out in order,
+    - ``guided``: shrinking chunks ``max(floor, ceil(remaining / 2T))``.
+    """
+    if n_iters < 0:
+        raise ValueError(f"negative iteration count {n_iters}")
+    if nthreads < 1:
+        raise ValueError(f"need >= 1 thread, got {nthreads}")
+    if chunk is not None and chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    n = n_iters
+    if n == 0:
+        return
+    T = nthreads
+    if kind == "static" and chunk is None:
+        blocks = min(T, n)
+        base, extra = divmod(n, blocks)
+        lo = 0
+        for b in range(blocks):
+            hi = lo + base + (1 if b < extra else 0)
+            yield (lo, hi)
+            lo = hi
+    elif kind in ("static", "dynamic"):
+        size = chunk if chunk is not None else 1
+        for lo in range(0, n, size):
+            yield (lo, min(lo + size, n))
+    elif kind == "guided":
+        floor = chunk if chunk is not None else 1
+        lo = 0
+        while lo < n:
+            remaining = n - lo
+            size = max(floor, -(-remaining // (2 * T)))
+            hi = min(lo + size, n)
+            yield (lo, hi)
+            lo = hi
+    else:
+        raise ValueError(f"unknown schedule kind {kind!r}")
 
 
 def _guided_chunks(n_iters: int, nthreads: int) -> int:

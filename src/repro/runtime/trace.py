@@ -61,6 +61,47 @@ class ExecutionTrace:
         par = sum(e.duration_s for e in self.events if e.kind != "serial")
         return par / self.total_s if self.total_s else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the golden-trace fixture format)."""
+        return {
+            "program": self.program,
+            "arch": self.arch,
+            "config": dict(self.config),
+            "events": [
+                {
+                    "name": e.name,
+                    "kind": e.kind,
+                    "start_s": e.start_s,
+                    "duration_s": e.duration_s,
+                    "trips": e.trips,
+                }
+                for e in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExecutionTrace":
+        """Reconstruct a trace from :meth:`to_dict` output."""
+        try:
+            events = tuple(
+                TraceEvent(
+                    name=e["name"],
+                    kind=e["kind"],
+                    start_s=float(e["start_s"]),
+                    duration_s=float(e["duration_s"]),
+                    trips=int(e["trips"]),
+                )
+                for e in payload["events"]
+            )
+            return cls(
+                program=payload["program"],
+                arch=payload["arch"],
+                config=dict(payload["config"]),
+                events=events,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed trace payload: {exc}") from exc
+
     def to_table(self) -> Table:
         """Per-phase breakdown as a table (name, kind, seconds, share)."""
         total = self.total_s or 1.0

@@ -11,8 +11,9 @@ from repro.core.cache import (
     SweepCache,
     batch_key,
     grid_fingerprint,
+    machine_fingerprint,
 )
-from repro.core.envspace import EnvSpace
+from repro.core.envspace import EnvSpace, chunked_schedule_variables
 from repro.core.sweep import BatchSpec, SweepPlan, plan_batches, run_sweep
 
 
@@ -30,6 +31,11 @@ def grid_fp(plan):
 
 
 @pytest.fixture
+def machine_fp(plan):
+    return machine_fingerprint(get_machine(plan.arch))
+
+
+@pytest.fixture
 def counted_batches(monkeypatch):
     """Count (and pass through) every batch execution in this process."""
     calls = []
@@ -44,45 +50,104 @@ def counted_batches(monkeypatch):
 
 
 class TestBatchKey:
-    def test_stable_across_calls(self, plan, grid_fp):
+    def test_stable_across_calls(self, plan, grid_fp, machine_fp):
         batch = BatchSpec("cg", "NPB", "A", 96)
-        assert batch_key(plan, grid_fp, batch) == batch_key(plan, grid_fp,
-                                                            batch)
+        assert batch_key(plan, grid_fp, machine_fp, batch) == batch_key(
+            plan, grid_fp, machine_fp, batch
+        )
 
     @pytest.mark.parametrize("change", [
         dict(arch="skylake"), dict(scale="medium"), dict(repetitions=3),
         dict(seed=1), dict(fidelity="des"),
     ])
-    def test_sensitive_to_plan_identity(self, plan, grid_fp, change):
+    def test_sensitive_to_plan_identity(self, plan, grid_fp, machine_fp,
+                                        change):
         from dataclasses import replace
 
         batch = BatchSpec("cg", "NPB", "A", 96)
-        assert batch_key(plan, grid_fp, batch) != batch_key(
-            replace(plan, **change), grid_fp, batch
+        assert batch_key(plan, grid_fp, machine_fp, batch) != batch_key(
+            replace(plan, **change), grid_fp, machine_fp, batch
         )
 
-    def test_sensitive_to_grid(self, plan, grid_fp):
+    def test_sensitive_to_grid(self, plan, grid_fp, machine_fp):
         batch = BatchSpec("cg", "NPB", "A", 96)
         machine = get_machine("milan")
         other_fp = grid_fingerprint(EnvSpace().grid(machine, "small", seed=9))
         assert other_fp != grid_fp
-        assert batch_key(plan, grid_fp, batch) != batch_key(plan, other_fp,
-                                                            batch)
+        assert batch_key(plan, grid_fp, machine_fp, batch) != batch_key(
+            plan, other_fp, machine_fp, batch
+        )
 
-    def test_sensitive_to_batch_identity(self, plan, grid_fp):
+    def test_sensitive_to_structural_grid_change(self, plan, machine_fp,
+                                                 grid_fp):
+        """Changing the env space itself (extra swept variables) changes
+        the fingerprint, so every batch key misses."""
+        batch = BatchSpec("cg", "NPB", "A", 96)
+        machine = get_machine(plan.arch)
+        chunked = EnvSpace(chunked_schedule_variables())
+        other_fp = grid_fingerprint(
+            chunked.grid(machine, plan.scale, seed=plan.seed)
+        )
+        assert other_fp != grid_fp
+        assert batch_key(plan, grid_fp, machine_fp, batch) != batch_key(
+            plan, other_fp, machine_fp, batch
+        )
+
+    def test_sensitive_to_machine_table(self, plan, grid_fp, machine_fp):
+        """Editing the machine model (any topology field) must miss."""
+        from dataclasses import replace
+
+        batch = BatchSpec("cg", "NPB", "A", 96)
+        machine = get_machine(plan.arch)
+        for change in (dict(clock_ghz=machine.clock_ghz * 2),
+                       dict(n_cores=machine.n_cores // 2,
+                            cores_per_llc=machine.cores_per_llc),
+                       dict(numa_penalty_cross_socket=9.9)):
+            other_fp = machine_fingerprint(replace(machine, **change))
+            assert other_fp != machine_fp
+            assert batch_key(plan, grid_fp, machine_fp, batch) != batch_key(
+                plan, grid_fp, other_fp, batch
+            )
+
+    def test_sensitive_to_cost_table(self, plan, machine_fp, monkeypatch):
+        """Recalibrating the arch's runtime cost table must miss."""
+        import repro.core.cache as cache_mod
+        from repro.runtime.costs import get_costs, scale_costs
+
+        recalibrated = scale_costs(get_costs(plan.arch), 2.0)
+        monkeypatch.setattr(cache_mod, "get_costs",
+                            lambda arch: recalibrated)
+        assert machine_fingerprint(get_machine(plan.arch)) != machine_fp
+
+    def test_version_bump_changes_keys(self, plan, grid_fp, machine_fp,
+                                       monkeypatch):
+        import repro.core.cache as cache_mod
+
+        batch = BatchSpec("cg", "NPB", "A", 96)
+        before = batch_key(plan, grid_fp, machine_fp, batch)
+        monkeypatch.setattr(cache_mod, "CACHE_FORMAT_VERSION",
+                            CACHE_FORMAT_VERSION + 1)
+        assert cache_mod.batch_key(plan, grid_fp, machine_fp,
+                                   batch) != before
+
+    def test_sensitive_to_batch_identity(self, plan, grid_fp, machine_fp):
         a = BatchSpec("cg", "NPB", "A", 96)
         b = BatchSpec("cg", "NPB", "A", 48)
-        assert batch_key(plan, grid_fp, a) != batch_key(plan, grid_fp, b)
+        assert batch_key(plan, grid_fp, machine_fp, a) != batch_key(
+            plan, grid_fp, machine_fp, b
+        )
 
-    def test_insensitive_to_batch_selection_fields(self, plan, grid_fp):
+    def test_insensitive_to_batch_selection_fields(self, plan, grid_fp,
+                                                   machine_fp):
         """workload_names / inputs_limit select batches, not contents —
         a capped or subset sweep must warm the cache for the full one."""
         from dataclasses import replace
 
         batch = BatchSpec("cg", "NPB", "A", 96)
         widened = replace(plan, workload_names=None, inputs_limit=1)
-        assert batch_key(plan, grid_fp, batch) == batch_key(widened, grid_fp,
-                                                            batch)
+        assert batch_key(plan, grid_fp, machine_fp, batch) == batch_key(
+            widened, grid_fp, machine_fp, batch
+        )
 
 
 class TestSweepCacheStore:
@@ -179,6 +244,26 @@ class TestRunSweepResume:
         warm = run_sweep(plan, n_processes=2, cache=cache)
         assert warm.records == serial.records
         assert warm.n_computed_batches == 0
+
+    def test_machine_table_change_invalidates_sweep_cache(
+        self, tmp_path, plan, counted_batches, monkeypatch
+    ):
+        """An edited machine model must re-simulate every batch rather
+        than serve records computed under the old model."""
+        from dataclasses import replace
+
+        run_sweep(plan, cache=tmp_path)
+        n_batches = len(plan_batches(plan))
+        counted_batches.clear()
+
+        real_machine = get_machine(plan.arch)
+        recalibrated = replace(real_machine,
+                               clock_ghz=real_machine.clock_ghz * 1.5)
+        monkeypatch.setattr(sweep_mod, "get_machine",
+                            lambda name: recalibrated)
+        again = run_sweep(plan, cache=tmp_path)
+        assert len(counted_batches) == n_batches
+        assert again.n_cached_batches == 0
 
     def test_cache_accepts_str_path(self, tmp_path, plan):
         result = run_sweep(plan, cache=str(tmp_path / "strcache"))

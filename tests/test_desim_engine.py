@@ -143,6 +143,161 @@ class TestEngineBasics:
             Process(eng, lambda: None)  # type: ignore[arg-type]
 
 
+class TestEngineRegressions:
+    """Regressions for truncated runs, clock monotonicity and scheduling."""
+
+    def test_run_until_before_now_rejected(self):
+        # Regression: run(until=t) with t < now used to silently move the
+        # clock backwards, violating monotonicity.
+        eng = Engine()
+
+        def worker():
+            yield Timeout(10.0)
+
+        eng.process(worker())
+        assert eng.run(until=5.0) == 5.0
+        with pytest.raises(SimulationError, match="backwards"):
+            eng.run(until=2.0)
+        assert eng.now == 5.0  # clock untouched by the rejected call
+
+    def test_run_until_now_is_noop(self):
+        eng = Engine()
+
+        def worker():
+            yield Timeout(10.0)
+
+        eng.process(worker())
+        eng.run(until=5.0)
+        assert eng.run(until=5.0) == 5.0
+
+    def test_negative_internal_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError, match="negative delay"):
+            eng._schedule(-0.5, lambda arg: None, None)
+
+    def test_live_process_accounting_is_synchronous(self):
+        """A finished process is deducted the instant it finishes, so a
+        truncated run never leaves the count stale."""
+        eng = Engine()
+
+        def quick():
+            yield Timeout(1.0)
+
+        def slow():
+            yield Timeout(10.0)
+
+        eng.process(quick())
+        eng.process(slow())
+        assert eng.live_processes == 2
+        # Truncate just past quick's finish: its accounting must already
+        # be settled even though the run returned early.
+        eng.run(until=1.0)
+        assert eng.live_processes == 1
+        # The later drain completes normally — no spurious DeadlockError.
+        assert eng.run() == 10.0
+        assert eng.live_processes == 0
+
+    def test_truncated_run_then_drain_no_spurious_deadlock(self):
+        """Stepping workflow: external events succeed between truncated
+        runs; draining afterwards must not report a deadlock."""
+        eng = Engine()
+        gate = eng.event()
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append((eng.now, value))
+
+        def ticker():
+            yield Timeout(2.0)
+
+        eng.process(waiter())
+        eng.process(ticker())
+        eng.run(until=1.0)
+        gate.succeed("go")
+        assert eng.run() == 2.0
+        assert log == [(1.0, "go")]
+        assert eng.live_processes == 0
+
+    def test_run_until_exact_finish_time(self):
+        eng = Engine()
+
+        def worker():
+            yield Timeout(5.0)
+
+        proc = eng.process(worker())
+        assert eng.run(until=5.0) == 5.0
+        assert proc.done
+        assert eng.live_processes == 0
+
+
+class _RecordingObserver:
+    def __init__(self):
+        self.scheduled = []
+        self.advanced = []
+        self.started = []
+        self.finished = []
+
+    def on_schedule(self, now, delay):
+        self.scheduled.append((now, delay))
+
+    def on_advance(self, time):
+        self.advanced.append(time)
+
+    def on_process_start(self, proc):
+        self.started.append(proc.name)
+
+    def on_process_finish(self, proc):
+        self.finished.append(proc.name)
+
+
+class TestEngineObserver:
+    def test_hooks_fire_in_order(self):
+        obs = _RecordingObserver()
+        eng = Engine(observer=obs)
+
+        def worker():
+            yield Timeout(2.0)
+
+        eng.process(worker(), name="w")
+        eng.run()
+        assert obs.started == ["w"]
+        assert obs.finished == ["w"]
+        # Initial kick at delay 0, then the timeout.
+        assert obs.scheduled == [(0.0, 0.0), (0.0, 2.0)]
+        assert obs.advanced == [0.0, 2.0]
+
+    def test_advance_times_monotone(self):
+        obs = _RecordingObserver()
+        eng = Engine(observer=obs)
+
+        def worker(d):
+            yield Timeout(d)
+            yield Timeout(d)
+
+        for d in (3.0, 1.0, 2.0):
+            eng.process(worker(d))
+        eng.run()
+        assert obs.advanced == sorted(obs.advanced)
+        assert len(obs.finished) == 3
+
+    def test_attach_detach(self):
+        eng = Engine()
+        obs = _RecordingObserver()
+        eng.attach_observer(obs)
+        with pytest.raises(SimulationError):
+            eng.attach_observer(_RecordingObserver())
+        assert eng.detach_observer() is obs
+        assert eng.detach_observer() is None
+
+        def worker():
+            yield Timeout(1.0)
+
+        eng.process(worker())
+        eng.run()
+        assert obs.started == []  # detached before anything ran
+
+
 class TestLock:
     def test_mutual_exclusion_and_fifo(self):
         eng = Engine()

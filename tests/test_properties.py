@@ -331,3 +331,118 @@ def test_pivot_conserves_cells(table, seed):
         col = pivoted[name]
         total += sum(int(v) for v in col if v is not None)
     assert total == table.num_rows
+
+
+# ---------------------------------------------------------------------------
+# Seeded stdlib-random property tests (no hypothesis involvement): randomly
+# generated tables through CSV round-trip, join, filter and sort identities.
+# Each failure reproduces from its printed seed alone.
+# ---------------------------------------------------------------------------
+import math
+import random
+
+
+def _random_table(rng: random.Random, *, with_nan: bool = True,
+                  min_rows: int = 1) -> Table:
+    """A random table with int / float(+NaN) / str columns."""
+    n = rng.randint(min_rows, 25)
+    cols = {}
+    n_cols = rng.randint(1, 4)
+    for i in range(n_cols):
+        kind = rng.choice(("int", "float", "str"))
+        name = f"{kind[0]}{i}"
+        if kind == "int":
+            cols[name] = [rng.randint(-999, 999) for _ in range(n)]
+        elif kind == "float":
+            cols[name] = [
+                float("nan") if with_nan and rng.random() < 0.15
+                else round(rng.uniform(-1e4, 1e4), rng.randint(0, 6))
+                for _ in range(n)
+            ]
+        else:
+            cols[name] = [
+                "".join(rng.choices("abcxyz", k=rng.randint(1, 5)))
+                for _ in range(n)
+            ]
+    return Table(cols)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_random_csv_roundtrip_preserves_dtype_and_nan(seed):
+    rng = random.Random(seed)
+    table = _random_table(rng)
+    back = table_from_csv_text(table_to_csv_text(table))
+    assert back.column_names == table.column_names
+    assert back.num_rows == table.num_rows
+    for name in table.column_names:
+        a, b = table.column(name), back.column(name)
+        # dtype kind survives: int64 stays integer, float stays float,
+        # strings stay object.
+        assert a.dtype.kind == b.dtype.kind, (name, a.dtype, b.dtype)
+        for x, y in zip(a, b):
+            if isinstance(x, float) and math.isnan(x):
+                assert isinstance(y, float) and math.isnan(y)
+            elif isinstance(x, float):
+                assert y == pytest.approx(x, rel=0, abs=0)  # repr round-trip
+            else:
+                assert x == y
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_random_join_identity_on_unique_keys(seed):
+    """Joining two tables on a unique key recovers the row pairing."""
+    rng = random.Random(1000 + seed)
+    n = rng.randint(1, 20)
+    keys = rng.sample(range(10000), n)
+    left = Table({"k": keys, "a": [rng.randint(0, 99) for _ in range(n)]})
+    right_keys = keys[:]
+    rng.shuffle(right_keys)
+    right = Table(
+        {"k": right_keys, "b": [k * 2 for k in right_keys]}
+    )
+    joined = left.join(right, on="k")
+    assert joined.num_rows == n
+    for row in joined.iter_rows():
+        assert row["b"] == row["k"] * 2
+    # Self-join on the key preserves the left column values.
+    self_joined = left.join(left.rename({"a": "a2"}), on="k")
+    assert self_joined.num_rows == n
+    assert all(r["a"] == r["a2"] for r in self_joined.iter_rows())
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_random_filter_partitions_rows(seed):
+    """A mask and its complement split the table without loss, and
+    filtering is idempotent under mask conjunction."""
+    rng = random.Random(2000 + seed)
+    table = _random_table(rng, with_nan=False)
+    n = table.num_rows
+    mask = np.asarray([rng.random() < 0.5 for _ in range(n)])
+    kept, dropped = table.filter(mask), table.filter(~mask)
+    assert kept.num_rows + dropped.num_rows == n
+    name = table.column_names[0]
+    combined = sorted(
+        [str(v) for v in kept.column(name)]
+        + [str(v) for v in dropped.column(name)]
+    )
+    assert combined == sorted(str(v) for v in table.column(name))
+    mask2 = np.asarray([rng.random() < 0.5 for _ in range(n)])
+    twice = table.filter(mask).filter(mask2[mask])
+    at_once = table.filter(mask & mask2)
+    assert twice == at_once
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_random_sort_identities(seed):
+    """Sorting is idempotent, a permutation, and ordered."""
+    rng = random.Random(3000 + seed)
+    table = _random_table(rng, with_nan=False, min_rows=2)
+    name = table.column_names[-1]
+    once = table.sort_by(name)
+    assert once.sort_by(name) == once  # idempotent
+    values = list(once.column(name))
+    assert all(values[i] <= values[i + 1] for i in range(len(values) - 1))
+    for col in table.column_names:
+        assert sorted(map(str, table.column(col))) == sorted(
+            map(str, once.column(col))
+        )
