@@ -21,6 +21,7 @@ from repro.check.differential import (
     default_golden_dir,
     differential_parity,
     golden_trace_check,
+    pruning_parity,
 )
 from repro.check.invariants import (
     InvariantObserver,
@@ -61,6 +62,7 @@ __all__ = [
     "GOLDEN_CASES",
     "default_golden_dir",
     "differential_parity",
+    "pruning_parity",
     "golden_trace_check",
     "bless_golden_traces",
     "SUITES",

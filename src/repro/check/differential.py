@@ -17,6 +17,7 @@ Two oracle-free ways to catch regressions the example-based tests miss:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 import tempfile
@@ -34,6 +35,7 @@ __all__ = [
     "GOLDEN_CASES",
     "default_golden_dir",
     "differential_parity",
+    "pruning_parity",
     "golden_trace_check",
     "bless_golden_traces",
 ]
@@ -122,6 +124,56 @@ def differential_parity(plan: SweepPlan | None = None) -> dict:
                    f"serial/parallel/cold-cache/warm-cache",
         "n_records": len(serial.records),
         "paths": sorted(paths),
+    }
+
+
+def pruning_parity(plan: SweepPlan | None = None) -> dict:
+    """ICV-equivalence pruning must be invisible in the records.
+
+    Runs one plan twice — pruned (the default: one model evaluation per
+    resolved-ICV equivalence class, per-member noise on top) and unpruned
+    (every grid point simulated) — and requires bit-identical records.
+    Also requires that pruning actually pruned something: a grid with no
+    equivalent spellings would make the check vacuous, and the default
+    grids all contain them (``proc_bind=false`` vs unset,
+    ``turnaround`` vs ``blocktime=infinite``, ``true`` vs ``spread``).
+    """
+    plan = plan or _quick_plan()
+    pruned = run_sweep(dataclasses.replace(plan, prune=True))
+    unpruned = run_sweep(dataclasses.replace(plan, prune=False))
+    if not pruned.records:
+        raise CheckFailure("pruning-parity plan produced no records")
+    if pruned.n_pruned_configs == 0:
+        raise CheckFailure(
+            "pruned sweep simulated every config "
+            f"({pruned.n_simulated_configs}): the plan's grid exposes no "
+            "ICV-equivalent spellings, so the check is vacuous"
+        )
+    if unpruned.n_pruned_configs != 0:
+        raise CheckFailure(
+            "unpruned sweep reported "
+            f"{unpruned.n_pruned_configs} pruned config(s)"
+        )
+    if pruned.records != unpruned.records:
+        n = sum(
+            1 for a, b in zip(pruned.records, unpruned.records) if a != b
+        ) + abs(len(pruned.records) - len(unpruned.records))
+        raise CheckFailure(
+            f"pruned sweep diverged from exhaustive execution: {n} "
+            f"record(s) differ (pruned {len(pruned.records)} vs unpruned "
+            f"{len(unpruned.records)}) — an execution-relevant ICV leaked "
+            "out of ResolvedICVs.execution_signature()"
+        )
+    total = pruned.n_simulated_configs + pruned.n_pruned_configs
+    return {
+        "details": (
+            f"{len(pruned.records)} records bit-identical; pruning "
+            f"simulated {pruned.n_simulated_configs}/{total} configs "
+            f"({pruned.n_pruned_configs} fanned out)"
+        ),
+        "n_records": len(pruned.records),
+        "n_simulated": pruned.n_simulated_configs,
+        "n_pruned": pruned.n_pruned_configs,
     }
 
 

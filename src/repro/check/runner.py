@@ -42,6 +42,7 @@ SUITES: dict[str, tuple] = {
     ),
     "differential": (
         ("execution-path-parity", differential.differential_parity),
+        ("equivalence-pruning-parity", differential.pruning_parity),
         ("golden-traces", differential.golden_trace_check),
     ),
 }
@@ -66,7 +67,10 @@ def run_suite(
     for name, fn in SUITES[suite]:
         if name == "golden-traces":
             body = lambda fn=fn: fn(golden_dir=golden_dir)
-        elif name == "execution-path-parity" and not quick:
+        elif (
+            name in ("execution-path-parity", "equivalence-pruning-parity")
+            and not quick
+        ):
             body = lambda fn=fn: fn(plan=differential.full_plan())
         else:
             body = fn

@@ -21,6 +21,9 @@ Subcommands mirror the study's workflow:
 - ``check`` — run the simulation verification suites (invariants,
   metamorphic relations, differential parity + golden traces; see
   ``docs/TESTING.md``),
+- ``lint`` — static analysis: configuration/program lint against the ICV
+  derivation rules, ICV-equivalence pruning statistics, and the
+  simulator's determinism self-lint (see ``docs/LINTING.md``),
 - ``workloads`` — the 15 benchmark models and their experimental design,
 - ``figures`` — regenerate the paper's figure gallery (violins + heat
   maps) from a fresh sweep in one command,
@@ -95,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--no-cache", action="store_true",
                          help="ignore the batch cache even if --cache-dir/"
                               "--resume is given")
+    p_sweep.add_argument("--no-prune", action="store_true",
+                         help="simulate every grid point instead of one "
+                              "representative per ICV-equivalence class "
+                              "(results are identical either way)")
     p_sweep.add_argument("-o", "--output", required=True,
                          help="dataset CSV path")
 
@@ -171,6 +178,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument("--report", default=None,
                        help="write a JSON check report here")
 
+    p_lint = sub.add_parser(
+        "lint", help="static analysis of configs, programs, and the simulator"
+    )
+    p_lint.add_argument("--self", action="store_true", dest="self_lint",
+                        help="run the determinism self-lint over src/repro")
+    p_lint.add_argument("--src", default=None,
+                        help="source root for --self (default: the installed "
+                             "repro package)")
+    p_lint.add_argument("--arch", nargs="*", default=None,
+                        choices=machine_names(),
+                        help="lint the benchmark manifests on these machines")
+    p_lint.add_argument("--workloads", nargs="*", default=None,
+                        help=f"manifest subset of {workload_names()}")
+    p_lint.add_argument("--env", action="append", default=[],
+                        metavar="VAR=VALUE",
+                        help="environment setting to lint (repeatable); "
+                             "parsed exactly like a real environment")
+    p_lint.add_argument("--stats", action="store_true",
+                        help="print ICV-equivalence pruning statistics for "
+                             "each selected arch's full grid")
+    p_lint.add_argument("--scale", default="full", choices=EnvSpace.SCALES,
+                        help="grid scale for --stats (default: full)")
+    p_lint.add_argument("--report", default=None,
+                        help="write a JSON findings report here")
+
     p_tr = sub.add_parser("trace", help="phase timeline of one run")
     p_tr.add_argument("--arch", required=True, choices=machine_names())
     p_tr.add_argument("--workload", required=True)
@@ -220,6 +252,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         inputs_limit=args.inputs_limit,
         seed=args.seed,
         fidelity=args.fidelity,
+        prune=not args.no_prune,
     )
     cache = _sweep_cache(args)
     start = time.monotonic()
@@ -237,6 +270,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if cache is not None:
         print(f"cache: {result.n_cached_batches} batches reused, "
               f"{result.n_computed_batches} simulated -> {cache.root}")
+    if result.n_pruned_configs:
+        total = result.n_simulated_configs + result.n_pruned_configs
+        print(f"pruning: {result.n_simulated_configs}/{total} configs "
+              f"simulated, {result.n_pruned_configs} ICV-equivalent "
+              f"configs fanned out")
     print(
         f"{result.n_samples} samples ({result.n_measurements} measurements) "
         f"for {len(result.apps())} applications on {args.arch} "
@@ -489,6 +527,80 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        dedupe_findings,
+        format_findings,
+        grid_prune_stats,
+        lint_environment,
+        lint_manifests,
+        lint_repository,
+        unwaived,
+        write_findings_report,
+    )
+
+    # Default invocation (no plane selected): self-lint + all manifests —
+    # what CI runs.
+    run_all = not (args.self_lint or args.arch or args.env or args.stats)
+    archs = args.arch if args.arch else (machine_names() if run_all else [])
+
+    findings = []
+    planes = []
+    if args.self_lint or run_all:
+        planes.append("self")
+        kwargs = {"src_root": args.src} if args.src else {}
+        findings.extend(lint_repository(**kwargs))
+    for arch in archs:
+        planes.append(f"manifests:{arch}")
+        findings.extend(
+            lint_manifests(arch, workload_names=args.workloads)
+        )
+    if args.env:
+        env = {}
+        for item in args.env:
+            key, sep, value = item.partition("=")
+            if not sep:
+                print(f"error: --env expects VAR=VALUE, got {item!r}",
+                      file=sys.stderr)
+                return 2
+            env[key] = value
+        for arch in (args.arch or ["milan"]):
+            planes.append(f"env:{arch}")
+            findings.extend(lint_environment(env, arch))
+
+    # Program-spec findings are machine-independent, so linting several
+    # archs repeats them; keep the first occurrence only.
+    findings = dedupe_findings(findings)
+    print(format_findings(findings))
+
+    stats = []
+    if args.stats:
+        for arch in (args.arch or machine_names()):
+            for s in grid_prune_stats(get_machine(arch), scale=args.scale):
+                stats.append(s)
+                print(s.describe())
+
+    if args.report:
+        write_findings_report(
+            findings,
+            args.report,
+            planes=planes,
+            prune_stats=[
+                {
+                    "arch": s.arch,
+                    "scale": s.scale,
+                    "nthreads": s.nthreads,
+                    "n_configs": s.n_configs,
+                    "n_classes": s.n_classes,
+                    "reduction": s.reduction,
+                }
+                for s in stats
+            ],
+        )
+        print(f"report -> {args.report}")
+    return 1 if unwaived(findings) else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.runtime.icv import EnvConfig
     from repro.runtime.trace import trace_execution
@@ -529,6 +641,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_microbench(args)
         if args.command == "check":
             return _cmd_check(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "workloads":

@@ -50,7 +50,10 @@ __all__ = ["CACHE_FORMAT_VERSION", "SweepCache", "batch_key",
 
 #: Bump when the on-disk payload layout or key scheme changes; old entries
 #: become misses.  v2: batch keys gained the machine fingerprint.
-CACHE_FORMAT_VERSION = 2
+#: v3: observation noise re-keyed from raw EnvConfig identity to the
+#: resolved execution signature (ICV-equivalent configs now observe
+#: identical runtimes), so v2 record contents are stale.
+CACHE_FORMAT_VERSION = 3
 
 _CONFIG_FIELDS = (
     "num_threads",

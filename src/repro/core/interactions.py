@@ -81,8 +81,9 @@ def _marginal_effects(
     values = table.column(var)
     others_default = default_masks[var]
     out: dict[object, float] = {}
-    for value in set(
-        v.item() if isinstance(v, np.generic) else v for v in values
+    for value in sorted(
+        set(v.item() if isinstance(v, np.generic) else v for v in values),
+        key=repr,
     ):
         if value == _default_value(var):
             continue

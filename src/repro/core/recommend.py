@@ -101,7 +101,7 @@ def best_variable_values(
             overall = sub.column(var)
             top_vals = top.column(var)
             candidates: list[tuple[float, str]] = []
-            for value in set(str(v) for v in top_vals):
+            for value in sorted(set(str(v) for v in top_vals)):
                 if value in (UNSET, "0") and var != "blocktime":
                     continue
                 p_top = float(np.mean([str(v) == value for v in top_vals]))

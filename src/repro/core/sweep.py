@@ -37,7 +37,7 @@ from repro.arch.machines import get_machine
 from repro.arch.topology import MachineTopology
 from repro.core.envspace import EnvSpace
 from repro.errors import ConfigError
-from repro.runtime.executor import RuntimeExecutor
+from repro.runtime.executor import RuntimeExecutor, apply_measurement_noise
 from repro.runtime.icv import EnvConfig
 from repro.workloads.base import Workload, workloads_for_arch
 
@@ -46,6 +46,7 @@ __all__ = [
     "SweepPlan",
     "SweepRecord",
     "SweepResult",
+    "equivalence_groups",
     "plan_batches",
     "run_sweep",
 ]
@@ -72,6 +73,13 @@ class SweepPlan:
         Base seed for scaled-grid subsampling.
     fidelity:
         Task-region fidelity, ``"analytic"`` or ``"des"``.
+    prune:
+        Collapse ICV-equivalent configurations before simulating: the
+        model is evaluated once per resolved-signature class and each
+        member's own noise stream is applied to the shared result.
+        Record-identical to the unpruned sweep (verified by the
+        ``equivalence-pruning-parity`` differential check), so it does
+        not participate in cache keys.
     """
 
     arch: str
@@ -81,6 +89,7 @@ class SweepPlan:
     inputs_limit: int | None = None
     seed: int = 0
     fidelity: str = "analytic"
+    prune: bool = True
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
@@ -133,6 +142,10 @@ class SweepResult:
     #: Batches served from the cache vs simulated in this call.
     n_cached_batches: int = 0
     n_computed_batches: int = 0
+    #: Configurations actually executed vs fanned out from an
+    #: ICV-equivalent representative (computed batches only).
+    n_simulated_configs: int = 0
+    n_pruned_configs: int = 0
 
     @property
     def n_samples(self) -> int:
@@ -155,36 +168,80 @@ class SweepResult:
 # ----------------------------------------------------------------------
 # Batch execution
 # ----------------------------------------------------------------------
+def equivalence_groups(
+    configs: Sequence[EnvConfig],
+    machine: MachineTopology,
+    nthreads: int | None = None,
+) -> dict[tuple, list[int]]:
+    """Group grid indices by resolved execution signature.
+
+    Insertion order is grid order, so each group's first index is the
+    deterministic representative.  ``nthreads``, if given, overrides the
+    thread count before resolution (the per-batch setting).
+    """
+    from repro.runtime.icv import resolve_icvs
+
+    groups: dict[tuple, list[int]] = {}
+    for i, config in enumerate(configs):
+        if nthreads is not None:
+            config = config.with_threads(nthreads)
+        sig = resolve_icvs(config, machine).execution_signature()
+        groups.setdefault(sig, []).append(i)
+    return groups
+
+
 def _execute_batch(
     plan: SweepPlan,
     machine: MachineTopology,
     configs: Sequence[EnvConfig],
     batch: BatchSpec,
 ) -> list[SweepRecord]:
-    """Run the full config grid for one (workload, setting)."""
+    """Run the full config grid for one (workload, setting).
+
+    With ``plan.prune`` the grid is first collapsed into ICV-equivalence
+    classes; the deterministic model is evaluated once per class and each
+    member's own measurement-noise stream (keyed by its spelling) is
+    applied to the shared true runtime.  Bit-identical to executing every
+    member, because the model is a function of the resolved ICVs alone —
+    only the expensive evaluation is shared, never the noise draws.
+    """
     from repro.workloads.base import get_workload
 
     program = get_workload(batch.app).program(batch.input_size)
-    records: list[SweepRecord] = []
-    for config in configs:
-        cfg = config.with_threads(batch.nthreads)
-        executor = RuntimeExecutor(machine, cfg, fidelity=plan.fidelity)
-        runtimes = tuple(
-            executor.observe(program, run_index=rep, seed=plan.seed)
-            for rep in range(plan.repetitions)
+    cfgs = [config.with_threads(batch.nthreads) for config in configs]
+
+    if plan.prune:
+        groups = equivalence_groups(cfgs, machine)
+    else:
+        groups = {(i,): [i] for i in range(len(cfgs))}
+
+    runtimes_of: dict[int, tuple[float, ...]] = {}
+    for members in groups.values():
+        executor = RuntimeExecutor(
+            machine, cfgs[members[0]], fidelity=plan.fidelity
         )
-        records.append(
-            SweepRecord(
-                arch=plan.arch,
-                app=batch.app,
-                suite=batch.suite,
-                input_size=batch.input_size,
-                num_threads=batch.nthreads,
-                config=cfg,
-                runtimes=runtimes,
+        true = executor.execute(program, seed=plan.seed)
+        for i in members:
+            runtimes_of[i] = tuple(
+                apply_measurement_noise(
+                    machine, program, cfgs[i], true,
+                    run_index=rep, seed=plan.seed,
+                )
+                for rep in range(plan.repetitions)
             )
+
+    return [
+        SweepRecord(
+            arch=plan.arch,
+            app=batch.app,
+            suite=batch.suite,
+            input_size=batch.input_size,
+            num_threads=batch.nthreads,
+            config=cfg,
+            runtimes=runtimes_of[i],
         )
-    return records
+        for i, cfg in enumerate(cfgs)
+    ]
 
 
 #: Per-process sweep state (machine model + materialized config grid),
@@ -283,6 +340,24 @@ def run_sweep(
     total = len(batches)
     result = SweepResult(plan=plan)
 
+    grid: list[EnvConfig] | None = None
+    n_classes_at: dict[int, int] = {}
+
+    def classes_at(nthreads: int) -> int:
+        """Equivalence classes of the grid at one thread count (memoized;
+        the whole batch shares it, so counting happens in the parent)."""
+        nonlocal grid
+        if nthreads not in n_classes_at:
+            if grid is None:
+                grid = space.grid(machine, plan.scale, seed=plan.seed)
+            if plan.prune:
+                n_classes_at[nthreads] = len(
+                    equivalence_groups(grid, machine, nthreads=nthreads)
+                )
+            else:
+                n_classes_at[nthreads] = len(grid)
+        return n_classes_at[nthreads]
+
     if cache is not None:
         from repro.core.cache import SweepCache
 
@@ -322,6 +397,9 @@ def run_sweep(
                 result.n_cached_batches += 1
             else:
                 result.n_computed_batches += 1
+                n_sim = classes_at(batch.nthreads)
+                result.n_simulated_configs += n_sim
+                result.n_pruned_configs += len(records) - n_sim
                 if cache is not None:
                     cache.put(keys[i], records)
             if progress is not None:

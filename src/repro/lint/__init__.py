@@ -1,0 +1,82 @@
+"""repro.lint — static analysis of configurations, programs, and the
+simulator itself.
+
+Three planes (see ``docs/LINTING.md`` for the rule catalog):
+
+1. **Configuration & program lint** (``config_rules``, ``program_rules``):
+   dead parameters, shadowed defaults, oversubscription, per-arch domain
+   hazards, program-spec defects — decided against the actual ICV
+   derivation rules of paper Sec. III.
+2. **Equivalence pruning** (``equivalence``): resolved-ICV equivalence
+   classes over configuration grids; the sweep engine simulates one
+   representative per class and fans results out, record-identically.
+3. **Self-lint** (``selflint``): an AST pass enforcing the determinism
+   contract on ``src/repro`` (no wall clocks or unseeded randomness in
+   the simulator core, no set-order-dependent iteration, frozen model
+   dataclasses, no float equality in verification code), with an
+   explicit waivers file.
+"""
+
+from repro.lint.config_rules import CONFIG_RULES, lint_config
+from repro.lint.equivalence import (
+    EquivalenceClass,
+    PruneStats,
+    equivalence_classes,
+    grid_prune_stats,
+    icv_signature,
+)
+from repro.lint.findings import (
+    Finding,
+    Severity,
+    findings_report,
+    format_findings,
+    sort_findings,
+    unwaived,
+    write_findings_report,
+)
+from repro.lint.program_rules import PROGRAM_RULES, lint_program
+from repro.lint.runner import (
+    dedupe_findings,
+    lint_environment,
+    lint_manifests,
+    lint_repository,
+)
+from repro.lint.selflint import (
+    SELF_RULES,
+    Waiver,
+    apply_waivers,
+    load_waivers,
+    self_lint,
+    self_lint_source,
+    self_lint_tree,
+)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "sort_findings",
+    "unwaived",
+    "format_findings",
+    "findings_report",
+    "write_findings_report",
+    "CONFIG_RULES",
+    "lint_config",
+    "PROGRAM_RULES",
+    "lint_program",
+    "icv_signature",
+    "EquivalenceClass",
+    "equivalence_classes",
+    "PruneStats",
+    "grid_prune_stats",
+    "SELF_RULES",
+    "Waiver",
+    "load_waivers",
+    "apply_waivers",
+    "self_lint_source",
+    "self_lint_tree",
+    "self_lint",
+    "dedupe_findings",
+    "lint_environment",
+    "lint_manifests",
+    "lint_repository",
+]

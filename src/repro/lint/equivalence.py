@@ -1,0 +1,148 @@
+"""Plane 2: resolved-ICV equivalence classes over configuration grids.
+
+Many grid points differ as environment spellings but resolve to the same
+execution: ``OMP_PROC_BIND=true`` vs ``spread``, ``KMP_LIBRARY=turnaround``
+vs any ``KMP_BLOCKTIME`` under it, ``KMP_FORCE_REDUCTION=tree`` vs unset
+at a >4-thread team.  :meth:`ResolvedICVs.execution_signature` canonicalizes
+all of this; two configs with equal signatures produce bit-identical
+*modeled* runtimes (the model is a function of the resolved ICVs alone),
+while each spelling keeps its own measurement-noise stream.
+
+The sweep engine (``repro.core.sweep``) groups each batch by signature,
+evaluates the model once per class, and applies per-member noise to the
+shared true runtime; this module provides the analysis
+surface on the same grouping: class enumeration for reports, and
+:func:`grid_prune_stats` for ``repro-omp lint --stats``.  The
+``equivalence-pruning-parity`` differential check
+(``repro.check.differential``) verifies record-identity end to end.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.arch.topology import MachineTopology
+from repro.core.envspace import EnvSpace
+from repro.core.sweep import equivalence_groups
+from repro.runtime.icv import EnvConfig, resolve_icvs
+
+__all__ = [
+    "icv_signature",
+    "EquivalenceClass",
+    "equivalence_classes",
+    "PruneStats",
+    "grid_prune_stats",
+]
+
+
+def icv_signature(
+    config: EnvConfig, machine: MachineTopology, nthreads: int | None = None
+) -> tuple:
+    """The execution signature of one configuration on one machine."""
+    if nthreads is not None:
+        config = config.with_threads(nthreads)
+    return resolve_icvs(config, machine).execution_signature()
+
+
+@dataclass(frozen=True)
+class EquivalenceClass:
+    """One behaviour class of a configuration grid.
+
+    ``representative`` is the first member in grid order — the config the
+    pruned sweep actually simulates.  ``members`` holds grid indices so
+    callers can map back into their own config list.
+    """
+
+    signature: tuple
+    representative: EnvConfig
+    members: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of grid points in the class."""
+        return len(self.members)
+
+
+def equivalence_classes(
+    configs: Sequence[EnvConfig],
+    machine: MachineTopology,
+    nthreads: int | None = None,
+) -> list[EquivalenceClass]:
+    """Partition ``configs`` into behaviour classes, grid order preserved.
+
+    Classes appear in order of their first member; within a class, member
+    indices ascend.  This mirrors exactly the grouping the pruned sweep
+    uses (:func:`repro.core.sweep.equivalence_groups`).
+    """
+    groups = equivalence_groups(configs, machine, nthreads=nthreads)
+    return [
+        EquivalenceClass(
+            signature=sig,
+            representative=configs[members[0]],
+            members=tuple(members),
+        )
+        for sig, members in groups.items()
+    ]
+
+
+@dataclass(frozen=True)
+class PruneStats:
+    """Pruning effectiveness of one grid at one thread count."""
+
+    arch: str
+    scale: str
+    nthreads: int
+    n_configs: int
+    n_classes: int
+    largest_class: int
+
+    @property
+    def n_pruned(self) -> int:
+        """Configs whose records are fanned out instead of simulated."""
+        return self.n_configs - self.n_classes
+
+    @property
+    def reduction(self) -> float:
+        """Simulation-count reduction factor (>= 1.0)."""
+        return self.n_configs / self.n_classes if self.n_classes else 1.0
+
+    def describe(self) -> str:
+        """One report line."""
+        return (
+            f"{self.arch:>8s} {self.scale:>9s} grid @ {self.nthreads:>3d} "
+            f"threads: {self.n_configs:>5d} configs -> {self.n_classes:>5d} "
+            f"classes ({self.reduction:.2f}x, largest class "
+            f"{self.largest_class})"
+        )
+
+
+def grid_prune_stats(
+    machine: MachineTopology,
+    scale: str = "full",
+    nthreads: Sequence[int] | None = None,
+    space: EnvSpace | None = None,
+    seed: int = 0,
+) -> list[PruneStats]:
+    """Pruning statistics for one arch grid at each thread count.
+
+    With ``nthreads=None`` the grid is analyzed at the machine's full core
+    count (the setting where the reduction-heuristic merges are strongest).
+    """
+    space = space if space is not None else EnvSpace()
+    configs = space.grid(machine, scale=scale, seed=seed)
+    counts = tuple(nthreads) if nthreads is not None else (machine.n_cores,)
+    out = []
+    for n in counts:
+        classes = equivalence_classes(configs, machine, nthreads=n)
+        out.append(
+            PruneStats(
+                arch=machine.name,
+                scale=scale,
+                nthreads=n,
+                n_configs=len(configs),
+                n_classes=len(classes),
+                largest_class=max(c.size for c in classes),
+            )
+        )
+    return out

@@ -1,0 +1,182 @@
+"""Plane 1b: lint rules over Program specifications.
+
+These catch *program-spec defects*: phase parameters that are legal (the
+constructors in ``repro.runtime.program`` accept them) but dead or
+self-contradictory — an imbalance on a uniform loop, a bandwidth demand
+with no memory fraction, a fixed chunk without a fixed schedule.  Such
+specs silently model something other than what the author described, so
+most rules are warnings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.lint.findings import Finding, Severity
+from repro.runtime.program import (
+    LoadPattern,
+    LoopRegion,
+    Program,
+    SerialPhase,
+    TaskRegion,
+)
+
+__all__ = ["PROGRAM_RULES", "lint_program"]
+
+ProgramRule = Callable[[Program], Iterable[Finding]]
+
+PROGRAM_RULES: list[ProgramRule] = []
+
+
+def rule(func: ProgramRule) -> ProgramRule:
+    """Register a program-lint rule."""
+    PROGRAM_RULES.append(func)
+    return func
+
+
+def _subject(program: Program, phase) -> str:
+    return f"{program.name}/{phase.name}"
+
+
+@rule
+def _prg001_dead_imbalance(program):
+    """PRG001: imbalance > 0 on a UNIFORM loop — the uniform profile
+    ignores the imbalance parameter entirely."""
+    for p in program.phases:
+        if (
+            isinstance(p, LoopRegion)
+            and p.pattern is LoadPattern.UNIFORM
+            and p.imbalance > 0
+        ):
+            yield Finding(
+                rule="PRG001",
+                severity=Severity.WARNING,
+                subject=_subject(program, p),
+                message=(
+                    f"imbalance={p.imbalance} is dead on uniform loop "
+                    f"{p.name!r}: the uniform cost profile never reads it"
+                ),
+                fixit="set pattern to linear/random, or drop the imbalance",
+            )
+
+
+@rule
+def _prg002_trivial_reduction_loop(program):
+    """PRG002: reductions declared on a single-iteration loop — the
+    combine is a no-op and the loop cannot workshare."""
+    for p in program.phases:
+        if isinstance(p, LoopRegion) and p.n_iters == 1 and p.n_reductions > 0:
+            yield Finding(
+                rule="PRG002",
+                severity=Severity.WARNING,
+                subject=_subject(program, p),
+                message=(
+                    f"loop {p.name!r} declares {p.n_reductions} reduction(s) "
+                    "over a single iteration: nothing is combined and only "
+                    "one thread ever works"
+                ),
+                fixit="model the phase as serial work, or fix n_iters",
+            )
+
+
+@rule
+def _prg003_dead_random_access(program):
+    """PRG003: random_access=True with mem_intensity=0 — the latency
+    model only applies to the memory fraction, which is empty."""
+    for p in program.phases:
+        if isinstance(p, (LoopRegion, TaskRegion)):
+            if p.random_access and p.mem_intensity == 0:
+                yield Finding(
+                    rule="PRG003",
+                    severity=Severity.WARNING,
+                    subject=_subject(program, p),
+                    message=(
+                        f"random_access on {p.name!r} is dead: "
+                        "mem_intensity=0 means no memory fraction exists for "
+                        "the latency model to act on"
+                    ),
+                    fixit="set mem_intensity > 0 or drop random_access",
+                )
+
+
+@rule
+def _prg004_dead_bandwidth(program):
+    """PRG004: a bandwidth demand with no memory fraction."""
+    for p in program.phases:
+        if isinstance(p, (LoopRegion, TaskRegion)):
+            if p.bw_per_thread_gbps > 0 and p.mem_intensity == 0:
+                yield Finding(
+                    rule="PRG004",
+                    severity=Severity.WARNING,
+                    subject=_subject(program, p),
+                    message=(
+                        f"bw_per_thread_gbps={p.bw_per_thread_gbps} on "
+                        f"{p.name!r} is dead: mem_intensity=0 exposes no "
+                        "time to the bandwidth model"
+                    ),
+                    fixit="set mem_intensity > 0 or drop the bandwidth demand",
+                )
+
+
+@rule
+def _prg005_empty_serial_phase(program):
+    """PRG005: a zero-work serial phase — contributes nothing."""
+    for p in program.phases:
+        if isinstance(p, SerialPhase) and p.work == 0:
+            yield Finding(
+                rule="PRG005",
+                severity=Severity.INFO,
+                subject=_subject(program, p),
+                message=f"serial phase {p.name!r} has zero work (a no-op)",
+                fixit="remove the phase",
+            )
+
+
+@rule
+def _prg006_underfilled_loop(program):
+    """PRG006: fewer iterations than any study machine has cores — full
+    teams cannot all receive work (72 cores is the smallest machine)."""
+    for p in program.phases:
+        if isinstance(p, LoopRegion) and 1 < p.n_iters < 48:
+            yield Finding(
+                rule="PRG006",
+                severity=Severity.INFO,
+                subject=_subject(program, p),
+                message=(
+                    f"loop {p.name!r} has only {p.n_iters} iterations: "
+                    "full-machine teams leave most threads idle at the "
+                    "worksharing barrier"
+                ),
+                fixit="verify the trip count; consider collapsing loops",
+            )
+
+
+@rule
+def _prg007_dead_fixed_chunk(program):
+    """PRG007: fixed_chunk without fixed_schedule — the chunk of a
+    schedule() clause that does not exist."""
+    for p in program.phases:
+        if (
+            isinstance(p, LoopRegion)
+            and p.fixed_chunk is not None
+            and p.fixed_schedule is None
+        ):
+            yield Finding(
+                rule="PRG007",
+                severity=Severity.ERROR,
+                subject=_subject(program, p),
+                message=(
+                    f"loop {p.name!r} sets fixed_chunk={p.fixed_chunk} "
+                    "without a fixed_schedule: no schedule() clause exists "
+                    "to carry the chunk, so it is silently ignored"
+                ),
+                fixit="set fixed_schedule, or drop fixed_chunk",
+            )
+
+
+def lint_program(program: Program) -> list[Finding]:
+    """Run every program rule over ``program``."""
+    findings: list[Finding] = []
+    for check in PROGRAM_RULES:
+        findings.extend(check(program))
+    return findings

@@ -1,0 +1,98 @@
+"""Lint orchestration: what ``repro-omp lint`` and ``pytest -m lint`` run.
+
+Three entry points, one per plane:
+
+- :func:`lint_environment` — one user-supplied environment against one
+  machine (and optionally one program),
+- :func:`lint_manifests` — every registered benchmark manifest on one
+  machine: program-spec rules over each input's :class:`Program`, plus
+  program-aware config rules under a given (default) configuration,
+- :func:`lint_repository` — the self-lint over ``src/repro`` with
+  waivers applied.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+from repro.arch.machines import get_machine
+from repro.arch.topology import MachineTopology
+from repro.lint.config_rules import lint_config
+from repro.lint.findings import Finding
+from repro.lint.program_rules import lint_program
+from repro.lint.selflint import DEFAULT_SRC_ROOT, DEFAULT_WAIVERS, self_lint
+from repro.runtime.icv import DEFAULT_CONFIG, EnvConfig
+from repro.workloads import WORKLOADS
+
+__all__ = [
+    "dedupe_findings",
+    "lint_environment",
+    "lint_manifests",
+    "lint_repository",
+]
+
+
+def dedupe_findings(findings: Sequence[Finding]) -> list[Finding]:
+    """Drop exact repeats (first occurrence wins, order preserved).
+
+    Manifest linting visits one program per input size; a defect in the
+    shared builder shows up once per input with identical coordinates.
+    """
+    seen: set[Finding] = set()
+    out: list[Finding] = []
+    for f in findings:
+        if f not in seen:
+            seen.add(f)
+            out.append(f)
+    return out
+
+
+def lint_environment(
+    env: Mapping[str, str] | EnvConfig,
+    machine: MachineTopology | str,
+    program=None,
+) -> list[Finding]:
+    """Plane 1 over one environment (parse errors propagate to the caller)."""
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    config = env if isinstance(env, EnvConfig) else EnvConfig.from_env(env)
+    return lint_config(config, machine, program)
+
+
+def lint_manifests(
+    machine: MachineTopology | str,
+    workload_names: Sequence[str] | None = None,
+    config: EnvConfig = DEFAULT_CONFIG,
+) -> list[Finding]:
+    """Plane 1 over the benchmark manifests shipped with the repo.
+
+    For every selected workload that runs on ``machine`` and every defined
+    input size: program-spec rules over the built :class:`Program`, then
+    the config rules (program-aware ones included) under ``config``.
+    """
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    names = (
+        list(workload_names)
+        if workload_names is not None
+        else sorted(WORKLOADS)
+    )
+    findings: list[Finding] = []
+    for name in names:
+        workload = WORKLOADS[name.lower()]
+        if not workload.runs_on(machine.name):
+            continue
+        for input_name in workload.inputs:
+            program = workload.program(input_name)
+            findings.extend(lint_program(program))
+            findings.extend(lint_config(config, machine, program))
+    return dedupe_findings(findings)
+
+
+def lint_repository(
+    src_root: str | Path = DEFAULT_SRC_ROOT,
+    waivers_path: str | Path = DEFAULT_WAIVERS,
+) -> list[Finding]:
+    """Plane 3: the simulator linting its own sources."""
+    return self_lint(src_root=src_root, waivers_path=waivers_path)

@@ -1,0 +1,486 @@
+"""Plane 3: the simulator linting itself (stdlib-``ast``, no new deps).
+
+A reproduction's value rests on determinism: the same inputs must give
+bit-identical records on every run, interpreter, and machine.  These
+rules mechanically enforce the determinism contract on ``src/repro``:
+
+- **SIM001** — no wall-clock reads in the simulator core (``desim/``,
+  ``runtime/``): simulated time must come from the event loop, never the
+  host clock.
+- **SIM002** — no unseeded randomness in model code (``desim/``,
+  ``runtime/``, ``arch/``): module-global ``random.*`` / legacy
+  ``numpy.random.*`` state, or ``default_rng()`` without a seed.
+- **SIM003** — no iteration over set expressions anywhere in the package:
+  set order is hash-randomized across processes, so any record or report
+  derived from it would be irreproducible.
+- **SIM004** — model-layer dataclasses (``runtime/``, ``arch/``,
+  ``workloads/``, ``desim/``) must be ``frozen=True``: shared mutable
+  model state is how cross-run contamination starts.
+- **SIM005** — no float ``==``/``!=`` against float literals in
+  ``check/``: verification must use explicit exact-vs-tolerant helpers.
+
+Intentional exceptions live in ``lint/waivers.toml`` next to this module;
+each waiver names the rule, a path suffix, an optional symbol, and a
+reason.  Unused waivers are themselves reported (SIM000) so the file
+cannot rot.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.lint.findings import Finding, Severity
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback below
+    tomllib = None
+
+__all__ = [
+    "SELF_RULES",
+    "Waiver",
+    "load_waivers",
+    "apply_waivers",
+    "self_lint_source",
+    "self_lint_tree",
+    "self_lint",
+    "DEFAULT_SRC_ROOT",
+    "DEFAULT_WAIVERS",
+]
+
+#: The package root the self-lint walks by default (src/repro).
+DEFAULT_SRC_ROOT = Path(__file__).resolve().parents[1]
+#: The waivers file shipped with the package.
+DEFAULT_WAIVERS = Path(__file__).resolve().parent / "waivers.toml"
+
+#: rule id -> path-prefix scopes (relative to the linted root, "" = all).
+SELF_RULES: dict[str, tuple[str, ...]] = {
+    "SIM001": ("desim/", "runtime/"),
+    "SIM002": ("desim/", "runtime/", "arch/"),
+    "SIM003": ("",),
+    "SIM004": ("runtime/", "arch/", "workloads/", "desim/"),
+    "SIM005": ("check/",),
+}
+
+_WALL_CLOCK_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+_DATETIME_NOW = frozenset({"now", "utcnow", "today"})
+_RANDOM_GLOBALS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "betavariate",
+        "expovariate",
+        "getrandbits",
+        "seed",
+    }
+)
+_NP_RANDOM_LEGACY = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "lognormal",
+        "exponential",
+        "poisson",
+        "seed",
+    }
+)
+
+
+def _in_scope(rule: str, rel_path: str) -> bool:
+    return any(rel_path.startswith(p) for p in SELF_RULES[rule])
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _SelfLintVisitor(ast.NodeVisitor):
+    """One-file determinism pass."""
+
+    def __init__(self, rel_path: str):
+        self.rel_path = rel_path
+        self.findings: list[Finding] = []
+        #: Local alias -> canonical module ("np" -> "numpy").
+        self.module_aliases: dict[str, str] = {}
+        #: Names imported from `time` ("from time import perf_counter").
+        self.time_imports: set[str] = set()
+        self.scope: list[str] = []
+
+    # -- bookkeeping ---------------------------------------------------
+    def _symbol(self) -> str:
+        return ".".join(self.scope) if self.scope else "<module>"
+
+    def _emit(
+        self, rule: str, line: int, message: str, fixit: str,
+        severity: Severity = Severity.ERROR,
+    ) -> None:
+        if not _in_scope(rule, self.rel_path):
+            return
+        self.findings.append(
+            Finding(
+                rule=rule,
+                severity=severity,
+                subject=self._symbol(),
+                message=message,
+                fixit=fixit,
+                path=self.rel_path,
+                line=line,
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.module_aliases[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                self.time_imports.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def _canonical(self, dotted: str) -> str:
+        """Rewrite a leading module alias to its canonical name."""
+        head, _, rest = dotted.partition(".")
+        head = self.module_aliases.get(head, head)
+        return f"{head}.{rest}" if rest else head
+
+    # -- scope tracking ------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.scope.append(node.name)
+        self.generic_visit(node)
+        self.scope.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.scope.append(node.name)
+        self.generic_visit(node)
+        self.scope.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._check_dataclass(node)
+        self.scope.append(node.name)
+        self.generic_visit(node)
+        self.scope.pop()
+
+    # -- SIM004: frozen dataclasses ------------------------------------
+    def _check_dataclass(self, node: ast.ClassDef) -> None:
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = _dotted(target)
+            if name is None or self._canonical(name) not in (
+                "dataclass",
+                "dataclasses.dataclass",
+            ):
+                continue
+            frozen = False
+            if isinstance(deco, ast.Call):
+                for kw in deco.keywords:
+                    if kw.arg == "frozen" and isinstance(kw.value, ast.Constant):
+                        frozen = bool(kw.value.value)
+            if not frozen:
+                # Report under the class's own symbol for waiver matching.
+                self.scope.append(node.name)
+                self._emit(
+                    "SIM004",
+                    node.lineno,
+                    f"model-layer dataclass {node.name!r} is not frozen: "
+                    "mutable model state breaks run-to-run isolation",
+                    "declare @dataclass(frozen=True) or move out of the "
+                    "model layer",
+                )
+                self.scope.pop()
+
+    # -- SIM001/SIM002: calls ------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name is not None:
+            canonical = self._canonical(name)
+            self._check_wall_clock(node, canonical)
+            self._check_randomness(node, canonical)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call, name: str) -> None:
+        is_clock = (
+            (name.startswith("time.") and name[5:] in _WALL_CLOCK_ATTRS)
+            or name in self.time_imports
+            or (
+                name.startswith(("datetime.", "datetime.datetime."))
+                and name.rsplit(".", 1)[-1] in _DATETIME_NOW
+            )
+        )
+        if is_clock:
+            self._emit(
+                "SIM001",
+                node.lineno,
+                f"wall-clock read {name}() in the simulator core: simulated "
+                "time must come from the event loop, not the host clock",
+                "thread the simulation clock (or a seed) in explicitly",
+            )
+
+    def _check_randomness(self, node: ast.Call, name: str) -> None:
+        if name.startswith("random.") and name[7:] in _RANDOM_GLOBALS:
+            self._emit(
+                "SIM002",
+                node.lineno,
+                f"{name}() draws from the process-global random state: "
+                "unseeded randomness makes records irreproducible",
+                "use numpy.random.default_rng(seed) (or random.Random(seed)) "
+                "with an explicit seed",
+            )
+            return
+        if name.startswith("numpy.random."):
+            tail = name[len("numpy.random."):]
+            if tail == "default_rng" and not node.args and not node.keywords:
+                self._emit(
+                    "SIM002",
+                    node.lineno,
+                    "default_rng() without a seed pulls OS entropy: records "
+                    "become irreproducible",
+                    "pass an explicit seed: default_rng(seed)",
+                )
+            elif tail in _NP_RANDOM_LEGACY:
+                self._emit(
+                    "SIM002",
+                    node.lineno,
+                    f"legacy {name}() uses numpy's global random state",
+                    "use numpy.random.default_rng(seed) with an explicit seed",
+                )
+
+    # -- SIM003: set iteration ----------------------------------------
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        is_set_expr = isinstance(iter_node, (ast.Set, ast.SetComp)) or (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id in ("set", "frozenset")
+        )
+        if is_set_expr:
+            self._emit(
+                "SIM003",
+                iter_node.lineno,
+                "iterating a set expression: set order is hash-randomized "
+                "across processes, so anything derived from this order is "
+                "irreproducible",
+                "iterate sorted(...) over the set instead",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    # -- SIM005: float equality ---------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        has_eq = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+        if has_eq:
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(o, ast.Constant) and isinstance(o.value, float)
+                for o in operands
+            ):
+                self._emit(
+                    "SIM005",
+                    node.lineno,
+                    "float ==/!= against a float literal in verification "
+                    "code: use an explicit exact-comparison helper or a "
+                    "tolerance",
+                    "compare via math.isclose(...) or an intentional "
+                    "bit-exact helper",
+                    severity=Severity.WARNING,
+                )
+        self.generic_visit(node)
+
+
+def self_lint_source(source: str, rel_path: str) -> list[Finding]:
+    """Lint one module's source; ``rel_path`` decides rule scopes."""
+    tree = ast.parse(source, filename=rel_path)
+    visitor = _SelfLintVisitor(rel_path)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def self_lint_tree(src_root: str | Path = DEFAULT_SRC_ROOT) -> list[Finding]:
+    """Lint every ``*.py`` under ``src_root`` (deterministic file order)."""
+    root = Path(src_root)
+    findings: list[Finding] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        findings.extend(
+            self_lint_source(path.read_text(encoding="utf-8"), rel)
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Waivers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Waiver:
+    """One intentional exception: rule + path suffix (+ optional symbol)."""
+
+    rule: str
+    path: str
+    reason: str
+    symbol: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this waiver covers ``finding``."""
+        if finding.rule != self.rule:
+            return False
+        if not finding.path.endswith(self.path):
+            return False
+        if self.symbol and self.symbol not in finding.subject:
+            return False
+        return True
+
+    def describe(self) -> str:
+        """Short identity string (used in SIM000 unused-waiver findings)."""
+        sym = f"::{self.symbol}" if self.symbol else ""
+        return f"{self.rule} @ {self.path}{sym}"
+
+
+def _parse_toml_minimal(text: str) -> dict:
+    """Tiny TOML subset parser (``[[waiver]]`` + ``key = "string"``).
+
+    Python 3.10 lacks ``tomllib`` and new dependencies are off the table,
+    so this covers exactly the grammar ``waivers.toml`` uses.
+    """
+    data: dict = {"waiver": []}
+    current: dict | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == "[[waiver]]":
+            current = {}
+            data["waiver"].append(current)
+            continue
+        if "=" in line and current is not None:
+            key, _, value = line.partition("=")
+            value = value.strip()
+            if not (value.startswith('"') and value.endswith('"')):
+                raise ConfigError(
+                    f"waivers.toml:{lineno}: only string values supported"
+                )
+            current[key.strip()] = value[1:-1]
+            continue
+        raise ConfigError(f"waivers.toml:{lineno}: unparseable line {raw!r}")
+    return data
+
+
+def load_waivers(path: str | Path = DEFAULT_WAIVERS) -> list[Waiver]:
+    """Load the waivers file; a missing file means no waivers."""
+    p = Path(path)
+    if not p.exists():
+        return []
+    text = p.read_text(encoding="utf-8")
+    if tomllib is not None:
+        data = tomllib.loads(text)
+    else:  # pragma: no cover - exercised only on Python 3.10
+        data = _parse_toml_minimal(text)
+    waivers = []
+    for entry in data.get("waiver", []):
+        try:
+            waivers.append(
+                Waiver(
+                    rule=entry["rule"],
+                    path=entry["path"],
+                    reason=entry["reason"],
+                    symbol=entry.get("symbol", ""),
+                )
+            )
+        except KeyError as exc:
+            raise ConfigError(
+                f"waiver entry {entry!r} missing key {exc}"
+            ) from exc
+    return waivers
+
+
+def apply_waivers(
+    findings: Iterable[Finding], waivers: Sequence[Waiver]
+) -> tuple[list[Finding], list[Waiver]]:
+    """Mark covered findings as waived; also return the *unused* waivers."""
+    used: set[int] = set()
+    out: list[Finding] = []
+    for finding in findings:
+        waived = False
+        for i, waiver in enumerate(waivers):
+            if waiver.matches(finding):
+                used.add(i)
+                waived = True
+        out.append(finding.waive() if waived else finding)
+    unused = [w for i, w in enumerate(waivers) if i not in used]
+    return out, unused
+
+
+def self_lint(
+    src_root: str | Path = DEFAULT_SRC_ROOT,
+    waivers_path: str | Path = DEFAULT_WAIVERS,
+) -> list[Finding]:
+    """Full pipeline: lint the tree, apply waivers, flag unused waivers."""
+    findings, unused = apply_waivers(
+        self_lint_tree(src_root), load_waivers(waivers_path)
+    )
+    for waiver in unused:
+        findings.append(
+            Finding(
+                rule="SIM000",
+                severity=Severity.WARNING,
+                subject=waiver.describe(),
+                message=(
+                    f"unused waiver {waiver.describe()} ({waiver.reason!r}): "
+                    "the violation it covered is gone — delete the entry"
+                ),
+                fixit="remove the stale entry from lint/waivers.toml",
+                path="lint/waivers.toml",
+            )
+        )
+    return findings

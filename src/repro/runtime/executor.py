@@ -24,7 +24,12 @@ from repro.runtime.icv import EnvConfig, ResolvedICVs, resolve_icvs
 from repro.runtime.kernel import RegionEngine
 from repro.runtime.program import LoopRegion, Program, SerialPhase, TaskRegion
 
-__all__ = ["RuntimeExecutor", "execute", "observe"]
+__all__ = [
+    "RuntimeExecutor",
+    "apply_measurement_noise",
+    "execute",
+    "observe",
+]
 
 
 @dataclass(frozen=True)
@@ -107,13 +112,41 @@ class RuntimeExecutor:
     def observe(
         self, program: Program, run_index: int = 0, seed: int = 0
     ) -> float:
-        """One noisy runtime observation, as a measurement would see it."""
-        true = self.execute(program, seed)
-        noise = get_noise_model(self.machine.name)
-        obs_seed = sample_seed(
-            self.machine.name, program.name, self.config.key(), seed
+        """One noisy runtime observation, as a measurement would see it.
+
+        The *modeled* runtime is a function of the resolved ICVs alone, so
+        env-var spellings with equal execution signatures share it — that
+        determinism is what lets the sweep evaluate the model once per
+        ICV-equivalence class.  The noise stream, by contrast, is keyed by
+        the configuration spelling: every grid point is a separate
+        measurement with its own draw, as it would be on a real machine.
+        """
+        return apply_measurement_noise(
+            self.machine, program, self.config,
+            self.execute(program, seed), run_index, seed,
         )
-        return noise.apply(true, run_index, obs_seed)
+
+
+def apply_measurement_noise(
+    machine: MachineTopology,
+    program: Program,
+    config: EnvConfig,
+    true_runtime: float,
+    run_index: int = 0,
+    seed: int = 0,
+) -> float:
+    """Turn a modeled runtime into one noisy observation of ``config``.
+
+    The seed contract of every observation in the simulator: the noise
+    stream is keyed by ``(machine, program, config spelling, seed)``.  The
+    pruned sweep relies on this split — it evaluates the model once per
+    ICV-equivalence class and applies each member's own noise stream to
+    the shared true runtime, which is bit-identical to exhaustive
+    execution because the model is deterministic in the resolved ICVs.
+    """
+    noise = get_noise_model(machine.name)
+    obs_seed = sample_seed(machine.name, program.name, config.key(), seed)
+    return noise.apply(true_runtime, run_index, obs_seed)
 
 
 def execute(

@@ -24,13 +24,15 @@ from __future__ import annotations
 
 import enum
 import math
+from collections.abc import Mapping
 from dataclasses import dataclass, replace
 
 from repro.arch.topology import MachineTopology, PlaceKind
-from repro.errors import InvalidEnvValue
+from repro.errors import InvalidEnvValue, UnknownVariable
 
 __all__ = [
     "UNSET",
+    "ENV_FIELDS",
     "BindPolicy",
     "ScheduleKind",
     "LibraryMode",
@@ -95,6 +97,18 @@ class ReductionMethod(str, enum.Enum):
 #: Legal KMP_BLOCKTIME sweep values; any int in [0, INT32_MAX] is accepted.
 BLOCKTIME_INFINITE = "infinite"
 
+#: Environment-variable name -> :class:`EnvConfig` field, in Sec. III order.
+ENV_FIELDS: dict[str, str] = {
+    "OMP_NUM_THREADS": "num_threads",
+    "OMP_PLACES": "places",
+    "OMP_PROC_BIND": "proc_bind",
+    "OMP_SCHEDULE": "schedule",
+    "KMP_LIBRARY": "library",
+    "KMP_BLOCKTIME": "blocktime",
+    "KMP_FORCE_REDUCTION": "force_reduction",
+    "KMP_ALIGN_ALLOC": "align_alloc",
+}
+
 
 def _parse_schedule(value: str) -> tuple[ScheduleKind, int | None]:
     """Parse an ``OMP_SCHEDULE`` string: ``kind`` or ``kind,chunk``.
@@ -145,6 +159,54 @@ class EnvConfig:
     force_reduction: str = UNSET
     align_alloc: int | None = None
 
+    def __post_init__(self) -> None:
+        # KMP_ALIGN_ALLOC is validated at parse time: a non-power-of-two
+        # alignment would otherwise surface only deep inside the
+        # runtime/alloc.py false-sharing model, long after the config was
+        # built (and on A64FX-shaped machines only).
+        self._check_align_alloc()
+
+    def _check_align_alloc(self) -> None:
+        if self.align_alloc is not None:
+            if (
+                not isinstance(self.align_alloc, int)
+                or self.align_alloc < 8
+                or self.align_alloc & (self.align_alloc - 1)
+            ):
+                raise InvalidEnvValue(
+                    "KMP_ALIGN_ALLOC", self.align_alloc, "power of two >= 8"
+                )
+
+    @classmethod
+    def from_env(cls, env: Mapping[str, str]) -> "EnvConfig":
+        """Parse an environment mapping (as a user would ``export`` it).
+
+        Unknown ``OMP_*``/``KMP_*`` keys raise :class:`UnknownVariable`;
+        other keys are ignored (a real environment carries hundreds of
+        unrelated variables).  The result is fully validated — every
+        domain error surfaces here, at parse time.
+        """
+        kwargs: dict[str, object] = {}
+        for name, raw in env.items():
+            if name not in ENV_FIELDS:
+                if name.startswith(("OMP_", "KMP_")):
+                    raise UnknownVariable(
+                        f"{name!r} is not a modeled environment variable; "
+                        f"have {sorted(ENV_FIELDS)}"
+                    )
+                continue
+            field_name = ENV_FIELDS[name]
+            if field_name in ("num_threads", "align_alloc"):
+                try:
+                    kwargs[field_name] = int(str(raw).strip())
+                except ValueError:
+                    raise InvalidEnvValue(name, raw, "an integer") from None
+            else:
+                kwargs[field_name] = str(raw).strip()
+        config = cls(**kwargs)
+        config.validate()
+        return config
+
     def validate(self) -> None:
         """Raise :class:`InvalidEnvValue` on any illegal setting."""
         if self.num_threads is not None and self.num_threads < 1:
@@ -191,11 +253,7 @@ class EnvConfig:
                     self.force_reduction,
                     ["tree", "critical", "atomic"],
                 )
-        if self.align_alloc is not None:
-            if self.align_alloc < 8 or self.align_alloc & (self.align_alloc - 1):
-                raise InvalidEnvValue(
-                    "KMP_ALIGN_ALLOC", self.align_alloc, "power of two >= 8"
-                )
+        self._check_align_alloc()
 
     def with_threads(self, num_threads: int) -> "EnvConfig":
         """Copy with a different thread count."""
@@ -277,6 +335,57 @@ class ResolvedICVs:
     def threads_bound(self) -> bool:
         """Whether threads are pinned (any policy except false)."""
         return self.bind is not BindPolicy.FALSE
+
+    def execution_signature(self) -> tuple:
+        """Canonical identity of everything execution reads.
+
+        Two configurations with equal signatures are *behaviourally
+        identical*: every model component (placement, schedule pricing,
+        barriers, reductions, alignment) receives the same inputs, so they
+        produce bit-identical modeled runtimes.  The sweep's equivalence
+        pruning (``repro.lint.equivalence``) evaluates the model once per
+        signature and applies each member's own measurement-noise stream
+        (keyed by the spelling, :meth:`EnvConfig.key`) on top; the
+        ``equivalence-pruning-parity`` differential check verifies the
+        claim against unpruned execution.
+
+        Dead fields are normalized away:
+
+        - ``KMP_LIBRARY`` acts only through the derived wait policy (and
+          ``serial``'s thread forcing, applied at resolution), so the
+          signature carries ``wait_policy`` instead of the library mode —
+          ``turnaround`` and ``throughput``+infinite blocktime coincide,
+        - ``blocktime_ms`` is read only under PASSIVE waiting (sleep
+          threshold, wake fractions); under ACTIVE it is canonicalized out,
+        - ``places`` is consulted only when threads are bound; unbound
+          teams ignore it.  A bound team with unset places synthesizes
+          per-core places, so unset canonicalizes to ``cores`` there,
+        - ``true`` binding distributes identically to ``spread`` (libomp
+          groups them too — the paper's Table VII "spread/true" rows),
+        - ``places_explicit`` only shifts the *bind default*, which
+          resolution already applied.
+        """
+        bind = BindPolicy.SPREAD if self.bind is BindPolicy.TRUE else self.bind
+        if bind is BindPolicy.FALSE:
+            places = PlaceKind.UNSET
+        elif self.places is PlaceKind.UNSET:
+            places = PlaceKind.CORES
+        else:
+            places = self.places
+        wait = self.wait_policy
+        blocktime = None if wait is WaitPolicy.ACTIVE else self.blocktime_ms
+        return (
+            self.nthreads,
+            places.value,
+            bind.value,
+            self.schedule.value,
+            self.schedule_chunk,
+            wait.value,
+            blocktime,
+            self.reduction.value,
+            self.align_alloc,
+            self.cache_line,
+        )
 
 
 def _heuristic_reduction(nthreads: int) -> ReductionMethod:

@@ -22,6 +22,7 @@ from repro.check import (
     check_work_stealing_conservation,
     differential_parity,
     golden_trace_check,
+    pruning_parity,
     relation_blocktime_bracketing,
     relation_cost_scaling,
     relation_default_speedup_unity,
@@ -223,6 +224,49 @@ class TestDifferential:
                                                         encoding="utf-8")
         with pytest.raises(CheckFailure, match="unreadable"):
             golden_trace_check(golden_dir=tmp_path)
+
+
+class TestPruningParity:
+    def test_quick_pruning_parity(self):
+        out = pruning_parity()
+        assert out["n_records"] > 0
+        assert out["n_pruned"] > 0  # the check must not be vacuous
+        assert out["n_simulated"] + out["n_pruned"] == out["n_records"]
+
+    def test_registered_in_differential_suite(self):
+        assert "equivalence-pruning-parity" in dict(SUITES["differential"])
+
+    def test_coarse_signature_is_caught(self, monkeypatch):
+        """The acceptance fault: if an execution-relevant ICV (here the
+        loop schedule) leaks out of the signature, pruning merges configs
+        that behave differently — parity must fail."""
+        from repro.runtime.icv import ResolvedICVs
+
+        real = ResolvedICVs.execution_signature
+
+        def coarse(self):
+            full = real(self)
+            return full[:3] + full[5:]  # drop schedule + chunk
+
+        monkeypatch.setattr(ResolvedICVs, "execution_signature", coarse)
+        with pytest.raises(CheckFailure, match="diverged"):
+            pruning_parity()
+
+    def test_vacuous_grid_is_caught(self, monkeypatch):
+        """A signature so fine it never merges anything (raw config key
+        mixed in) makes the check meaningless — it must say so rather
+        than 'pass'."""
+        from repro.runtime.icv import ResolvedICVs
+
+        real = ResolvedICVs.execution_signature
+        counter = iter(range(10**9))
+
+        def unique(self):
+            return real(self) + (next(counter),)
+
+        monkeypatch.setattr(ResolvedICVs, "execution_signature", unique)
+        with pytest.raises(CheckFailure, match="vacuous"):
+            pruning_parity()
 
 
 # ----------------------------------------------------------------------

@@ -150,3 +150,66 @@ class TestCustomSpaces:
         assert spec.values(MILAN) == (UNSET, "dynamic")
         assert spec.values(A64FX) == (UNSET, "dynamic")  # no largeline set
         assert spec.default() == UNSET
+
+
+class TestGridDeterminism:
+    """Sweep grids must be byte-identical run to run — the cache keys, the
+    equivalence classes, and the lint --stats numbers all hang off grid
+    order (see docs/LINTING.md)."""
+
+    def test_repeated_construction_is_identical(self):
+        for scale in ("small", "medium", "twofactor", "full"):
+            a = EnvSpace().grid(MILAN, scale, seed=7)
+            b = EnvSpace().grid(MILAN, scale, seed=7)
+            assert [c.key() for c in a] == [c.key() for c in b], scale
+
+    def test_grid_survives_hash_randomization(self):
+        # Grid order must not depend on dict/set iteration order: construct
+        # the same grid in fresh interpreters under different hash seeds.
+        import hashlib
+        import os
+        import subprocess
+        import sys
+
+        snippet = (
+            "from repro.arch.machines import MILAN\n"
+            "from repro.core.envspace import EnvSpace\n"
+            "import hashlib\n"
+            "keys = repr([c.key() for c in"
+            " EnvSpace().grid(MILAN, 'medium', seed=3)])\n"
+            "print(hashlib.sha256(keys.encode()).hexdigest())\n"
+        )
+        digests = set()
+        for hash_seed in ("0", "1", "31337"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH", "")) if p
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True, text=True, check=True, env=env,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1
+
+        keys = repr(
+            [c.key() for c in EnvSpace().grid(MILAN, "medium", seed=3)]
+        )
+        assert hashlib.sha256(keys.encode()).hexdigest() in digests
+
+    def test_ofat_points_exactly_once_in_scaled_grids(self):
+        space = EnvSpace()
+        ofat = [c.key() for c in space.ofat_grid(MILAN)]
+        assert len(ofat) == len(set(ofat))  # OFAT itself is duplicate-free
+        for scale in ("small", "medium", "twofactor"):
+            grid = [c.key() for c in space.grid(MILAN, scale, seed=0)]
+            for point in ofat:
+                assert grid.count(point) == 1, (scale, point)
+
+    def test_seed_changes_only_the_random_tail(self):
+        space = EnvSpace()
+        n_ofat = len(space.ofat_grid(MILAN))
+        a = space.grid(MILAN, "small", seed=0)
+        b = space.grid(MILAN, "small", seed=99)
+        assert [c.key() for c in a[:n_ofat]] == [c.key() for c in b[:n_ofat]]
+        assert [c.key() for c in a] != [c.key() for c in b]

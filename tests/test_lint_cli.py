@@ -1,0 +1,124 @@
+"""The `repro-omp lint` surface: plane selection, exit codes, --stats,
+--report artifacts, and the default all-planes invocation CI runs."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+pytestmark = pytest.mark.lint
+
+
+class TestParser:
+    def test_lint_subcommand_present(self):
+        args = build_parser().parse_args(["lint", "--self"])
+        assert args.command == "lint" and args.self_lint
+
+    def test_arch_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--arch", "pentium"])
+
+    def test_sweep_gains_no_prune(self):
+        args = build_parser().parse_args(
+            ["sweep", "--arch", "milan", "-o", "x.csv", "--no-prune"]
+        )
+        assert args.no_prune
+
+
+class TestSelfPlane:
+    def test_self_lint_passes_on_this_tree(self, capsys):
+        # Acceptance criterion: zero unwaived findings on src/repro.
+        assert main(["lint", "--self"]) == 0
+        out = capsys.readouterr().out
+        assert "0 unwaived failure(s)" in out
+
+    def test_self_lint_fails_on_planted_violation(self, tmp_path, capsys):
+        pkg = tmp_path / "runtime"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(
+            "import random\nX = random.random()\n", encoding="utf-8"
+        )
+        assert main(["lint", "--self", "--src", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "SIM002" in out and "fix:" in out
+
+
+class TestManifestPlane:
+    def test_shipped_manifests_pass(self, capsys):
+        assert main(["lint", "--arch", "milan"]) == 0
+        out = capsys.readouterr().out
+        assert "unwaived failure(s)" in out or "clean" in out
+
+    def test_multi_arch_findings_are_deduped(self, capsys):
+        assert main(["lint", "--arch", "milan", "--workloads", "cg"]) == 0
+        single = capsys.readouterr().out
+        assert (
+            main(["lint", "--arch", "milan", "skylake", "--workloads", "cg"])
+            == 0
+        )
+        multi = capsys.readouterr().out
+        # cg's program-spec findings are machine-independent; a second
+        # arch must not repeat them.
+        assert single.count("PRG006") == multi.count("PRG006")
+
+
+class TestEnvPlane:
+    def test_clean_environment_exits_zero(self, capsys):
+        assert main(["lint", "--env", "OMP_NUM_THREADS=48"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_finding_environment_exits_one(self, capsys):
+        assert main(["lint", "--env", "OMP_PLACES=cores"]) == 1
+        out = capsys.readouterr().out
+        assert "ENV002" in out and "OMP_PROC_BIND" in out
+
+    def test_env_respects_arch(self, capsys):
+        rc = main(["lint", "--arch", "a64fx", "--env",
+                   "KMP_ALIGN_ALLOC=64"])
+        assert rc == 1
+        assert "ENV006" in capsys.readouterr().out
+
+    def test_bad_env_syntax_exits_two(self, capsys):
+        assert main(["lint", "--env", "OMP_NUM_THREADS"]) == 2
+        assert "VAR=VALUE" in capsys.readouterr().err
+
+    def test_unknown_variable_exits_two(self, capsys):
+        assert main(["lint", "--env", "OMP_BOGUS=1"]) == 2
+        assert "OMP_BOGUS" in capsys.readouterr().err
+
+    def test_invalid_value_exits_two(self, capsys):
+        assert main(["lint", "--env", "KMP_ALIGN_ALLOC=100"]) == 2
+        assert "power of two" in capsys.readouterr().err
+
+
+class TestStatsAndReport:
+    def test_stats_prints_reduction_lines(self, capsys):
+        assert main(["lint", "--arch", "milan", "--stats",
+                     "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "milan" in out and "classes" in out and "x," in out
+
+    def test_report_artifact_shape(self, tmp_path, capsys):
+        report = tmp_path / "lint.json"
+        rc = main(["lint", "--self", "--arch", "milan", "--stats",
+                   "--scale", "small", "--report", str(report)])
+        assert rc == 0
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert payload["n_unwaived_failures"] == 0
+        assert "self" in payload["planes"]
+        assert "manifests:milan" in payload["planes"]
+        (stats,) = payload["prune_stats"]
+        assert stats["arch"] == "milan" and stats["reduction"] > 1.0
+        for f in payload["findings"]:
+            assert {"rule", "severity", "subject", "message"} <= f.keys()
+
+    def test_default_invocation_runs_all_planes(self, tmp_path, capsys):
+        # Bare `repro-omp lint` = what the CI job relies on: self plane
+        # plus every arch's manifests.
+        report = tmp_path / "all.json"
+        assert main(["lint", "--report", str(report)]) == 0
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert set(payload["planes"]) == {
+            "self", "manifests:a64fx", "manifests:skylake", "manifests:milan",
+        }

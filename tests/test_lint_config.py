@@ -1,0 +1,246 @@
+"""Configuration-lint rules (plane 1a): one positive and one negative
+case per rule, fault-injection style — a rule that cannot fire is not a
+rule."""
+
+import pytest
+
+from repro.arch.machines import A64FX, MILAN
+from repro.lint import Severity, lint_config
+from repro.runtime.icv import EnvConfig
+from repro.runtime.program import LoopRegion, Program, TaskRegion
+
+pytestmark = pytest.mark.lint
+
+
+def rules_fired(findings):
+    return {f.rule for f in findings}
+
+
+def by_rule(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+class TestEnv001DeadBlocktime:
+    def test_fires_on_blocktime_under_turnaround(self):
+        findings = lint_config(
+            EnvConfig(library="turnaround", blocktime="0"), MILAN
+        )
+        (f,) = by_rule(findings, "ENV001")
+        assert f.severity is Severity.WARNING
+        assert f.subject == "KMP_BLOCKTIME"
+        assert "turnaround" in f.message and f.fixit and f.icv_rule
+
+    def test_silent_under_throughput(self):
+        findings = lint_config(
+            EnvConfig(library="throughput", blocktime="0"), MILAN
+        )
+        assert "ENV001" not in rules_fired(findings)
+
+    def test_silent_when_blocktime_unset(self):
+        findings = lint_config(EnvConfig(library="turnaround"), MILAN)
+        assert "ENV001" not in rules_fired(findings)
+
+
+class TestEnv002ShadowedBindDefault:
+    def test_fires_on_places_without_bind(self):
+        findings = lint_config(EnvConfig(places="cores"), MILAN)
+        (f,) = by_rule(findings, "ENV002")
+        assert "spread" in f.message
+
+    def test_silent_with_explicit_bind(self):
+        findings = lint_config(
+            EnvConfig(places="cores", proc_bind="spread"), MILAN
+        )
+        assert "ENV002" not in rules_fired(findings)
+
+
+class TestEnv003DeadPlaces:
+    def test_fires_on_places_with_bind_false(self):
+        findings = lint_config(
+            EnvConfig(places="sockets", proc_bind="false"), MILAN
+        )
+        (f,) = by_rule(findings, "ENV003")
+        assert f.subject == "OMP_PLACES"
+
+    def test_silent_when_bound(self):
+        findings = lint_config(
+            EnvConfig(places="sockets", proc_bind="close"), MILAN
+        )
+        assert "ENV003" not in rules_fired(findings)
+
+
+class TestEnv004Oversubscription:
+    def test_fires_above_core_count(self):
+        findings = lint_config(EnvConfig(num_threads=97), MILAN)
+        (f,) = by_rule(findings, "ENV004")
+        assert f.severity is Severity.ERROR
+        assert "96" in f.fixit
+
+    def test_silent_at_core_count(self):
+        findings = lint_config(EnvConfig(num_threads=96), MILAN)
+        assert "ENV004" not in rules_fired(findings)
+
+    def test_threshold_is_per_machine(self):
+        assert by_rule(lint_config(EnvConfig(num_threads=49), A64FX), "ENV004")
+        assert not by_rule(
+            lint_config(EnvConfig(num_threads=49), MILAN), "ENV004"
+        )
+
+
+class TestEnv005BoundOversubscription:
+    def test_fires_on_master_pileup(self):
+        # proc_bind=master pins the whole 96-thread team onto core 0's
+        # place (one core under per-core places).
+        findings = lint_config(
+            EnvConfig(proc_bind="master", num_threads=96), MILAN
+        )
+        (f,) = by_rule(findings, "ENV005")
+        assert "master" in f.message
+
+    def test_silent_for_spread(self):
+        findings = lint_config(
+            EnvConfig(proc_bind="spread", num_threads=96), MILAN
+        )
+        assert "ENV005" not in rules_fired(findings)
+
+    def test_machine_oversubscription_defers_to_env004(self):
+        findings = lint_config(
+            EnvConfig(proc_bind="master", num_threads=200), MILAN
+        )
+        assert by_rule(findings, "ENV004")
+        assert not by_rule(findings, "ENV005")
+
+
+class TestEnv006AlignBelowLine:
+    def test_fires_below_cache_line(self):
+        findings = lint_config(EnvConfig(align_alloc=64), A64FX)
+        (f,) = by_rule(findings, "ENV006")
+        assert "256" in f.message
+
+    def test_silent_at_or_above_line(self):
+        assert not by_rule(lint_config(EnvConfig(align_alloc=256), A64FX),
+                           "ENV006")
+        assert not by_rule(lint_config(EnvConfig(align_alloc=64), MILAN),
+                           "ENV006")
+
+
+class TestEnv007RedundantDefaults:
+    def test_fires_per_redundant_variable(self):
+        findings = lint_config(
+            EnvConfig(library="throughput", blocktime="200",
+                      schedule="static", num_threads=96),
+            MILAN,
+        )
+        hits = by_rule(findings, "ENV007")
+        assert {f.subject for f in hits} == {
+            "KMP_LIBRARY", "KMP_BLOCKTIME", "OMP_SCHEDULE", "OMP_NUM_THREADS",
+        }
+        assert all(f.severity is Severity.INFO for f in hits)
+
+    def test_force_reduction_matching_heuristic(self):
+        findings = lint_config(
+            EnvConfig(force_reduction="tree", num_threads=8), MILAN
+        )
+        assert any(
+            f.subject == "KMP_FORCE_REDUCTION"
+            for f in by_rule(findings, "ENV007")
+        )
+        findings = lint_config(
+            EnvConfig(force_reduction="critical", num_threads=8), MILAN
+        )
+        assert not by_rule(findings, "ENV007")
+
+    def test_silent_on_all_defaults_unset(self):
+        assert lint_config(EnvConfig(), MILAN) == []
+
+
+class TestEnv008SerialThreadsIgnored:
+    def test_fires_on_serial_with_threads(self):
+        findings = lint_config(
+            EnvConfig(library="serial", num_threads=8), MILAN
+        )
+        (f,) = by_rule(findings, "ENV008")
+        assert "serial" in f.message
+
+    def test_silent_without_explicit_threads(self):
+        findings = lint_config(EnvConfig(library="serial"), MILAN)
+        assert "ENV008" not in rules_fired(findings)
+
+
+@pytest.fixture
+def fixed_schedule_program():
+    return Program(
+        "xs",
+        (LoopRegion("lookup", n_iters=10_000, iter_work=1.0,
+                    fixed_schedule="dynamic", fixed_chunk=100),),
+    )
+
+
+@pytest.fixture
+def task_only_program():
+    return Program("fib", (TaskRegion("spawn", depth=4, branching=2,
+                                      leaf_work=1.0),))
+
+
+class TestEnv009DeadSchedule:
+    def test_fires_when_all_loops_fixed(self, fixed_schedule_program):
+        findings = lint_config(
+            EnvConfig(schedule="guided"), MILAN, fixed_schedule_program
+        )
+        (f,) = by_rule(findings, "ENV009")
+        assert "schedule()" in f.message
+
+    def test_fires_when_no_loops(self, task_only_program):
+        findings = lint_config(
+            EnvConfig(schedule="guided"), MILAN, task_only_program
+        )
+        (f,) = by_rule(findings, "ENV009")
+        assert "no worksharing loops" in f.message
+
+    def test_silent_with_env_following_loop(self):
+        program = Program(
+            "cg", (LoopRegion("spmv", n_iters=10_000, iter_work=1.0),)
+        )
+        findings = lint_config(EnvConfig(schedule="guided"), MILAN, program)
+        assert "ENV009" not in rules_fired(findings)
+
+    def test_silent_without_program(self):
+        findings = lint_config(EnvConfig(schedule="guided"), MILAN)
+        assert "ENV009" not in rules_fired(findings)
+
+
+class TestEnv010DeadForceReduction:
+    def test_fires_without_reductions(self, task_only_program):
+        findings = lint_config(
+            EnvConfig(force_reduction="atomic"), MILAN, task_only_program
+        )
+        (f,) = by_rule(findings, "ENV010")
+        assert f.subject == "KMP_FORCE_REDUCTION"
+
+    def test_silent_with_reductions(self):
+        program = Program(
+            "cg",
+            (LoopRegion("dot", n_iters=10_000, iter_work=1.0,
+                        n_reductions=2),),
+        )
+        findings = lint_config(
+            EnvConfig(force_reduction="atomic"), MILAN, program
+        )
+        assert "ENV010" not in rules_fired(findings)
+
+
+class TestFindingShape:
+    def test_config_findings_carry_icv_rules(self):
+        findings = lint_config(
+            EnvConfig(places="cores", library="turnaround", blocktime="0"),
+            MILAN,
+        )
+        assert findings and all(f.icv_rule for f in findings)
+
+    def test_findings_are_hashable_and_frozen(self):
+        (f,) = by_rule(
+            lint_config(EnvConfig(num_threads=1000), MILAN), "ENV004"
+        )
+        assert hash(f)
+        with pytest.raises(AttributeError):
+            f.rule = "X"

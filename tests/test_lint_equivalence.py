@@ -1,0 +1,187 @@
+"""ICV-equivalence classes (plane 2): signature merges mandated by the
+derivation rules, class partitioning, grid-level pruning statistics, and
+record-identity of the pruned sweep path (including cache interop)."""
+
+import pytest
+
+from repro.arch.machines import A64FX, MILAN, machine_names
+from repro.core.cache import SweepCache
+from repro.core.envspace import EnvSpace
+from repro.core.sweep import SweepPlan, equivalence_groups, run_sweep
+from repro.lint import (
+    EquivalenceClass,
+    equivalence_classes,
+    grid_prune_stats,
+    icv_signature,
+)
+from repro.runtime.icv import EnvConfig
+
+pytestmark = pytest.mark.lint
+
+
+def sig(machine=MILAN, nthreads=None, **kwargs):
+    return icv_signature(EnvConfig(**kwargs), machine, nthreads=nthreads)
+
+
+class TestSignatureMerges:
+    """Each merge is forced by a derivation rule (paper Sec. III)."""
+
+    def test_true_bind_is_spread(self):
+        assert sig(proc_bind="true", places="cores") == sig(
+            proc_bind="spread", places="cores"
+        )
+
+    def test_blocktime_dead_under_turnaround(self):
+        base = sig(library="turnaround")
+        assert sig(library="turnaround", blocktime="0") == base
+        assert sig(library="turnaround", blocktime="infinite") == base
+
+    def test_blocktime_alive_under_throughput(self):
+        assert sig(library="throughput", blocktime="0") != sig(
+            library="throughput", blocktime="infinite"
+        )
+
+    def test_forced_reduction_matching_heuristic_merges(self):
+        # tree is what the heuristic picks at >4 threads...
+        assert sig(force_reduction="tree", num_threads=8) == sig(num_threads=8)
+        # ...but not at 2 threads, where critical is the derived method.
+        assert sig(force_reduction="tree", num_threads=2) != sig(num_threads=2)
+        assert sig(force_reduction="critical", num_threads=2) == sig(
+            num_threads=2
+        )
+
+    def test_places_dead_when_unbound(self):
+        assert sig(places="cores", proc_bind="false") == sig(proc_bind="false")
+
+    def test_explicit_bind_false_is_default(self):
+        assert sig(proc_bind="false") == sig()
+
+    def test_distinct_behaviour_stays_distinct(self):
+        assert sig(schedule="static") != sig(schedule="dynamic")
+        assert sig(num_threads=8) != sig(num_threads=16)
+        assert sig(places="cores", proc_bind="close") != sig(
+            places="sockets", proc_bind="close"
+        )
+
+    def test_nthreads_override_matches_with_threads(self):
+        cfg = EnvConfig(schedule="guided")
+        assert icv_signature(cfg, MILAN, nthreads=12) == icv_signature(
+            cfg.with_threads(12), MILAN
+        )
+
+
+class TestEquivalenceClasses:
+    @pytest.fixture(scope="class")
+    def grid_and_classes(self):
+        configs = EnvSpace().grid(MILAN, scale="small")
+        return configs, equivalence_classes(configs, MILAN, nthreads=48)
+
+    def test_classes_partition_the_grid(self, grid_and_classes):
+        configs, classes = grid_and_classes
+        seen = [i for c in classes for i in c.members]
+        assert sorted(seen) == list(range(len(configs)))
+        assert len(seen) == len(set(seen))
+
+    def test_representative_is_first_member(self, grid_and_classes):
+        configs, classes = grid_and_classes
+        for c in classes:
+            assert c.representative == configs[c.members[0]]
+            assert c.members == tuple(sorted(c.members))
+            assert c.size == len(c.members)
+
+    def test_classes_in_grid_order(self, grid_and_classes):
+        _, classes = grid_and_classes
+        firsts = [c.members[0] for c in classes]
+        assert firsts == sorted(firsts)
+
+    def test_members_share_signature_across_classes_not(self, grid_and_classes):
+        configs, classes = grid_and_classes
+        for c in classes:
+            for i in c.members:
+                assert icv_signature(configs[i], MILAN, 48) == c.signature
+        assert len({c.signature for c in classes}) == len(classes)
+
+    def test_mirrors_sweep_grouping(self, grid_and_classes):
+        configs, classes = grid_and_classes
+        groups = equivalence_groups(configs, MILAN, nthreads=48)
+        assert {c.signature: list(c.members) for c in classes} == dict(groups)
+
+
+class TestGridPruneStats:
+    def test_full_milan_grid_shrinks(self):
+        (stats,) = grid_prune_stats(MILAN, scale="full")
+        assert stats.n_configs == 9216
+        assert stats.n_classes == 1440
+        assert stats.n_pruned == 9216 - 1440
+        assert stats.reduction == pytest.approx(6.4)
+        assert stats.largest_class >= 2
+
+    def test_every_arch_full_grid_prunes(self):
+        # Acceptance criterion: the reduction is structural (derivation
+        # rules), not a lucky artifact of one machine's grid.
+        for arch in machine_names():
+            from repro.arch.machines import get_machine
+
+            (stats,) = grid_prune_stats(get_machine(arch), scale="full")
+            assert stats.reduction > 1.0, arch
+
+    def test_describe_reports_the_numbers(self):
+        (stats,) = grid_prune_stats(A64FX, scale="full")
+        line = stats.describe()
+        assert "a64fx" in line and "->" in line
+        assert str(stats.n_configs) in line and str(stats.n_classes) in line
+
+    def test_explicit_thread_counts(self):
+        small = grid_prune_stats(MILAN, scale="small", nthreads=(2, 96))
+        assert [s.nthreads for s in small] == [2, 96]
+        assert all(s.n_classes <= s.n_configs for s in small)
+
+
+PLAN = SweepPlan(
+    arch="milan",
+    workload_names=("cg",),
+    scale="small",
+    repetitions=2,
+    inputs_limit=2,
+)
+
+
+class TestPrunedSweepParity:
+    @pytest.fixture(scope="class")
+    def both(self):
+        pruned = run_sweep(PLAN)
+        unpruned = run_sweep(
+            SweepPlan(**{**PLAN.__dict__, "prune": False})
+        )
+        return pruned, unpruned
+
+    def test_records_bit_identical(self, both):
+        pruned, unpruned = both
+        assert pruned.records == unpruned.records
+
+    def test_pruning_is_not_vacuous(self, both):
+        pruned, unpruned = both
+        assert pruned.n_pruned_configs > 0
+        assert unpruned.n_pruned_configs == 0
+        assert pruned.n_simulated_configs < unpruned.n_simulated_configs
+
+    def test_counters_cover_computed_records(self, both):
+        for result in both:
+            assert (
+                result.n_simulated_configs + result.n_pruned_configs
+                == len(result.records)
+            )
+
+    def test_pruned_sweep_warms_cache_for_unpruned(self, tmp_path):
+        # prune is excluded from the cache key: the pruned records ARE the
+        # unpruned records, so a cold pruned sweep must fully warm an
+        # unpruned one (and vice versa).
+        cache = SweepCache(tmp_path)
+        cold = run_sweep(PLAN, cache=cache)
+        assert cold.n_computed_batches > 0
+        warm = run_sweep(
+            SweepPlan(**{**PLAN.__dict__, "prune": False}), cache=cache
+        )
+        assert warm.n_computed_batches == 0
+        assert warm.n_cached_batches == cold.n_computed_batches
+        assert warm.records == cold.records

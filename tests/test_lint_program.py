@@ -1,0 +1,150 @@
+"""Program-spec lint rules (plane 1b): positive and negative case per
+rule, plus the manifest runner over the shipped workloads."""
+
+import pytest
+
+from repro.lint import Severity, dedupe_findings, lint_manifests, lint_program
+from repro.runtime.program import (
+    LoadPattern,
+    LoopRegion,
+    Program,
+    SerialPhase,
+    TaskRegion,
+)
+
+pytestmark = pytest.mark.lint
+
+
+def loop(**kwargs):
+    base = dict(name="l", n_iters=10_000, iter_work=1.0)
+    base.update(kwargs)
+    return LoopRegion(**base)
+
+
+def program(*phases):
+    return Program("p", tuple(phases))
+
+
+def by_rule(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+class TestPrg001DeadImbalance:
+    def test_fires_on_uniform_with_imbalance(self):
+        (f,) = by_rule(
+            lint_program(program(loop(imbalance=0.5))), "PRG001"
+        )
+        assert f.subject == "p/l" and "uniform" in f.message
+
+    def test_silent_on_linear(self):
+        findings = lint_program(
+            program(loop(pattern=LoadPattern.LINEAR, imbalance=0.5))
+        )
+        assert not by_rule(findings, "PRG001")
+
+    def test_silent_on_zero_imbalance(self):
+        assert not by_rule(lint_program(program(loop())), "PRG001")
+
+
+class TestPrg002TrivialReductionLoop:
+    def test_fires_on_single_iteration_reduction(self):
+        (f,) = by_rule(
+            lint_program(program(loop(n_iters=1, n_reductions=3))), "PRG002"
+        )
+        assert "3 reduction(s)" in f.message
+
+    def test_silent_on_real_loop(self):
+        findings = lint_program(program(loop(n_reductions=3)))
+        assert not by_rule(findings, "PRG002")
+
+
+class TestPrg003DeadRandomAccess:
+    def test_fires_without_memory_fraction(self):
+        (f,) = by_rule(
+            lint_program(program(loop(random_access=True))), "PRG003"
+        )
+        assert "mem_intensity" in f.message
+
+    def test_fires_on_task_regions_too(self):
+        region = TaskRegion("t", depth=3, branching=2, leaf_work=1.0,
+                            random_access=True)
+        assert by_rule(lint_program(program(region)), "PRG003")
+
+    def test_silent_with_memory_fraction(self):
+        findings = lint_program(
+            program(loop(random_access=True, mem_intensity=0.4))
+        )
+        assert not by_rule(findings, "PRG003")
+
+
+class TestPrg004DeadBandwidth:
+    def test_fires_without_memory_fraction(self):
+        (f,) = by_rule(
+            lint_program(program(loop(bw_per_thread_gbps=4.0))), "PRG004"
+        )
+        assert "bandwidth" in f.fixit
+
+    def test_silent_with_memory_fraction(self):
+        findings = lint_program(
+            program(loop(bw_per_thread_gbps=4.0, mem_intensity=0.4))
+        )
+        assert not by_rule(findings, "PRG004")
+
+
+class TestPrg005EmptySerialPhase:
+    def test_fires_on_zero_work(self):
+        (f,) = by_rule(
+            lint_program(program(SerialPhase(0.0, name="init"), loop())),
+            "PRG005",
+        )
+        assert f.severity is Severity.INFO and f.subject == "p/init"
+
+    def test_silent_on_real_work(self):
+        findings = lint_program(program(SerialPhase(1.0), loop()))
+        assert not by_rule(findings, "PRG005")
+
+
+class TestPrg006UnderfilledLoop:
+    def test_fires_below_team_width(self):
+        (f,) = by_rule(lint_program(program(loop(n_iters=12))), "PRG006")
+        assert f.severity is Severity.INFO
+
+    def test_silent_on_wide_loops_and_single_iteration(self):
+        assert not by_rule(lint_program(program(loop(n_iters=96))), "PRG006")
+        # n_iters == 1 means "not a worksharing loop" (serial region),
+        # not an underfilled one.
+        assert not by_rule(lint_program(program(loop(n_iters=1))), "PRG006")
+
+
+class TestPrg007DeadFixedChunk:
+    def test_fires_on_chunk_without_schedule(self):
+        (f,) = by_rule(
+            lint_program(program(loop(fixed_chunk=64))), "PRG007"
+        )
+        assert f.severity is Severity.ERROR
+
+    def test_silent_with_fixed_schedule(self):
+        findings = lint_program(
+            program(loop(fixed_schedule="dynamic", fixed_chunk=64))
+        )
+        assert not by_rule(findings, "PRG007")
+
+
+class TestManifestRunner:
+    def test_shipped_manifests_have_no_failures(self):
+        # Every registered benchmark on every machine: info-level findings
+        # are fine (small inputs under-fill big machines by design), but
+        # nothing at warning or error severity.
+        for arch in ("milan", "skylake", "a64fx"):
+            findings = lint_manifests(arch)
+            bad = [f for f in findings if f.severity is not Severity.INFO]
+            assert bad == [], f"{arch}: {bad}"
+
+    def test_workload_subset_selection(self):
+        findings = lint_manifests("milan", workload_names=["cg"])
+        assert all(f.subject.startswith("cg.") for f in findings)
+
+    def test_dedupe_drops_exact_repeats(self):
+        findings = lint_manifests("milan", workload_names=["bt"])
+        assert findings == dedupe_findings(findings)
+        assert len(set(findings)) == len(findings)

@@ -166,3 +166,64 @@ class TestWaitPolicyDerivation:
     def test_blocktime_zero_is_passive(self):
         icvs = resolve_icvs(EnvConfig(blocktime="0"), MILAN)
         assert icvs.wait_policy is WaitPolicy.PASSIVE
+
+
+class TestParseTimeAlignValidation:
+    """KMP_ALIGN_ALLOC domain errors surface at construction, not at a
+    later validate() call — a bad config object never exists."""
+
+    @pytest.mark.parametrize("bad", [100, 4, 7, 1, 96, -64])
+    def test_constructor_rejects_non_power_of_two(self, bad):
+        with pytest.raises(InvalidEnvValue, match="power of two"):
+            EnvConfig(align_alloc=bad)
+
+    @pytest.mark.parametrize("good", [8, 64, 256, 4096])
+    def test_constructor_accepts_powers_of_two(self, good):
+        assert EnvConfig(align_alloc=good).align_alloc == good
+
+    def test_with_threads_cannot_smuggle_bad_align(self):
+        # dataclasses.replace re-runs __post_init__, so derived copies are
+        # revalidated too.
+        import dataclasses
+
+        cfg = EnvConfig(align_alloc=64)
+        with pytest.raises(InvalidEnvValue):
+            dataclasses.replace(cfg, align_alloc=100)
+
+
+class TestFromEnv:
+    def test_parses_a_full_environment(self):
+        cfg = EnvConfig.from_env(
+            {
+                "OMP_NUM_THREADS": "16",
+                "OMP_PLACES": "cores",
+                "OMP_PROC_BIND": "close",
+                "OMP_SCHEDULE": "dynamic,8",
+                "KMP_LIBRARY": "turnaround",
+                "KMP_ALIGN_ALLOC": " 256 ",
+            }
+        )
+        assert cfg.num_threads == 16 and cfg.align_alloc == 256
+        assert cfg.schedule == "dynamic,8" and cfg.library == "turnaround"
+
+    def test_unrelated_variables_ignored(self):
+        cfg = EnvConfig.from_env({"PATH": "/bin", "HOME": "/root",
+                                  "OMP_NUM_THREADS": "4"})
+        assert cfg == EnvConfig(num_threads=4)
+
+    def test_unknown_omp_kmp_variables_rejected(self):
+        from repro.errors import UnknownVariable
+
+        for name in ("OMP_BOGUS", "KMP_TEAMS_LIMIT"):
+            with pytest.raises(UnknownVariable, match=name):
+                EnvConfig.from_env({name: "1"})
+
+    def test_non_integer_rejected_with_variable_name(self):
+        with pytest.raises(InvalidEnvValue, match="OMP_NUM_THREADS"):
+            EnvConfig.from_env({"OMP_NUM_THREADS": "lots"})
+
+    def test_domain_errors_surface_at_parse(self):
+        with pytest.raises(InvalidEnvValue):
+            EnvConfig.from_env({"OMP_PROC_BIND": "everywhere"})
+        with pytest.raises(InvalidEnvValue):
+            EnvConfig.from_env({"KMP_ALIGN_ALLOC": "100"})
