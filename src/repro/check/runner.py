@@ -9,7 +9,6 @@ identical machinery.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 from repro.check import differential, invariants, metamorphic
@@ -116,13 +115,12 @@ def format_results(results: list[CheckResult]) -> str:
 
 
 def write_report(results: list[CheckResult], path: str | Path) -> None:
-    """Write the JSON report artifact (the CI differential-parity report)."""
-    payload = {
-        "n_checks": len(results),
-        "n_failed": sum(1 for r in results if not r.passed),
-        "total_duration_s": sum(r.duration_s for r in results),
-        "checks": [r.to_dict() for r in results],
-    }
-    out = Path(path)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    """Write the JSON report artifact (the CI differential-parity report).
+
+    Delegates to :mod:`repro.reporting` — the shared serialization point
+    for all three analysis-plane CLIs — so the artifact shape matches
+    ``repro-omp check --format json`` exactly.
+    """
+    from repro.reporting import write_report_file
+
+    write_report_file(path, checks=results)

@@ -24,6 +24,9 @@ Subcommands mirror the study's workflow:
 - ``lint`` — static analysis: configuration/program lint against the ICV
   derivation rules, ICV-equivalence pruning statistics, and the
   simulator's determinism self-lint (see ``docs/LINTING.md``),
+- ``sanitize`` — concurrency sanitizer: static RACE/DLK rules, vector-clock
+  happens-before race detection, and the schedule-perturbation fuzzer
+  over the simulated runtime (see ``docs/SANITIZER.md``),
 - ``workloads`` — the 15 benchmark models and their experimental design,
 - ``figures`` — regenerate the paper's figure gallery (violins + heat
   maps) from a fresh sweep in one command,
@@ -175,6 +178,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument("--bless", action="store_true",
                        help="regenerate the golden-trace fixtures from the "
                             "current model instead of checking")
+    p_chk.add_argument("--format", default="text", dest="fmt",
+                       choices=("text", "json"),
+                       help="stdout format (default: text)")
     p_chk.add_argument("--report", default=None,
                        help="write a JSON check report here")
 
@@ -200,8 +206,37 @@ def build_parser() -> argparse.ArgumentParser:
                              "each selected arch's full grid")
     p_lint.add_argument("--scale", default="full", choices=EnvSpace.SCALES,
                         help="grid scale for --stats (default: full)")
+    p_lint.add_argument("--format", default="text", dest="fmt",
+                        choices=("text", "json"),
+                        help="stdout format (default: text)")
     p_lint.add_argument("--report", default=None,
                         help="write a JSON findings report here")
+
+    p_san = sub.add_parser(
+        "sanitize",
+        help="concurrency sanitizer: RACE/DLK rules, happens-before "
+             "tracking, schedule-perturbation fuzzing",
+    )
+    p_san.add_argument("--suite", default="all",
+                       choices=("static", "hb", "fuzz", "all"),
+                       help="which pass to run (default: all)")
+    p_san.add_argument("--arch", nargs="*", default=None,
+                       choices=machine_names(),
+                       help="machines for the static pass (default: all)")
+    p_san.add_argument("--workloads", nargs="*", default=None,
+                       help=f"manifest subset of {workload_names()}")
+    p_san.add_argument("--env", action="append", default=[],
+                       metavar="VAR=VALUE",
+                       help="sanitize one environment instead of the "
+                            "registered manifests (repeatable)")
+    p_san.add_argument("--seeds", type=int, default=5,
+                       help="perturbation seeds for the fuzz pass "
+                            "(default: 5)")
+    p_san.add_argument("--format", default="text", dest="fmt",
+                       choices=("text", "json"),
+                       help="stdout format (default: text)")
+    p_san.add_argument("--report", default=None,
+                       help="write a JSON sanitize report here")
 
     p_tr = sub.add_parser("trace", help="phase timeline of one run")
     p_tr.add_argument("--arch", required=True, choices=machine_names())
@@ -511,7 +546,8 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.check import bless_golden_traces, run_all
-    from repro.check.runner import format_results, write_report
+    from repro.check.runner import write_report
+    from repro.reporting import render_report
 
     if args.bless:
         for path in bless_golden_traces(args.golden_dir):
@@ -520,17 +556,30 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 0
     suites = None if args.suite == "all" else (args.suite,)
     results = run_all(suites, golden_dir=args.golden_dir, quick=args.quick)
-    print(format_results(results))
+    print(render_report(args.fmt, checks=results))
     if args.report:
         write_report(results, args.report)
-        print(f"report -> {args.report}")
+        if args.fmt == "text":
+            print(f"report -> {args.report}")
     return 0 if all(r.passed for r in results) else 1
+
+
+def _parse_env_items(items: list[str]) -> dict[str, str] | None:
+    """Parse repeated ``--env VAR=VALUE`` flags; None on a malformed item."""
+    env: dict[str, str] = {}
+    for item in items:
+        key, sep, value = item.partition("=")
+        if not sep:
+            print(f"error: --env expects VAR=VALUE, got {item!r}",
+                  file=sys.stderr)
+            return None
+        env[key] = value
+    return env
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         dedupe_findings,
-        format_findings,
         grid_prune_stats,
         lint_environment,
         lint_manifests,
@@ -538,6 +587,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         unwaived,
         write_findings_report,
     )
+    from repro.reporting import render_report
 
     # Default invocation (no plane selected): self-lint + all manifests —
     # what CI runs.
@@ -556,14 +606,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             lint_manifests(arch, workload_names=args.workloads)
         )
     if args.env:
-        env = {}
-        for item in args.env:
-            key, sep, value = item.partition("=")
-            if not sep:
-                print(f"error: --env expects VAR=VALUE, got {item!r}",
-                      file=sys.stderr)
-                return 2
-            env[key] = value
+        env = _parse_env_items(args.env)
+        if env is None:
+            return 2
         for arch in (args.arch or ["milan"]):
             planes.append(f"env:{arch}")
             findings.extend(lint_environment(env, arch))
@@ -571,34 +616,74 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     # Program-spec findings are machine-independent, so linting several
     # archs repeats them; keep the first occurrence only.
     findings = dedupe_findings(findings)
-    print(format_findings(findings))
 
     stats = []
     if args.stats:
         for arch in (args.arch or machine_names()):
-            for s in grid_prune_stats(get_machine(arch), scale=args.scale):
-                stats.append(s)
-                print(s.describe())
+            stats.extend(grid_prune_stats(get_machine(arch),
+                                          scale=args.scale))
+    prune_stats = [
+        {
+            "arch": s.arch,
+            "scale": s.scale,
+            "nthreads": s.nthreads,
+            "n_configs": s.n_configs,
+            "n_classes": s.n_classes,
+            "reduction": s.reduction,
+        }
+        for s in stats
+    ]
+
+    print(render_report(args.fmt, findings=findings, planes=planes,
+                        prune_stats=prune_stats))
+    if args.fmt == "text":
+        for s in stats:
+            print(s.describe())
 
     if args.report:
-        write_findings_report(
-            findings,
-            args.report,
-            planes=planes,
-            prune_stats=[
-                {
-                    "arch": s.arch,
-                    "scale": s.scale,
-                    "nthreads": s.nthreads,
-                    "n_configs": s.n_configs,
-                    "n_classes": s.n_classes,
-                    "reduction": s.reduction,
-                }
-                for s in stats
-            ],
-        )
-        print(f"report -> {args.report}")
+        write_findings_report(findings, args.report, planes=planes,
+                              prune_stats=prune_stats)
+        if args.fmt == "text":
+            print(f"report -> {args.report}")
     return 1 if unwaived(findings) else 0
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.reporting import render_report, write_report_file
+    from repro.sanitize import run_sanitize
+    from repro.sanitize.runner import ALL_SUITES
+
+    env = _parse_env_items(args.env)
+    if env is None:
+        return 2
+    suites = ALL_SUITES if args.suite == "all" else (args.suite,)
+    report = run_sanitize(
+        suites=suites,
+        archs=args.arch,
+        workload_names=args.workloads,
+        env=env or None,
+        seeds=tuple(range(1, max(args.seeds, 1) + 1)),
+    )
+    print(render_report(args.fmt, findings=report.findings,
+                        **report.extra_payload()))
+    if args.fmt == "text":
+        for outcome in report.fuzz_outcomes:
+            mark = ("identical" if outcome.identical
+                    else f"DIVERGED at seeds {outcome.divergent_seeds}")
+            print(f"  fuzz {outcome.scenario:24s} "
+                  f"{outcome.n_seeds} seed(s): {mark}")
+        # format_findings' verdict counts warnings; the sanitize gate is
+        # error-only, so state it explicitly.
+        n_err = len(report.failures())
+        print(f"sanitize gate ({'/'.join(report.suites)}): "
+              + ("PASS (no error-severity findings)" if report.passed
+                 else f"FAIL ({n_err} error-severity finding(s))"))
+    if args.report:
+        write_report_file(args.report, findings=report.findings,
+                          **report.extra_payload())
+        if args.fmt == "text":
+            print(f"report -> {args.report}")
+    return 0 if report.passed else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -643,6 +728,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_check(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "sanitize":
+            return _cmd_sanitize(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "workloads":

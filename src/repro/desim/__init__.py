@@ -11,12 +11,23 @@ A small, deterministic, simpy-flavoured kernel used by the runtime model:
   as the high-fidelity execution mode for task-parallel regions (BOTS) and
   as ground truth for validating the fast analytic task model.
 
-Determinism: the event heap breaks time ties by insertion sequence number,
-and all randomness flows through explicit ``numpy`` generators, so a given
-seed always produces the same trajectory.
+Determinism: the event heap breaks time ties by a documented total order
+(time, priority, insertion sequence; see :mod:`~repro.desim.engine`), and
+all randomness flows through explicit ``numpy`` generators, so a given
+seed always produces the same trajectory.  The concurrency sanitizer
+(:mod:`repro.sanitize`) perturbs the same-timestamp order via
+:func:`~repro.desim.engine.tiebreak_scope` to prove results do not depend
+on it.
 """
 
-from repro.desim.engine import Engine, Event, Process, Timeout
+from repro.desim.engine import (
+    Engine,
+    Event,
+    Process,
+    Timeout,
+    ambient_tiebreak_seed,
+    tiebreak_scope,
+)
 from repro.desim.resources import Barrier, Lock, Semaphore
 from repro.desim.stealing import (
     StealResult,
@@ -40,4 +51,6 @@ __all__ = [
     "WorkStealingSimulator",
     "LoopSimResult",
     "simulate_loop",
+    "ambient_tiebreak_seed",
+    "tiebreak_scope",
 ]

@@ -7,22 +7,51 @@ Processes are Python generators that ``yield`` waitables:
 - another :class:`Process` — resume when that process finishes.
 
 The engine advances simulated time through a binary heap of scheduled
-callbacks.  Ties in time are broken by insertion order, making runs fully
-deterministic.
+callbacks.
+
+Same-timestamp total order (the tie-break contract)
+---------------------------------------------------
+Callbacks scheduled for the same simulated time are executed in a
+*documented, stable total order*: ascending ``(time, priority, sequence)``
+where ``sequence`` is the global insertion counter and ``priority`` is
+``0.0`` in canonical runs.  Two callbacks never compare equal, so runs are
+fully deterministic and repeatable.  This order is a **contract**, not an
+accident: simulation results may depend on it only where the simulated
+system itself arbitrates ties (e.g. which worker wins a steal), and such
+arbitration must be documented at the site that relies on it.
+
+The concurrency sanitizer (``repro.sanitize``) perturbs exactly this
+order: inside :func:`tiebreak_scope` (or with an explicit
+``Engine(tiebreak_seed=...)``) each callback draws ``priority`` from a
+seeded RNG, yielding a deterministic *permutation of same-timestamp
+handler order* while preserving causality — a handler scheduled by
+another handler at the same timestamp still runs after it, because it
+cannot be pushed before it is scheduled.  Code with no hidden
+order-dependence produces identical results under every seed; the
+schedule-perturbation fuzzer asserts exactly that.
 
 Instrumented mode
 -----------------
 An engine optionally carries a single *observer* — any object exposing a
 subset of the hook methods below — attached at construction
 (``Engine(observer=...)``) or later (:meth:`Engine.attach_observer`).
-The hooks fire on the engine's state transitions:
+The core hooks fire on the engine's state transitions:
 
 - ``on_schedule(now, delay)`` — a callback was pushed on the event heap,
 - ``on_advance(time)`` — the clock moved to ``time`` to run a callback,
 - ``on_process_start(process)`` — a generator was registered,
 - ``on_process_finish(process)`` — a generator finished.
 
-When no observer is attached (the default) the hooks cost a single
+Beyond the core quartet, the engine (and the primitives in
+:mod:`repro.desim.resources`) emit *named notifications* through
+:meth:`Engine.notify`: an observer that defines ``on_<kind>`` receives
+them, others are skipped.  Current kinds: ``process_resume``,
+``event_wake``, ``event_join``, ``lock_acquire``, ``lock_release``,
+``barrier_arrive``, ``barrier_release``, ``state_access``.  The
+happens-before tracker in :mod:`repro.sanitize.hb` builds its vector-clock
+DAG entirely from these notifications.
+
+When no observer is attached (the default) every hook costs a single
 ``is not None`` test per transition, so production sweeps pay nothing.
 :class:`repro.check.InvariantObserver` builds the verification subsystem's
 engine-invariant checks (monotonic clock, schedule/advance accounting,
@@ -46,12 +75,49 @@ Example
 from __future__ import annotations
 
 import heapq
-from collections.abc import Generator
+import random
+from collections.abc import Generator, Iterator
+from contextlib import contextmanager
 from typing import Any, Callable
 
 from repro.errors import DeadlockError, SimulationError
 
-__all__ = ["Engine", "Event", "Timeout", "Process"]
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "tiebreak_scope",
+    "ambient_tiebreak_seed",
+]
+
+# Stack of ambient tie-break seeds consulted by Engine() when no explicit
+# tiebreak_seed is passed.  A plain module-level stack (not thread-local):
+# the simulator is single-threaded by design, and sweep worker *processes*
+# each get their own module state.
+_AMBIENT_TIEBREAK: list[int | None] = [None]
+
+
+@contextmanager
+def tiebreak_scope(seed: int | None) -> Iterator[None]:
+    """Make every :class:`Engine` constructed inside the block perturb its
+    same-timestamp handler order with ``seed``.
+
+    This is the schedule-perturbation fuzzer's entry point: it lets the
+    sanitizer reach engines constructed arbitrarily deep inside sweeps and
+    traces without threading a parameter through every layer.  ``None``
+    restores the canonical (insertion-order) tie-break for the block.
+    """
+    _AMBIENT_TIEBREAK.append(seed)
+    try:
+        yield
+    finally:
+        _AMBIENT_TIEBREAK.pop()
+
+
+def ambient_tiebreak_seed() -> int | None:
+    """The tie-break seed new engines currently inherit (None = canonical)."""
+    return _AMBIENT_TIEBREAK[-1]
 
 
 class Timeout:
@@ -98,11 +164,19 @@ class Event:
         self._done = True
         self._value = value
         waiters, self._waiters = self._waiters, []
+        if self.engine._observer is not None:
+            # Happens-before edge: whoever succeeds the event orders
+            # itself before every waiter's resumption.
+            self.engine.notify("event_wake", event=self, waiters=tuple(waiters))
         for proc in waiters:
             self.engine._schedule(0.0, proc._advance, value)
 
     def _add_waiter(self, proc: "Process") -> None:
         if self._done:
+            if self.engine._observer is not None:
+                # Late join on an already-triggered event: same edge as a
+                # wake, but established at wait time.
+                self.engine.notify("event_join", event=self, waiters=(proc,))
             self.engine._schedule(0.0, proc._advance, self._value)
         else:
             self._waiters.append(proc)
@@ -139,6 +213,9 @@ class Process:
         return self._done_event.value
 
     def _advance(self, send_value: Any = None) -> None:
+        engine = self.engine
+        if engine._observer is not None:
+            engine.notify("process_resume", proc=self)
         try:
             target = self._gen.send(send_value)
         except StopIteration as stop:
@@ -147,11 +224,11 @@ class Process:
             # through a scheduled callback would let a run(until=...) cut
             # return with the count still elevated, and a later draining
             # run() could then report a spurious deadlock.
-            self.engine._process_finished(self)
+            engine._process_finished(self)
             self._done_event.succeed(stop.value)
             return
         if isinstance(target, Timeout):
-            self.engine._schedule(target.delay, self._advance, None)
+            engine._schedule(target.delay, self._advance, None)
         elif isinstance(target, Event):
             target._add_waiter(self)
         elif isinstance(target, Process):
@@ -170,14 +247,32 @@ class Engine:
     observer:
         Optional instrumentation hook object (see the module docstring).
         ``None`` (the default) disables instrumentation entirely.
+    tiebreak_seed:
+        Optional seed perturbing the same-timestamp handler order (see
+        *Same-timestamp total order* in the module docstring).  ``None``
+        (the default) inherits the ambient :func:`tiebreak_scope` seed,
+        which is itself ``None`` — canonical insertion order — outside any
+        scope.  Only the sanitizer's perturbation fuzzer should set this;
+        production sweeps always run canonically.
     """
 
-    def __init__(self, observer: Any = None) -> None:
+    def __init__(
+        self, observer: Any = None, tiebreak_seed: int | None = None
+    ) -> None:
+        if tiebreak_seed is None:
+            tiebreak_seed = _AMBIENT_TIEBREAK[-1]
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable, Any]] = []
+        # Heap entries: (time, priority, sequence, callback, argument).
+        # priority is 0.0 canonically; seeded runs draw it per push, which
+        # permutes same-timestamp order without breaking causality.
+        self._heap: list[tuple[float, float, int, Callable, Any]] = []
         self._seq = 0
         self._live_processes = 0
         self._observer = observer
+        self.tiebreak_seed = tiebreak_seed
+        self._tiebreak_rng = (
+            None if tiebreak_seed is None else random.Random(tiebreak_seed)
+        )
 
     @property
     def now(self) -> float:
@@ -202,6 +297,23 @@ class Engine:
         """Detach and return the current observer (None if absent)."""
         observer, self._observer = self._observer, None
         return observer
+
+    def notify(self, kind: str, **info: Any) -> None:
+        """Dispatch a named notification to the observer.
+
+        Looks up ``on_<kind>`` on the observer and calls it as
+        ``hook(now, **info)``; observers that do not define the hook are
+        skipped, so every observer opts into exactly the notifications it
+        understands.  No-op without an observer — callers on hot paths
+        should still guard with ``engine._observer is not None`` to avoid
+        even the call overhead.
+        """
+        observer = self._observer
+        if observer is None:
+            return
+        hook = getattr(observer, "on_" + kind, None)
+        if hook is not None:
+            hook(self._now, **info)
 
     # ------------------------------------------------------------------
     # Process / event management
@@ -234,12 +346,15 @@ class Engine:
             )
         if self._observer is not None:
             self._observer.on_schedule(self._now, delay)
-        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, arg))
+        pri = 0.0 if self._tiebreak_rng is None else self._tiebreak_rng.random()
+        heapq.heappush(self._heap, (self._now + delay, pri, self._seq, fn, arg))
         self._seq += 1
 
     def run(self, until: float | None = None) -> float:
         """Run until the heap drains (or simulated time passes ``until``).
 
+        Callbacks execute in ascending ``(time, priority, sequence)`` order
+        — the documented same-timestamp contract from the module docstring.
         Returns the final simulated time.  Raises :class:`DeadlockError` if
         events drain while registered processes are still blocked (e.g. a
         lock never released) — only for unbounded runs: a truncated
@@ -255,11 +370,11 @@ class Engine:
                 f"from {self._now!r}"
             )
         while self._heap:
-            t, _, fn, arg = self._heap[0]
+            t = self._heap[0][0]
             if until is not None and t > until:
                 self._now = until
                 return self._now
-            heapq.heappop(self._heap)
+            _, _, _, fn, arg = heapq.heappop(self._heap)
             self._now = t
             if self._observer is not None:
                 self._observer.on_advance(t)

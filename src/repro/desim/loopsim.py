@@ -14,7 +14,13 @@ For verification, :func:`simulate_loop` accepts an ``on_chunk`` callback
 (fired once per executed chunk with its bounds and timing) and an
 ``engine_observer`` forwarded to the underlying :class:`Engine` — the
 ``repro.check`` iteration-coverage invariant asserts every loop iteration
-is executed exactly once across all reported chunks.
+is executed exactly once across all reported chunks.  Shared-state
+touches (the chunk cursor and dispatch-wait accumulator, both guarded by
+the dispatch lock) are reported through ``state_access`` notifications,
+which the ``repro.sanitize`` happens-before tracker consumes; the
+``tiebreak_seed`` and ``inject_tie_race`` parameters exist solely for
+that sanitizer (seeded same-timestamp perturbation, and a deliberate
+order-dependent fault used to prove the detectors catch one).
 """
 
 from __future__ import annotations
@@ -76,6 +82,8 @@ def simulate_loop(
     worker_speeds: np.ndarray | None = None,
     on_chunk: Callable[[int, int, int, float, float], None] | None = None,
     engine_observer: object = None,
+    tiebreak_seed: int | None = None,
+    inject_tie_race: bool = False,
 ) -> LoopSimResult:
     """Simulate one worksharing loop at per-chunk granularity.
 
@@ -95,6 +103,17 @@ def simulate_loop(
         half-open iteration range ``[lo, hi)`` the worker ran.
     engine_observer:
         Optional observer forwarded to the internal :class:`Engine`.
+    tiebreak_seed:
+        Optional seed forwarded to the internal :class:`Engine`,
+        perturbing same-timestamp handler order (sanitizer fuzzing only).
+    inject_tie_race:
+        Test-only fault injection: every worker writes a shared cell at
+        t=0 *outside* the dispatch lock and the last write perturbs the
+        returned makespan by ``1e-9 * value``.  This is a genuine
+        tie-break race — unordered same-timestamp writes whose winner
+        depends on handler order — planted so the sanitizer's
+        happens-before pass and perturbation fuzzer can both be shown to
+        catch one.  Never set outside sanitizer tests.
     """
     iter_costs = np.asarray(iter_costs, dtype=float)
     if iter_costs.ndim != 1 or iter_costs.shape[0] == 0:
@@ -118,30 +137,52 @@ def simulate_loop(
     n = iter_costs.shape[0]
     prefix = np.concatenate([[0.0], np.cumsum(iter_costs)])
 
-    engine = Engine(observer=engine_observer)
+    engine = Engine(observer=engine_observer, tiebreak_seed=tiebreak_seed)
     busy = [0.0] * n_workers
-    state = {"next": 0, "chunks": 0, "dispatch_wait": 0.0}
-    lock = Lock(engine)
+    state = {"next": 0, "chunks": 0, "dispatch_wait": 0.0, "race_cell": 0}
+    lock = Lock(engine, name="dispatch")
+
+    def racy_prologue(w: int) -> None:
+        # The injected fault: an unguarded same-timestamp write to shared
+        # state.  Whichever worker's start handler runs last wins.
+        state["race_cell"] = w
+        if engine._observer is not None:
+            engine.notify(
+                "state_access", obj="race_cell", op="write",
+                label=f"worker{w} unguarded write",
+            )
+
+    def perturbed(makespan: float) -> float:
+        if inject_tie_race:
+            return makespan + 1e-9 * state["race_cell"]
+        return makespan
 
     if schedule == "static":
+        # Chunk count is a pure function of the partition — computed up
+        # front so static workers touch only per-worker state.  (An earlier
+        # version had every worker bump a shared counter at t=0: harmless
+        # in effect, but an unordered same-timestamp write the sanitizer
+        # rightly flags.  The sanitizer forced this cleanup.)
         blocks = _static_blocks(n, n_workers)
+        n_chunks = sum(1 for lo, hi in blocks if hi > lo)
 
         def worker_static(w: int):
-            lo, hi = blocks[w % len(blocks)] if w < len(blocks) else (0, 0)
-            if w < len(blocks) and hi > lo:
+            if inject_tie_race:
+                racy_prologue(w)
+            lo, hi = blocks[w]
+            if hi > lo:
                 duration = (prefix[hi] - prefix[lo]) / speeds[w]
                 busy[w] += duration
-                state["chunks"] += 1
                 if on_chunk is not None:
                     on_chunk(w, lo, hi, engine.now, duration)
                 yield Timeout(duration)
 
         for w in range(n_workers):
-            engine.process(worker_static(w))
+            engine.process(worker_static(w), name=f"worker{w}")
         engine.run()
         return LoopSimResult(
-            makespan=engine.now,
-            n_chunks=state["chunks"],
+            makespan=perturbed(engine.now),
+            n_chunks=n_chunks,
             dispatch_wait=0.0,
             busy=tuple(busy),
         )
@@ -161,13 +202,25 @@ def simulate_loop(
         return (lo, hi)
 
     def worker_dyn(w: int):
+        if inject_tie_race:
+            racy_prologue(w)
         while True:
             wait_start = engine.now
             yield from lock.acquire()
             state["dispatch_wait"] += engine.now - wait_start
+            if engine._observer is not None:
+                engine.notify(
+                    "state_access", obj="dispatch_wait", op="write",
+                    label=f"worker{w} wait accounting",
+                )
             if dispatch_time > 0.0:
                 yield Timeout(dispatch_time / speeds[w])
             lo, hi = take_chunk()
+            if engine._observer is not None:
+                engine.notify(
+                    "state_access", obj="chunk_cursor", op="write",
+                    label=f"worker{w} grab [{lo}, {hi})",
+                )
             lock.release()
             if lo >= hi:
                 return
@@ -178,10 +231,10 @@ def simulate_loop(
             yield Timeout(duration)
 
     for w in range(n_workers):
-        engine.process(worker_dyn(w))
+        engine.process(worker_dyn(w), name=f"worker{w}")
     engine.run()
     return LoopSimResult(
-        makespan=engine.now,
+        makespan=perturbed(engine.now),
         n_chunks=state["chunks"],
         dispatch_wait=state["dispatch_wait"],
         busy=tuple(busy),

@@ -4,7 +4,12 @@ These model the runtime-internal primitives libomp builds on: a mutex (for
 ``critical`` reductions and dynamic-schedule chunk grabs), a counting
 semaphore, and a cyclic barrier (fork/join and tree reductions).
 
-All are FIFO-fair and deterministic.
+All are FIFO-fair and deterministic.  When the owning engine carries an
+observer, locks and barriers emit ``lock_acquire`` / ``lock_release`` /
+``barrier_arrive`` / ``barrier_release`` notifications (see
+:meth:`repro.desim.engine.Engine.notify`); the sanitizer's happens-before
+tracker derives its release→acquire and all-arrivals→release edges from
+exactly these.
 """
 
 from __future__ import annotations
@@ -28,9 +33,12 @@ class Lock:
         lock.release()
     """
 
-    def __init__(self, engine: Engine, hold_overhead: float = 0.0):
+    def __init__(
+        self, engine: Engine, hold_overhead: float = 0.0, name: str = "lock"
+    ):
         self.engine = engine
         self.hold_overhead = hold_overhead
+        self.name = name
         self._held = False
         self._queue: deque[Event] = deque()
         self.acquisitions = 0
@@ -46,6 +54,8 @@ class Lock:
         if not self._held:
             self._held = True
             self.acquisitions += 1
+            if self.engine._observer is not None:
+                self.engine.notify("lock_acquire", lock=self)
             if self.hold_overhead:
                 yield Timeout(self.hold_overhead)
             return
@@ -54,6 +64,8 @@ class Lock:
         self._queue.append(gate)
         yield gate
         self.acquisitions += 1
+        if self.engine._observer is not None:
+            self.engine.notify("lock_acquire", lock=self)
         if self.hold_overhead:
             yield Timeout(self.hold_overhead)
 
@@ -61,6 +73,11 @@ class Lock:
         """Release; hands the lock to the oldest waiter if any."""
         if not self._held:
             raise SimulationError("release of an unheld lock")
+        if self.engine._observer is not None:
+            # Emitted before the hand-off wake so the happens-before edge
+            # (release orders before the next acquire) is established with
+            # the releasing process still current.
+            self.engine.notify("lock_release", lock=self)
         if self._queue:
             # Ownership transfers directly: stays held, next waiter wakes.
             self._queue.popleft().succeed()
@@ -71,10 +88,11 @@ class Lock:
 class Semaphore:
     """Counting semaphore with FIFO wakeups."""
 
-    def __init__(self, engine: Engine, value: int):
+    def __init__(self, engine: Engine, value: int, name: str = "semaphore"):
         if value < 0:
             raise SimulationError(f"semaphore value must be >= 0, got {value}")
         self.engine = engine
+        self.name = name
         self._value = value
         self._queue: deque[Event] = deque()
 
@@ -109,11 +127,12 @@ class Barrier:
     centralized barrier; per-thread arrival costs are the caller's job.
     """
 
-    def __init__(self, engine: Engine, parties: int):
+    def __init__(self, engine: Engine, parties: int, name: str = "barrier"):
         if parties < 1:
             raise SimulationError(f"barrier parties must be >= 1, got {parties}")
         self.engine = engine
         self.parties = parties
+        self.name = name
         self._arrived = 0
         self._gate = engine.event()
         self.generations = 0
@@ -121,10 +140,22 @@ class Barrier:
     def wait(self) -> Generator:
         """Generator to ``yield from``; returns when all parties arrived."""
         self._arrived += 1
+        if self.engine._observer is not None:
+            self.engine.notify(
+                "barrier_arrive", barrier=self, arrived=self._arrived
+            )
         if self._arrived == self.parties:
             self._arrived = 0
             self.generations += 1
             gate, self._gate = self._gate, self.engine.event()
+            if self.engine._observer is not None:
+                # The release joins every arrival's history: emitted before
+                # the gate wake so the last arriver carries the merged
+                # clock into the event_wake edge.
+                self.engine.notify(
+                    "barrier_release", barrier=self,
+                    generation=self.generations,
+                )
             gate.succeed()
             return
             yield  # pragma: no cover - makes this a generator

@@ -11,6 +11,21 @@ It serves two roles:
 1. the high-fidelity (``"des"``) execution mode for task-parallel regions,
 2. ground truth against which the fast analytic task model in
    :mod:`repro.runtime.kernel` is validated by tests.
+
+Tie arbitration is part of the specification
+--------------------------------------------
+Unlike :class:`repro.desim.engine.Engine` callbacks — whose same-timestamp
+order must never leak into results — this simulator's trajectories
+*legitimately* depend on which idle worker reaches a contended deque
+first.  That arbitration is pinned by the documented event order
+``(time, sequence)`` on the internal heap plus the ``seed``-driven victim
+selection: together they are the reproducibility contract (re-running
+with the same graph, speeds and seed replays the identical trajectory,
+steal for steal).  The sanitizer therefore does not perturb this heap; it
+audits it instead — :class:`repro.sanitize.steal_audit.StealOrderAuditor`
+consumes the ``observer`` hooks on :meth:`WorkStealingSimulator.run` to
+verify replay determinism and to count (as informational findings, not
+races) the same-timestamp deque contentions this order arbitrates.
 """
 
 from __future__ import annotations
@@ -181,6 +196,7 @@ class WorkStealingSimulator:
         graph: TaskGraph,
         worker_speeds: np.ndarray | None = None,
         on_task: Callable[[int, int, float, float], None] | None = None,
+        observer: object = None,
     ) -> StealResult:
         """Execute ``graph``; returns a :class:`StealResult`.
 
@@ -190,6 +206,13 @@ class WorkStealingSimulator:
         executed task as ``on_task(worker, task_id, start, end)`` — the
         ``repro.check`` task-conservation invariant uses it to assert every
         task in the graph executes exactly once.
+
+        ``observer`` receives scheduler-decision hooks (any subset):
+        ``on_pop(now, worker, task_id)`` for LIFO local pops,
+        ``on_steal(now, thief, victim, task_id)`` for successful steals,
+        and ``on_failed_steal(now, worker)`` for empty-handed scans.  The
+        sanitizer's steal auditor uses these to verify replay determinism
+        and count arbitrated same-timestamp deque contentions.
         """
         if graph.n_tasks == 0:
             return StealResult(0.0, 0.0, 0, 0, 0, 0.0, self.n_workers)
@@ -200,6 +223,10 @@ class WorkStealingSimulator:
         )
         if speeds.shape != (self.n_workers,) or (speeds <= 0).any():
             raise SimulationError("worker_speeds must be positive, one per worker")
+
+        on_pop = getattr(observer, "on_pop", None)
+        on_steal = getattr(observer, "on_steal", None)
+        on_failed_steal = getattr(observer, "on_failed_steal", None)
 
         rng = np.random.default_rng(self.seed)
         deques: list[list[int]] = [[] for _ in range(self.n_workers)]
@@ -243,6 +270,8 @@ class WorkStealingSimulator:
                 continue  # drain: all work done, worker retires
             if deques[w]:
                 tid = deques[w].pop()  # LIFO local pop
+                if on_pop is not None:
+                    on_pop(now, w, tid)
                 backoff[w] = 1.0
                 done = execute(w, now, tid)
                 finish_time = max(finish_time, done)
@@ -254,6 +283,8 @@ class WorkStealingSimulator:
             if victims:
                 victim = victims[int(rng.integers(len(victims)))]
                 tid = deques[victim].pop(0)  # FIFO steal end
+                if on_steal is not None:
+                    on_steal(now, w, victim, tid)
                 steals += 1
                 backoff[w] = 1.0
                 start = now + self.steal_latency / speeds[w]
@@ -263,6 +294,8 @@ class WorkStealingSimulator:
                 seq += 1
             else:
                 failed += 1
+                if on_failed_steal is not None:
+                    on_failed_steal(now, w)
                 wait = self.steal_latency * backoff[w]
                 backoff[w] = min(backoff[w] * 2.0, float(self.backoff_max_factor))
                 heapq.heappush(heap, (now + wait, seq, w))

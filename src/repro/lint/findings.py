@@ -167,13 +167,14 @@ def findings_report(findings: Sequence[Finding], **extra: object) -> dict:
 def write_findings_report(
     findings: Sequence[Finding], path: str | os.PathLike, **extra: object
 ) -> None:
-    """Write the JSON findings report to ``path``."""
-    out = Path(path)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(
-        json.dumps(findings_report(findings, **extra), indent=1) + "\n",
-        encoding="utf-8",
-    )
+    """Write the JSON findings report to ``path``.
+
+    Delegates to :mod:`repro.reporting`, the shared serialization point
+    for all three analysis-plane CLIs.
+    """
+    from repro.reporting import write_report_file
+
+    write_report_file(path, findings=findings, **extra)
 
 
 # Re-exported for dataclasses users of this module.

@@ -20,18 +20,52 @@ from repro.runtime.executor import RuntimeExecutor
 from repro.runtime.icv import EnvConfig
 from repro.runtime.program import Program
 
-__all__ = ["TraceEvent", "ExecutionTrace", "trace_execution"]
+__all__ = ["TRACE_KINDS", "TraceEvent", "ExecutionTrace", "trace_execution"]
+
+
+#: The closed set of phase kinds a trace event may carry.
+TRACE_KINDS = ("serial", "loop", "task")
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One phase occurrence on the timeline."""
+    """One phase occurrence on the timeline.
+
+    Validated at construction: ``kind`` must be one of :data:`TRACE_KINDS`,
+    times must be finite and non-negative, trips at least 1.  Golden-trace
+    fixtures and any other external payload go through
+    :meth:`ExecutionTrace.from_dict`, so a corrupted fixture fails loudly
+    here instead of producing a silently wrong comparison baseline.
+    """
 
     name: str
     kind: str  # serial | loop | task
     start_s: float
     duration_s: float
     trips: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRACE_KINDS:
+            raise SimulationError(
+                f"trace event {self.name!r}: unknown kind {self.kind!r} "
+                f"(expected one of {', '.join(TRACE_KINDS)})"
+            )
+        # `not (x >= 0)` also rejects NaN, which every comparison fails.
+        if not (self.start_s >= 0.0) or self.start_s == float("inf"):
+            raise SimulationError(
+                f"trace event {self.name!r}: start_s must be finite and "
+                f">= 0, got {self.start_s!r}"
+            )
+        if not (self.duration_s >= 0.0) or self.duration_s == float("inf"):
+            raise SimulationError(
+                f"trace event {self.name!r}: duration_s must be finite and "
+                f">= 0, got {self.duration_s!r}"
+            )
+        if self.trips < 1:
+            raise SimulationError(
+                f"trace event {self.name!r}: trips must be >= 1, "
+                f"got {self.trips!r}"
+            )
 
     @property
     def end_s(self) -> float:
@@ -81,7 +115,14 @@ class ExecutionTrace:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ExecutionTrace":
-        """Reconstruct a trace from :meth:`to_dict` output."""
+        """Reconstruct a trace from :meth:`to_dict` output.
+
+        Raises :class:`SimulationError` on malformed payloads: missing or
+        mistyped fields report "malformed trace payload", while events
+        that parse but violate the :class:`TraceEvent` contract (unknown
+        kind, negative duration/start, trips < 1) surface that event's
+        specific validation message.
+        """
         try:
             events = tuple(
                 TraceEvent(

@@ -1,0 +1,64 @@
+"""Concurrency sanitizer for the simulated runtime.
+
+The third analysis plane, alongside :mod:`repro.check` (dynamic
+invariants) and :mod:`repro.lint` (config/AST rules) — the simulator
+analog of TSan/Archer, specialized to the one hazard a discrete-event
+simulation actually has: **same-timestamp handler order**.
+
+- :mod:`repro.sanitize.hb` — vector-clock happens-before tracking over
+  engine notifications; flags unordered same-timestamp accesses to
+  shared simulator state (``RACE100``),
+- :mod:`repro.sanitize.fuzz` — seeded perturbation of the engine's
+  tie-break order with record-identity assertions (``RACE101``),
+- :mod:`repro.sanitize.steal_audit` — replay-determinism and
+  arbitration audit of the work-stealing path (``RACE102``/``RACE103``),
+- :mod:`repro.sanitize.rules` — static RACE/DLK rules over
+  ``Program x EnvConfig x MachineTopology`` (``RACE001+``/``DLK001+``),
+- :mod:`repro.sanitize.runner` — orchestration for ``repro-omp
+  sanitize`` and ``pytest -m sanitize``.
+
+``docs/SANITIZER.md`` documents the passes, the rule catalog and the
+perturbation/bless workflow.
+"""
+
+from repro.sanitize.fuzz import (
+    DEFAULT_SEEDS,
+    FuzzOutcome,
+    fuzz_findings,
+    fuzz_pass,
+    fuzz_scenario,
+)
+from repro.sanitize.hb import HappensBeforeTracker, StateAccess, TieRace
+from repro.sanitize.rules import SANITIZE_RULES, sanitize_config
+from repro.sanitize.runner import (
+    SanitizeReport,
+    hb_pass,
+    run_sanitize,
+    sanitize_environment,
+    sanitize_manifests,
+)
+from repro.sanitize.scenarios import Scenario, clean_scenarios, injected_scenarios
+from repro.sanitize.steal_audit import StealOrderAuditor, audit_work_stealing
+
+__all__ = [
+    "DEFAULT_SEEDS",
+    "FuzzOutcome",
+    "HappensBeforeTracker",
+    "SANITIZE_RULES",
+    "SanitizeReport",
+    "Scenario",
+    "StateAccess",
+    "StealOrderAuditor",
+    "TieRace",
+    "audit_work_stealing",
+    "clean_scenarios",
+    "fuzz_findings",
+    "fuzz_pass",
+    "fuzz_scenario",
+    "hb_pass",
+    "injected_scenarios",
+    "run_sanitize",
+    "sanitize_config",
+    "sanitize_environment",
+    "sanitize_manifests",
+]

@@ -1,0 +1,107 @@
+"""Schedule-perturbation fuzzer (pass 2).
+
+Re-executes instrumented scenarios under deterministic, seeded
+permutations of same-timestamp handler order
+(:func:`repro.desim.engine.tiebreak_scope`) and asserts each scenario's
+record is identical to the canonical run.  This is the dynamic
+counterpart to the happens-before pass:
+
+- an HB race whose perturbed records stay identical is a *benign* tie
+  (the handlers commute on every observable),
+- an HB-clean scenario whose records diverge is a *semantic* order
+  dependence the clock analysis cannot see — e.g. float accumulation in
+  lock-arrival order, where every access is perfectly synchronized yet
+  the result depends on who arrives first.
+
+Divergence is reported as a ``RACE101`` error finding naming the
+scenario and the seeds that broke it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.lint.findings import Finding, Severity
+from repro.sanitize.scenarios import Scenario, clean_scenarios
+
+__all__ = [
+    "DEFAULT_SEEDS",
+    "FuzzOutcome",
+    "fuzz_scenario",
+    "fuzz_pass",
+    "fuzz_findings",
+]
+
+#: Default perturbation seeds — five permutations per scenario, matching
+#: the acceptance bar for the CI smoke run.
+DEFAULT_SEEDS: tuple[int, ...] = (1, 2, 3, 4, 5)
+
+
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """Result of fuzzing one scenario across all seeds."""
+
+    scenario: str
+    n_seeds: int
+    divergent_seeds: tuple[int, ...]
+
+    @property
+    def identical(self) -> bool:
+        """Whether every perturbed record matched the canonical one."""
+        return not self.divergent_seeds
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for the findings report."""
+        return {
+            "scenario": self.scenario,
+            "n_seeds": self.n_seeds,
+            "identical": self.identical,
+            "divergent_seeds": list(self.divergent_seeds),
+        }
+
+
+def fuzz_scenario(
+    scenario: Scenario, seeds: Sequence[int] = DEFAULT_SEEDS
+) -> FuzzOutcome:
+    """Run one scenario canonically, then once per perturbation seed."""
+    canonical = scenario.run(None)
+    divergent = []
+    for seed in seeds:
+        if scenario.run(seed) != canonical:
+            divergent.append(seed)
+    return FuzzOutcome(scenario.name, len(seeds), tuple(divergent))
+
+
+def fuzz_findings(outcomes: Sequence[FuzzOutcome]) -> list[Finding]:
+    """Divergent outcomes as ``RACE101`` error findings."""
+    return [
+        Finding(
+            rule="RACE101",
+            severity=Severity.ERROR,
+            subject=o.scenario,
+            message=(
+                f"scenario {o.scenario!r} diverged from the canonical run "
+                f"under {len(o.divergent_seeds)}/{o.n_seeds} same-timestamp "
+                f"permutation seed(s) {list(o.divergent_seeds)} — a result "
+                "depends on tie-break handler order"
+            ),
+            fixit=(
+                "find the order-dependent state (the happens-before pass "
+                "usually names it) and give it an ordering edge or an "
+                "order-insensitive combine"
+            ),
+        )
+        for o in outcomes
+        if not o.identical
+    ]
+
+
+def fuzz_pass(
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    scenarios: Sequence[Scenario] | None = None,
+) -> tuple[list[Finding], list[FuzzOutcome]]:
+    """Fuzz every (clean, by contract) scenario; findings on divergence."""
+    chosen = clean_scenarios() if scenarios is None else tuple(scenarios)
+    outcomes = [fuzz_scenario(sc, seeds) for sc in chosen]
+    return fuzz_findings(outcomes), outcomes

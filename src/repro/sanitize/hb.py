@@ -1,0 +1,298 @@
+"""Happens-before tracking over engine notifications (pass 1).
+
+The tracker is an :class:`~repro.desim.engine.Engine` observer that builds
+a vector-clock happens-before relation from the notifications the kernel
+and its primitives emit, then scans the recorded shared-state accesses for
+**tie-break races**: pairs of accesses at the *same simulated timestamp*,
+from different actors, at least one a write, with *concurrent* vector
+clocks.  Such a pair has no ordering edge between its handlers, so which
+one wins is decided purely by the engine's same-timestamp tie-break — the
+one thing production results must never depend on.
+
+Happens-before edges, in engine terms:
+
+========================  ==============================================
+edge                      source notification
+========================  ==============================================
+program order             every access ticks its actor's own clock
+spawn → child             ``on_process_start`` (parent's clock seeds the
+                          child before its first resume)
+succeed → waiter wake     ``event_wake`` / ``event_join`` (the succeeding
+                          actor's clock reaches every waiter)
+lock release → acquire    ``lock_release`` stores the releasing clock;
+                          ``lock_acquire`` joins it
+all arrivals → release    ``barrier_arrive`` accumulates every arriver's
+                          clock; ``barrier_release`` joins the merged
+                          clock into the releasing actor (and, through
+                          the gate's ``event_wake``, into every party)
+========================  ==============================================
+
+The tracker is purely passive: it never changes the simulation, so the
+instrumented run is bit-identical to the uninstrumented one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.lint.findings import Finding, Severity
+
+__all__ = ["StateAccess", "TieRace", "HappensBeforeTracker"]
+
+#: Actor key for code running outside any process (engine setup / main).
+MAIN = None
+
+
+@dataclass
+class StateAccess:
+    """One recorded touch of shared simulator state."""
+
+    step: int
+    time: float
+    actor: str
+    obj: str
+    op: str  # "read" | "write"
+    label: str
+    clock: dict = field(repr=False, default_factory=dict)
+
+    def describe(self) -> str:
+        """Short human form for findings."""
+        what = self.label or self.actor
+        return f"{what} ({self.op})"
+
+
+@dataclass
+class TieRace:
+    """Two unordered same-timestamp accesses to the same state object."""
+
+    obj: str
+    time: float
+    first: StateAccess
+    second: StateAccess
+
+
+def _leq(a: dict, b: dict) -> bool:
+    """Vector-clock partial order: a happened-before-or-equals b."""
+    for k, v in a.items():
+        if v > b.get(k, 0):
+            return False
+    return True
+
+
+def _concurrent(a: dict, b: dict) -> bool:
+    return not _leq(a, b) and not _leq(b, a)
+
+
+class HappensBeforeTracker:
+    """Vector-clock happens-before DAG over one engine run.
+
+    Attach as the engine observer (``Engine(observer=tracker)`` or via
+    ``simulate_loop(engine_observer=tracker)``), run the simulation, then
+    call :meth:`races` / :meth:`findings`.
+    """
+
+    def __init__(self) -> None:
+        # actor -> its current vector clock (actor key -> tick count).
+        self._clocks: dict[Any, dict] = {}
+        self._current: Any = MAIN
+        # Clocks to join into an actor at its next resume (wake edges).
+        self._pending: dict[Any, dict] = {}
+        # Edge sources keyed by the synchronization object.
+        self._event_clock: dict[Any, dict] = {}
+        self._lock_clock: dict[Any, dict] = {}
+        self._barrier_clock: dict[Any, dict] = {}
+        # Stable display names (process names may repeat).
+        self._labels: dict[Any, str] = {MAIN: "main"}
+        self._label_counts: dict[str, int] = {}
+        self.accesses: list[StateAccess] = []
+        self.edge_counts: dict[str, int] = {
+            "spawn": 0, "wake": 0, "lock": 0, "barrier": 0,
+        }
+
+    # -- bookkeeping ---------------------------------------------------
+    def _clock_of(self, actor: Any) -> dict:
+        clock = self._clocks.get(actor)
+        if clock is None:
+            clock = self._clocks[actor] = {}
+        return clock
+
+    def _tick(self, actor: Any) -> dict:
+        clock = self._clock_of(actor)
+        clock[actor] = clock.get(actor, 0) + 1
+        return clock
+
+    def _merge_pending(self, actor: Any, src: dict) -> None:
+        dst = self._pending.setdefault(actor, {})
+        for k, v in src.items():
+            if v > dst.get(k, 0):
+                dst[k] = v
+
+    def _join(self, actor: Any, src: dict) -> None:
+        dst = self._clock_of(actor)
+        for k, v in src.items():
+            if v > dst.get(k, 0):
+                dst[k] = v
+
+    def actor_label(self, actor: Any) -> str:
+        """Stable display name for an actor (process names may repeat)."""
+        label = self._labels.get(actor)
+        if label is None:
+            base = getattr(actor, "name", None) or "proc"
+            n = self._label_counts.get(base, 0)
+            self._label_counts[base] = n + 1
+            label = base if n == 0 else f"{base}#{n}"
+            self._labels[actor] = label
+        return label
+
+    # -- core observer quartet (engine state transitions) --------------
+    def on_schedule(self, now: float, delay: float) -> None:
+        """Scheduling itself creates no HB edge."""
+
+    def on_advance(self, time: float) -> None:
+        """Clock advances create no HB edge."""
+
+    def on_process_start(self, proc: Any) -> None:
+        """Spawn edge: the spawning actor's history reaches the child
+        before its first resume."""
+        self.actor_label(proc)
+        parent = self._tick(self._current)
+        self._merge_pending(proc, parent)
+        self.edge_counts["spawn"] += 1
+
+    def on_process_finish(self, proc: Any) -> None:
+        """Join edges arrive via the completion event's wake, not here."""
+
+    # -- named notifications -------------------------------------------
+    def on_process_resume(self, now: float, proc: Any) -> None:
+        """Track the running actor; join any wake edges delivered to it."""
+        self._current = proc
+        pending = self._pending.pop(proc, None)
+        if pending is not None:
+            self._join(proc, pending)
+
+    def on_event_wake(self, now: float, event: Any, waiters: tuple) -> None:
+        """Succeed edge: the succeeder's clock reaches every waiter."""
+        snap = dict(self._tick(self._current))
+        self._event_clock[event] = snap
+        for proc in waiters:
+            self._merge_pending(proc, snap)
+            self.edge_counts["wake"] += 1
+
+    def on_event_join(self, now: float, event: Any, waiters: tuple) -> None:
+        """Late joiner of an already-succeeded event gets the same edge."""
+        snap = self._event_clock.get(event)
+        if snap is None:
+            return
+        for proc in waiters:
+            self._merge_pending(proc, snap)
+            self.edge_counts["wake"] += 1
+
+    def on_lock_acquire(self, now: float, lock: Any) -> None:
+        """Release→acquire edge: join the last releasing clock."""
+        released = self._lock_clock.get(lock)
+        if released is not None:
+            self._join(self._current, released)
+            self.edge_counts["lock"] += 1
+
+    def on_lock_release(self, now: float, lock: Any) -> None:
+        """Store the releasing clock for the next acquirer to join."""
+        self._lock_clock[lock] = dict(self._tick(self._current))
+
+    def on_barrier_arrive(self, now: float, barrier: Any, arrived: int) -> None:
+        """Accumulate every arriver's clock for the release join."""
+        acc = self._barrier_clock.setdefault(barrier, {})
+        clock = self._tick(self._current)
+        for k, v in clock.items():
+            if v > acc.get(k, 0):
+                acc[k] = v
+
+    def on_barrier_release(
+        self, now: float, barrier: Any, generation: int
+    ) -> None:
+        """All-arrivals→release edge closing one barrier generation."""
+        acc = self._barrier_clock.pop(barrier, None)
+        if acc is not None:
+            # The last arriver carries the merged clock of every arrival
+            # into the gate wake, ordering the whole generation before
+            # every party's continuation.
+            self._join(self._current, acc)
+            self.edge_counts["barrier"] += 1
+
+    def on_state_access(
+        self, now: float, obj: str, op: str, label: str = ""
+    ) -> None:
+        """Record one shared-state touch with its actor's clock."""
+        clock = self._tick(self._current)
+        self.accesses.append(
+            StateAccess(
+                step=len(self.accesses),
+                time=now,
+                actor=self.actor_label(self._current),
+                obj=obj,
+                op=op,
+                label=label,
+                clock=dict(clock),
+            )
+        )
+
+    # -- analysis -------------------------------------------------------
+    def stats(self) -> dict:
+        """Run summary for reports."""
+        return {
+            "n_accesses": len(self.accesses),
+            "n_actors": len(self._clocks),
+            "edges": dict(self.edge_counts),
+        }
+
+    def races(self) -> list[TieRace]:
+        """Scan recorded accesses for tie-break races.
+
+        One race is reported per (object, ordered actor pair) — the first
+        unordered same-timestamp pair found; repeats of the same hazard at
+        later timestamps add no information.
+        """
+        groups: dict[tuple, list[StateAccess]] = {}
+        for acc in self.accesses:
+            groups.setdefault((acc.obj, acc.time), []).append(acc)
+        races: list[TieRace] = []
+        seen: set[tuple] = set()
+        for (obj, time), group in groups.items():
+            if len(group) < 2:
+                continue
+            for i, a in enumerate(group):
+                for b in group[i + 1:]:
+                    if a.actor == b.actor:
+                        continue  # program order
+                    if a.op == "read" and b.op == "read":
+                        continue  # read/read pairs cannot race
+                    key = (obj, a.actor, b.actor)
+                    if key in seen:
+                        continue
+                    if _concurrent(a.clock, b.clock):
+                        seen.add(key)
+                        races.append(TieRace(obj, time, a, b))
+        races.sort(key=lambda r: (r.obj, r.time, r.first.step))
+        return races
+
+    def findings(self, context: str = "") -> list[Finding]:
+        """Races as ``RACE100`` error findings (empty when clean)."""
+        where = f" [{context}]" if context else ""
+        return [
+            Finding(
+                rule="RACE100",
+                severity=Severity.ERROR,
+                subject=race.obj,
+                message=(
+                    f"tie-break race on {race.obj!r} at t={race.time:g}"
+                    f"{where}: {race.first.describe()} is unordered with "
+                    f"{race.second.describe()} — the outcome depends on "
+                    "same-timestamp handler order"
+                ),
+                fixit=(
+                    "order the accesses with a happens-before edge (lock, "
+                    "event, barrier) or make the state per-actor"
+                ),
+            )
+            for race in self.races()
+        ]

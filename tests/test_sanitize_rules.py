@@ -1,0 +1,175 @@
+"""Static concurrency rules (RACE001-003, DLK001-004): each rule has a
+triggering and a non-triggering configuration, pinning both the hazard
+detection and its guard conditions."""
+
+import pytest
+
+from repro.arch.machines import get_machine
+from repro.lint.findings import Severity
+from repro.runtime.icv import EnvConfig
+from repro.runtime.program import LoopRegion, Program, SerialPhase, TaskRegion
+from repro.sanitize.rules import SANITIZE_RULES, sanitize_config
+
+pytestmark = pytest.mark.sanitize
+
+MILAN = get_machine("milan")
+
+
+def rules_fired(config, program=None, machine=MILAN):
+    return {f.rule for f in sanitize_config(config, machine, program)}
+
+
+def reduction_program(fixed_schedule=None):
+    return Program(
+        name="red",
+        phases=(
+            LoopRegion("accum", n_iters=400, iter_work=1.0, n_reductions=1,
+                       fixed_schedule=fixed_schedule),
+        ),
+    )
+
+
+def task_program(depth=4, branching=3):
+    return Program(
+        name="tasks",
+        phases=(
+            TaskRegion("tree", depth=depth, branching=branching,
+                       leaf_work=50.0, node_work=10.0),
+        ),
+    )
+
+
+class TestRegistry:
+    def test_all_seven_rules_registered(self):
+        assert len(SANITIZE_RULES) == 7
+
+
+class TestRace001ArrivalOrderCombine:
+    def test_triggers_on_critical_reduction(self):
+        # nthreads <= 4 resolves the reduction heuristic to critical.
+        found = sanitize_config(
+            EnvConfig(num_threads=4), MILAN, reduction_program()
+        )
+        hits = [f for f in found if f.rule == "RACE001"]
+        assert hits and hits[0].severity is Severity.WARNING
+        assert "arrival order" in hits[0].message
+        assert "tree" in hits[0].fixit
+
+    def test_silent_with_tree_combine(self):
+        cfg = EnvConfig(num_threads=4, force_reduction="tree")
+        assert "RACE001" not in rules_fired(cfg, reduction_program())
+
+    def test_silent_without_reductions(self):
+        prog = Program("plain", (LoopRegion("l", n_iters=400, iter_work=1.0),))
+        assert "RACE001" not in rules_fired(EnvConfig(num_threads=4), prog)
+
+
+class TestRace002TimingDependentPartials:
+    def test_triggers_on_dynamic_reduction(self):
+        cfg = EnvConfig(num_threads=16, schedule="dynamic")
+        assert "RACE002" in rules_fired(cfg, reduction_program())
+
+    def test_silent_on_static_schedule(self):
+        cfg = EnvConfig(num_threads=16, schedule="static")
+        assert "RACE002" not in rules_fired(cfg, reduction_program())
+
+    def test_silent_when_loop_pins_its_schedule(self):
+        cfg = EnvConfig(num_threads=16, schedule="dynamic")
+        prog = reduction_program(fixed_schedule="static")
+        assert "RACE002" not in rules_fired(cfg, prog)
+
+
+class TestRace003TaskPlacement:
+    def test_triggers_info_on_task_regions(self):
+        found = sanitize_config(
+            EnvConfig(num_threads=16), MILAN, task_program()
+        )
+        hits = [f for f in found if f.rule == "RACE003"]
+        assert hits and hits[0].severity is Severity.INFO
+
+    def test_silent_single_threaded(self):
+        assert "RACE003" not in rules_fired(
+            EnvConfig(num_threads=1), task_program()
+        )
+
+
+class TestDlk001OversubscribedSpin:
+    def test_triggers_error_when_spinning_past_cores(self):
+        cfg = EnvConfig(num_threads=MILAN.n_cores * 2, library="turnaround")
+        found = sanitize_config(cfg, MILAN)
+        hits = [f for f in found if f.rule == "DLK001"]
+        assert hits and hits[0].severity is Severity.ERROR
+        assert hits[0].icv_rule
+
+    def test_silent_when_passive(self):
+        cfg = EnvConfig(num_threads=MILAN.n_cores * 2)  # throughput default
+        assert "DLK001" not in rules_fired(cfg)
+
+    def test_silent_at_core_count(self):
+        cfg = EnvConfig(num_threads=MILAN.n_cores, library="turnaround")
+        assert "DLK001" not in rules_fired(cfg)
+
+
+class TestDlk002TaskTreeStarvation:
+    def test_triggers_when_critical_path_outlives_blocktime(self):
+        # blocktime=0: passive workers sleep instantly, so any non-trivial
+        # critical path qualifies.
+        cfg = EnvConfig(num_threads=8, blocktime="0")
+        assert "DLK002" in rules_fired(cfg, task_program())
+
+    def test_silent_when_tasks_fit_the_team(self):
+        # depth=1, branching=2 -> fewer tasks than threads.
+        cfg = EnvConfig(num_threads=8, blocktime="0")
+        assert "DLK002" not in rules_fired(
+            cfg, task_program(depth=1, branching=2)
+        )
+
+    def test_silent_under_active_wait(self):
+        cfg = EnvConfig(num_threads=8, library="turnaround")
+        assert "DLK002" not in rules_fired(cfg, task_program())
+
+
+class TestDlk003UnreachableBarrierParties:
+    def test_triggers_per_starved_loop(self):
+        prog = Program(
+            "tiny",
+            (
+                LoopRegion("small-a", n_iters=4, iter_work=1.0),
+                LoopRegion("small-b", n_iters=2, iter_work=1.0, trips=3),
+                LoopRegion("big", n_iters=640, iter_work=1.0),
+            ),
+        )
+        found = sanitize_config(EnvConfig(num_threads=16), MILAN, prog)
+        hits = [f for f in found if f.rule == "DLK003"]
+        assert {f.subject for f in hits} == {"tiny: small-a", "tiny: small-b"}
+        assert any("12 thread(s)" in f.message for f in hits)
+
+    def test_silent_when_iterations_cover_team(self):
+        prog = Program("ok", (LoopRegion("big", n_iters=64, iter_work=1.0),))
+        assert "DLK003" not in rules_fired(EnvConfig(num_threads=16), prog)
+
+
+class TestDlk004OversubscribedTimeshare:
+    def test_triggers_on_passive_oversubscription(self):
+        cfg = EnvConfig(num_threads=MILAN.n_cores * 2)
+        found = sanitize_config(cfg, MILAN)
+        hits = [f for f in found if f.rule == "DLK004"]
+        assert hits and hits[0].severity is Severity.WARNING
+
+    def test_yields_to_dlk001_under_active_spin(self):
+        cfg = EnvConfig(num_threads=MILAN.n_cores * 2, library="turnaround")
+        fired = rules_fired(cfg)
+        assert "DLK001" in fired and "DLK004" not in fired
+
+    def test_silent_without_stacking(self):
+        assert "DLK004" not in rules_fired(EnvConfig(num_threads=16))
+
+
+class TestProgramlessMode:
+    def test_config_only_rules_still_run(self):
+        # Without a program only configuration-intrinsic rules can fire.
+        cfg = EnvConfig(num_threads=MILAN.n_cores * 2, library="turnaround")
+        fired = rules_fired(cfg, program=None)
+        assert "DLK001" in fired
+        assert not fired & {"RACE001", "RACE002", "RACE003", "DLK002",
+                            "DLK003"}

@@ -1,0 +1,88 @@
+"""Trace-event validation: the construction-time contract on
+``TraceEvent`` and the loud failure modes of ``ExecutionTrace.from_dict``
+that keep corrupted golden fixtures from becoming comparison baselines."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.trace import TRACE_KINDS, ExecutionTrace, TraceEvent
+
+pytestmark = pytest.mark.sanitize
+
+
+def event_payload(**overrides):
+    base = {"name": "phase", "kind": "loop", "start_s": 0.0,
+            "duration_s": 1.5, "trips": 2}
+    base.update(overrides)
+    return base
+
+
+def trace_payload(**event_overrides):
+    return {
+        "program": "p", "arch": "milan", "config": {"OMP_NUM_THREADS": "8"},
+        "events": [event_payload(**event_overrides)],
+    }
+
+
+class TestTraceEventContract:
+    def test_kind_vocabulary_is_closed(self):
+        assert set(TRACE_KINDS) == {"serial", "loop", "task"}
+        for kind in TRACE_KINDS:
+            TraceEvent("p", kind, 0.0, 1.0, 1)  # must not raise
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError, match="unknown kind 'barrier'"):
+            TraceEvent("p", "barrier", 0.0, 1.0, 1)
+
+    @pytest.mark.parametrize("bad", [-1.0, float("inf"), float("nan")])
+    def test_nonfinite_or_negative_start_rejected(self, bad):
+        with pytest.raises(SimulationError, match="start_s"):
+            TraceEvent("p", "loop", bad, 1.0, 1)
+
+    @pytest.mark.parametrize("bad", [-0.5, float("inf"), float("nan")])
+    def test_nonfinite_or_negative_duration_rejected(self, bad):
+        with pytest.raises(SimulationError, match="duration_s"):
+            TraceEvent("p", "loop", 0.0, bad, 1)
+
+    def test_zero_trips_rejected(self):
+        with pytest.raises(SimulationError, match="trips must be >= 1"):
+            TraceEvent("p", "loop", 0.0, 1.0, 0)
+
+    def test_error_names_the_offending_event(self):
+        with pytest.raises(SimulationError, match="'sweep-loop'"):
+            TraceEvent("sweep-loop", "loop", 0.0, -1.0, 1)
+
+
+class TestFromDict:
+    def test_valid_payload_roundtrips(self):
+        trace = ExecutionTrace.from_dict(trace_payload())
+        assert trace.to_dict() == trace_payload()
+        assert math.isclose(trace.total_s, 1.5)
+
+    def test_missing_field_reports_malformed_payload(self):
+        payload = trace_payload()
+        del payload["events"][0]["duration_s"]
+        with pytest.raises(SimulationError, match="malformed trace payload"):
+            ExecutionTrace.from_dict(payload)
+
+    def test_mistyped_field_reports_malformed_payload(self):
+        with pytest.raises(SimulationError, match="malformed trace payload"):
+            ExecutionTrace.from_dict(trace_payload(start_s="soon"))
+
+    def test_negative_duration_surfaces_event_contract_message(self):
+        with pytest.raises(
+            SimulationError, match="duration_s must be finite and >= 0"
+        ):
+            ExecutionTrace.from_dict(trace_payload(duration_s=-2.0))
+
+    def test_unknown_kind_surfaces_event_contract_message(self):
+        with pytest.raises(SimulationError, match="unknown kind 'spin'"):
+            ExecutionTrace.from_dict(trace_payload(kind="spin"))
+
+    def test_non_dict_events_report_malformed_payload(self):
+        payload = trace_payload()
+        payload["events"] = "oops"
+        with pytest.raises(SimulationError, match="malformed trace payload"):
+            ExecutionTrace.from_dict(payload)
