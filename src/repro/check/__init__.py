@@ -22,6 +22,7 @@ from repro.check.differential import (
     differential_parity,
     golden_trace_check,
     pruning_parity,
+    resilience_degrade_parity,
 )
 from repro.check.invariants import (
     InvariantObserver,
@@ -63,6 +64,7 @@ __all__ = [
     "default_golden_dir",
     "differential_parity",
     "pruning_parity",
+    "resilience_degrade_parity",
     "golden_trace_check",
     "bless_golden_traces",
     "SUITES",

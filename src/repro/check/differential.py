@@ -36,6 +36,7 @@ __all__ = [
     "default_golden_dir",
     "differential_parity",
     "pruning_parity",
+    "resilience_degrade_parity",
     "golden_trace_check",
     "verify_bless_stability",
     "bless_golden_traces",
@@ -175,6 +176,78 @@ def pruning_parity(plan: SweepPlan | None = None) -> dict:
         "n_records": len(pruned.records),
         "n_simulated": pruned.n_simulated_configs,
         "n_pruned": pruned.n_pruned_configs,
+    }
+
+
+def resilience_degrade_parity(plan: SweepPlan | None = None) -> dict:
+    """Chaos degrade + resume must reproduce the fault-free sweep.
+
+    Injects a seeded :class:`~repro.resilience.chaos.ChaosPlan` (a worker
+    crash, a hang, a corrupt payload, a poison batch, and an on-disk
+    cache corruption) into a multiprocess degrade-mode sweep, then
+    resumes over the same cache.  The resume must re-attempt the
+    quarantined batch, catch the cache corruption via checksum, and yield
+    records bit-identical to a clean exhaustive run — the guarantee that
+    graceful degradation never silently alters the dataset.
+    """
+    from repro.core.sweep import plan_batches
+    from repro.resilience import ChaosPlan, RetryPolicy
+
+    plan = plan or dataclasses.replace(
+        _quick_plan(), workload_names=("cg", "ep", "nqueens")
+    )
+    n_batches = len(plan_batches(plan))
+    chaos = ChaosPlan.generate(n_batches, seed=11, crashes=1, hangs=1,
+                               corrupt_results=1, cache_faults=1, poison=1)
+    retry = RetryPolicy(max_retries=2, base_delay_s=0.01, seed=11)
+    clean = run_sweep(plan)
+    if not clean.records:
+        raise CheckFailure("resilience-parity plan produced no records")
+
+    with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
+        degraded = run_sweep(
+            plan, n_processes=2, cache=SweepCache(Path(tmp) / "cache"),
+            fail_policy="degrade", chaos=chaos, retry=retry,
+            batch_timeout_s=5.0,
+        )
+        if degraded.n_quarantined_batches == 0:
+            raise CheckFailure(
+                "chaos degrade run quarantined nothing — the poison fault "
+                "did not fire, so the check is vacuous"
+            )
+        report = degraded.failure_report
+        if report.n_failed_batches == 0:
+            raise CheckFailure("chaos degrade run reported no failures")
+        resume_cache = SweepCache(Path(tmp) / "cache")
+        resumed = run_sweep(plan, cache=resume_cache,
+                            fail_policy="degrade")
+        if len(resume_cache.corrupt_keys) != 1:
+            raise CheckFailure(
+                "resume detected "
+                f"{len(resume_cache.corrupt_keys)} corrupt cache "
+                "entry(ies); the injected corruption must be caught by "
+                "checksum (exactly 1)"
+            )
+    if resumed.records != clean.records:
+        n = sum(
+            1 for a, b in zip(clean.records, resumed.records) if a != b
+        ) + abs(len(clean.records) - len(resumed.records))
+        raise CheckFailure(
+            f"degrade+resume diverged from the fault-free sweep: {n} "
+            f"record(s) differ (clean {len(clean.records)} vs resumed "
+            f"{len(resumed.records)})"
+        )
+    return {
+        "details": (
+            f"{len(resumed.records)} records bit-identical after "
+            f"{report.n_failed_batches} failed batch(es) "
+            f"({report.n_quarantined} quarantined, "
+            f"{report.n_recovered} recovered) and 1 cache corruption"
+        ),
+        "n_records": len(resumed.records),
+        "n_failed_batches": report.n_failed_batches,
+        "n_quarantined": report.n_quarantined,
+        "n_recovered": report.n_recovered,
     }
 
 

@@ -42,6 +42,8 @@ SUITES: dict[str, tuple] = {
     "differential": (
         ("execution-path-parity", differential.differential_parity),
         ("equivalence-pruning-parity", differential.pruning_parity),
+        ("resilience-degrade-parity",
+         differential.resilience_degrade_parity),
         ("golden-traces", differential.golden_trace_check),
     ),
 }
@@ -67,7 +69,8 @@ def run_suite(
         if name == "golden-traces":
             body = lambda fn=fn: fn(golden_dir=golden_dir)
         elif (
-            name in ("execution-path-parity", "equivalence-pruning-parity")
+            name in ("execution-path-parity", "equivalence-pruning-parity",
+                     "resilience-degrade-parity")
             and not quick
         ):
             body = lambda fn=fn: fn(plan=differential.full_plan())

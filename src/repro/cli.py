@@ -27,6 +27,10 @@ Subcommands mirror the study's workflow:
 - ``sanitize`` — concurrency sanitizer: static RACE/DLK rules, vector-clock
   happens-before race detection, and the schedule-perturbation fuzzer
   over the simulated runtime (see ``docs/SANITIZER.md``),
+- ``chaos`` — rehearse the sweep engine's failure handling: inject a
+  seeded fault plan (worker crashes/hangs, corrupt payloads, cache
+  corruption) into a degrade-mode sweep, then prove the resumed sweep is
+  record-identical to a fault-free run (see ``docs/RESILIENCE.md``),
 - ``workloads`` — the 15 benchmark models and their experimental design,
 - ``figures`` — regenerate the paper's figure gallery (violins + heat
   maps) from a fresh sweep in one command,
@@ -105,6 +109,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="simulate every grid point instead of one "
                               "representative per ICV-equivalence class "
                               "(results are identical either way)")
+    p_sweep.add_argument("--fail-policy", default="raise",
+                         choices=("raise", "degrade"),
+                         help="on a batch that exhausts its retries: "
+                              "'raise' aborts the sweep, 'degrade' skips "
+                              "the batch and reports it (default: raise)")
+    p_sweep.add_argument("--max-retries", type=int, default=None,
+                         help="retry budget per failing batch "
+                              "(default: the RetryPolicy default)")
+    p_sweep.add_argument("--batch-timeout-s", type=float, default=None,
+                         help="per-batch deadline in seconds "
+                              "(default: scaled by batch size)")
+    p_sweep.add_argument("--fsync-cache", action="store_true",
+                         help="fsync every cache entry to stable storage "
+                              "(durability for long unattended campaigns)")
+    p_sweep.add_argument("--failure-report", default=None,
+                         help="write the JSON failure report here")
     p_sweep.add_argument("-o", "--output", required=True,
                          help="dataset CSV path")
 
@@ -238,6 +258,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_san.add_argument("--report", default=None,
                        help="write a JSON sanitize report here")
 
+    p_ch = sub.add_parser(
+        "chaos",
+        help="rehearse sweep failure handling with seeded fault injection",
+    )
+    p_ch.add_argument("--arch", default="milan", choices=machine_names())
+    p_ch.add_argument("--workloads", nargs="*",
+                      default=("cg", "ep", "nqueens"),
+                      help=f"subset of {workload_names()}")
+    p_ch.add_argument("--scale", default="small", choices=EnvSpace.SCALES)
+    p_ch.add_argument("--repetitions", type=int, default=2)
+    p_ch.add_argument("--inputs-limit", type=int, default=2)
+    p_ch.add_argument("--processes", type=int, default=2,
+                      help="worker processes (1 = serial fault simulation)")
+    p_ch.add_argument("--seed", type=int, default=0,
+                      help="chaos plan seed; same seed, same faults, "
+                           "same failure report")
+    p_ch.add_argument("--crashes", type=int, default=1)
+    p_ch.add_argument("--hangs", type=int, default=1)
+    p_ch.add_argument("--corrupt-results", type=int, default=1)
+    p_ch.add_argument("--cache-faults", type=int, default=1,
+                      help="on-disk cache corruptions (torn write or "
+                           "bit flip), detected on the resume pass")
+    p_ch.add_argument("--poison", type=int, default=1,
+                      help="batches that fail every attempt and must be "
+                           "quarantined")
+    p_ch.add_argument("--max-retries", type=int, default=2)
+    p_ch.add_argument("--batch-timeout-s", type=float, default=5.0)
+    p_ch.add_argument("--cache-dir", default=None,
+                      help="cache directory for the degrade+resume cycle "
+                           "(default: a temporary directory)")
+    p_ch.add_argument("--format", default="text", dest="fmt",
+                      choices=("text", "json"),
+                      help="stdout format (default: text)")
+    p_ch.add_argument("--report", default=None,
+                      help="write the JSON failure report here")
+
     p_tr = sub.add_parser("trace", help="phase timeline of one run")
     p_tr.add_argument("--arch", required=True, choices=machine_names())
     p_tr.add_argument("--workload", required=True)
@@ -273,7 +329,7 @@ def _sweep_cache(args: argparse.Namespace):
         return None
     from repro.core.cache import SweepCache
 
-    return SweepCache(cache_dir)
+    return SweepCache(cache_dir, fsync=getattr(args, "fsync_cache", False))
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -298,10 +354,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"  [{done:3d}/{total}] {app}.{inp} T={threads} "
               f"eta {_fmt_seconds(eta)}", flush=True)
 
+    retry = None
+    if args.max_retries is not None:
+        from repro.resilience import RetryPolicy
+
+        retry = RetryPolicy(max_retries=args.max_retries, seed=args.seed)
     result = run_sweep(plan, n_processes=args.processes, progress=progress,
-                       cache=cache)
+                       cache=cache, fail_policy=args.fail_policy,
+                       retry=retry, batch_timeout_s=args.batch_timeout_s)
     table = enrich_with_speedup(aggregate_runs(records_to_table(result.records)))
     write_csv(table, args.output)
+    rep = result.failure_report
+    if rep is not None and not rep.clean:
+        print(rep.format_text())
+    if args.failure_report:
+        from repro.reporting import write_report_file
+
+        write_report_file(args.failure_report, failure_report=rep)
+        print(f"failure report -> {args.failure_report}")
+    if result.n_quarantined_batches:
+        print(f"WARNING: {result.n_quarantined_batches} quarantined "
+              f"batch(es) are missing from the dataset; rerun with the "
+              f"same --cache-dir to retry them")
     if cache is not None:
         print(f"cache: {result.n_cached_batches} batches reused, "
               f"{result.n_computed_batches} simulated -> {cache.root}")
@@ -686,6 +760,82 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import contextlib
+    import tempfile
+
+    from repro.core.cache import SweepCache
+    from repro.core.sweep import plan_batches
+    from repro.reporting import render_report, write_report_file
+    from repro.resilience import ChaosPlan, RetryPolicy
+
+    plan = SweepPlan(
+        arch=args.arch,
+        workload_names=tuple(args.workloads) if args.workloads else None,
+        scale=args.scale,
+        repetitions=args.repetitions,
+        inputs_limit=args.inputs_limit,
+    )
+    n_batches = len(plan_batches(plan))
+    chaos = ChaosPlan.generate(
+        n_batches,
+        seed=args.seed,
+        crashes=args.crashes,
+        hangs=args.hangs,
+        corrupt_results=args.corrupt_results,
+        cache_faults=args.cache_faults,
+        poison=args.poison,
+    )
+    retry = RetryPolicy(max_retries=args.max_retries, base_delay_s=0.01,
+                        seed=args.seed)
+
+    with contextlib.ExitStack() as stack:
+        cache_dir = args.cache_dir or stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        )
+        if args.fmt == "text":
+            print(f"injecting {len(chaos.faults)} fault(s) into "
+                  f"{n_batches} batches (seed {args.seed}):")
+            for fault in chaos.describe():
+                print(f"  {fault['kind']}@{fault['batch_index']} "
+                      f"attempts={fault['attempts']}")
+        degraded = run_sweep(
+            plan, n_processes=args.processes, cache=SweepCache(cache_dir),
+            fail_policy="degrade", chaos=chaos, retry=retry,
+            batch_timeout_s=args.batch_timeout_s,
+        )
+        report = degraded.failure_report
+        # The resume pass re-attempts quarantined batches and trips the
+        # cache checksum on every injected on-disk corruption; the clean
+        # sweep is the ground truth the recovery must reproduce.
+        resume_cache = SweepCache(cache_dir)
+        resumed = run_sweep(plan, cache=resume_cache, fail_policy="degrade")
+        clean = run_sweep(plan)
+
+    parity = resumed.records == clean.records
+    faults_detected = len(resume_cache.corrupt_keys) == args.cache_faults
+    verdict = {
+        "n_batches": n_batches,
+        "chaos_plan": chaos.to_dict(),
+        "resume_parity": parity,
+        "cache_faults_detected": len(resume_cache.corrupt_keys),
+        "cache_faults_injected": args.cache_faults,
+    }
+    print(render_report(args.fmt, failure_report=report, chaos=verdict))
+    if args.fmt == "text":
+        print(f"resume: {resumed.n_cached_batches} batches from cache, "
+              f"{resumed.n_computed_batches} re-simulated, "
+              f"{len(resume_cache.corrupt_keys)}/{args.cache_faults} "
+              f"injected cache fault(s) caught by checksum")
+        print("resume parity vs fault-free sweep: "
+              + ("IDENTICAL" if parity else "DIVERGED"))
+    if args.report:
+        write_report_file(args.report, failure_report=report, chaos=verdict)
+        if args.fmt == "text":
+            print(f"report -> {args.report}")
+    return 0 if parity and faults_detected else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.runtime.icv import EnvConfig
     from repro.runtime.trace import trace_execution
@@ -730,6 +880,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_lint(args)
         if args.command == "sanitize":
             return _cmd_sanitize(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "workloads":

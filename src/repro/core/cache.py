@@ -23,11 +23,17 @@ batch's contents depend on:
    ``num_threads``.
 
 Entries are one JSON file per batch named ``<key>.json``, written
-atomically (temp file + rename) so a killed sweep never leaves a torn
-entry; unreadable or version-mismatched files are treated as misses and
-rewritten.  Because runtimes round-trip JSON exactly (``repr``-based
-float serialization), cached records are bit-identical to freshly
-simulated ones.
+atomically (temp file + rename, optionally fsync'd) so a killed sweep
+never leaves a torn entry.  Every payload embeds a SHA-256 over the
+canonical serialization of its records, verified on read: an entry that
+fails to parse, fails its checksum, or holds malformed records is
+**quarantined** — moved aside to ``<key>.corrupt`` and counted in
+:attr:`SweepCache.stats` — never silently re-simulated, so disk
+corruption is observable (and surfaces in the sweep's
+:class:`~repro.resilience.report.FailureReport`).  A version-mismatched
+entry is a legitimate miss, not corruption.  Because runtimes round-trip
+JSON exactly (``repr``-based float serialization), cached records are
+bit-identical to freshly simulated ones.
 """
 
 from __future__ import annotations
@@ -53,7 +59,9 @@ __all__ = ["CACHE_FORMAT_VERSION", "SweepCache", "batch_key",
 #: v3: observation noise re-keyed from raw EnvConfig identity to the
 #: resolved execution signature (ICV-equivalent configs now observe
 #: identical runtimes), so v2 record contents are stale.
-CACHE_FORMAT_VERSION = 3
+#: v4: payloads carry a content checksum (``sha256`` over the canonical
+#: records serialization), verified on every read.
+CACHE_FORMAT_VERSION = 4
 
 _CONFIG_FIELDS = (
     "num_threads",
@@ -128,6 +136,19 @@ def _record_to_dict(record: SweepRecord) -> dict:
     }
 
 
+def _canonical_records(records_payload: list) -> bytes:
+    """The byte string the content checksum covers.
+
+    Canonical JSON (sorted keys, no whitespace) of the records payload:
+    identical whether computed from freshly built dicts at put time or
+    from the parsed payload at get time, because JSON floats round-trip
+    via ``repr`` exactly.
+    """
+    return json.dumps(
+        records_payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
 def _record_from_dict(payload: dict) -> SweepRecord:
     try:
         return SweepRecord(
@@ -157,60 +178,145 @@ class SweepCache:
     machine_fingerprint = staticmethod(machine_fingerprint)
     batch_key = staticmethod(batch_key)
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(self, root: str | os.PathLike, fsync: bool = False):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: Keys quarantined this session, in discovery order.
+        self.corrupt_keys: list[str] = []
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def path_for(self, key: str) -> Path:
+        """The on-disk entry path for ``key`` (fault injection, tooling)."""
+        return self._path(key)
+
+    def corrupt_path_for(self, key: str) -> Path:
+        """Where a quarantined entry for ``key`` lands."""
+        return self.root / f"{key}.corrupt"
+
+    @property
+    def stats(self) -> dict:
+        """Session counters; ``corrupt`` makes disk rot observable."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": len(self.corrupt_keys),
+            "corrupt_keys": tuple(self.corrupt_keys),
+        }
+
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt entry to ``<key>.corrupt`` and record it.
+
+        A quarantined key also counts as a miss (the batch will be
+        re-simulated), but unlike the pre-checksum behavior the
+        corruption is never invisible: it is counted, listed, and the
+        poisoned bytes are preserved for inspection.
+        """
+        try:
+            os.replace(self._path(key), self.corrupt_path_for(key))
+        except OSError:
+            pass  # raced away or unreadable in place; still record it
+        self.corrupt_keys.append(key)
+        self.misses += 1
+
     def get(self, key: str) -> list[SweepRecord] | None:
-        """The cached records for ``key``, or None (counts as a miss)."""
+        """The cached records for ``key``, or None (counts as a miss).
+
+        A missing file or a version-mismatched (stale-format) entry is a
+        plain miss.  Anything else that fails — unparseable JSON (torn
+        write), checksum mismatch (bit rot), malformed records — is
+        quarantined via :meth:`_quarantine`.
+        """
+        path = self._path(key)
         try:
-            payload = json.loads(
-                self._path(key).read_text(encoding="utf-8")
-            )
-        except (OSError, json.JSONDecodeError):
-            # Missing, unreadable, or torn entry: recompute and overwrite.
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
             self.misses += 1
             return None
+        except OSError:
+            self._quarantine(key)
+            return None
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError:
+            self._quarantine(key)
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(key)
+            return None
+        if payload.get("version") != CACHE_FORMAT_VERSION:
+            # A stale on-disk format is expected after upgrades — a
+            # legitimate miss, not corruption.
+            self.misses += 1
+            return None
+        records_payload = payload.get("records")
+        digest = payload.get("sha256")
         if (
-            not isinstance(payload, dict)
-            or payload.get("version") != CACHE_FORMAT_VERSION
-            or "records" not in payload
+            not isinstance(records_payload, list)
+            or digest is None
+            or hashlib.sha256(
+                _canonical_records(records_payload)
+            ).hexdigest() != digest
         ):
-            self.misses += 1
+            self._quarantine(key)
             return None
         try:
-            records = [_record_from_dict(d) for d in payload["records"]]
+            records = [_record_from_dict(d) for d in records_payload]
         except CacheError:
-            self.misses += 1
+            self._quarantine(key)
             return None
         self.hits += 1
         return records
 
     def put(self, key: str, records: Sequence[SweepRecord]) -> None:
-        """Persist one batch atomically under ``key``."""
+        """Persist one batch atomically under ``key``.
+
+        With ``fsync=True`` the entry is flushed to stable storage (file
+        data before the rename, directory entry after) so a power cut
+        cannot tear it — the durability mode for long unattended
+        campaigns.
+        """
+        records_payload = [_record_to_dict(r) for r in records]
         payload = {
             "version": CACHE_FORMAT_VERSION,
             "key": key,
-            "records": [_record_to_dict(r) for r in records],
+            "sha256": hashlib.sha256(
+                _canonical_records(records_payload)
+            ).hexdigest(),
+            "records": records_payload,
         }
         path = self._path(key)
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        data = json.dumps(payload)
+        if self.fsync:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+        else:
+            tmp.write_text(data, encoding="utf-8")
         os.replace(tmp, path)
+        if self.fsync:
+            dir_fd = os.open(self.root, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
         self.writes += 1
 
     def __len__(self) -> int:
-        """Number of batch entries currently on disk."""
+        """Number of live batch entries on disk (quarantined excluded)."""
         return sum(1 for _ in self.root.glob("*.json"))
 
     def __repr__(self) -> str:
         return (
             f"SweepCache({str(self.root)!r}: {len(self)} entries, "
-            f"{self.hits} hits / {self.misses} misses this session)"
+            f"{self.hits} hits / {self.misses} misses / "
+            f"{len(self.corrupt_keys)} corrupt this session)"
         )

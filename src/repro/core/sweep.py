@@ -10,12 +10,19 @@ bit-identical under any reordering (verified by tests), which is the
 property the paper's batching strategy exists to protect on real metal.
 
 Sweeps can fan out across processes; each (workload, setting) batch is an
-independent unit of work (:class:`BatchSpec`).  The parallel path streams
-results back in batch order (``imap``), so the ``progress`` callback
-fires as each batch lands rather than after a full barrier, and a worker
-initializer materializes the machine model and configuration grid once
-per process — batch payloads carry only the four-field batch identity,
-never the grid.
+independent unit of work (:class:`BatchSpec`).  The parallel path runs
+under the supervised executor (:mod:`repro.resilience.supervisor`): every
+batch has a wall-clock deadline scaled by its size, dead or hung workers
+are detected and respawned, failed attempts retry with deterministic
+seeded backoff, and a batch that exhausts its retry budget is
+*quarantined* — the sweep degrades gracefully (``fail_policy="degrade"``)
+or fails fast (``fail_policy="raise"``).  Results still stream back in
+batch order, so the ``progress`` callback fires as each batch lands and
+records are bit-identical to serial execution.  A worker initializer
+materializes the machine model and configuration grid once per process —
+batch payloads carry only the batch identity, never the grid.  Every
+failure lands in the :class:`~repro.resilience.report.FailureReport`
+attached to the :class:`SweepResult`.
 
 Passing ``cache=`` (a :class:`~repro.core.cache.SweepCache` or a
 directory path) makes the sweep incremental: batches already present in
@@ -27,8 +34,8 @@ records.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+import time
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -36,7 +43,19 @@ from pathlib import Path
 from repro.arch.machines import get_machine
 from repro.arch.topology import MachineTopology
 from repro.core.envspace import EnvSpace
-from repro.errors import ConfigError
+from repro.errors import ConfigError, PoisonBatchError
+from repro.resilience.chaos import (
+    CHAOS_CRASH_EXIT,
+    ChaosPlan,
+    apply_cache_fault,
+    corrupted_payload,
+    install_chaos,
+    installed_worker_fault,
+    trigger_worker_fault,
+)
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.report import FailureLedger, FailureReport
+from repro.resilience.supervisor import SupervisedTask, Supervisor
 from repro.runtime.executor import RuntimeExecutor, apply_measurement_noise
 from repro.runtime.icv import EnvConfig
 from repro.workloads.base import Workload, workloads_for_arch
@@ -146,6 +165,12 @@ class SweepResult:
     #: ICV-equivalent representative (computed batches only).
     n_simulated_configs: int = 0
     n_pruned_configs: int = 0
+    #: Batches that exhausted their retry budget under
+    #: ``fail_policy="degrade"`` — their records are absent; a later run
+    #: over the same cache retries them.
+    n_quarantined_batches: int = 0
+    #: Per-batch failure accounting for this run (always present).
+    failure_report: FailureReport | None = None
 
     @property
     def n_samples(self) -> int:
@@ -250,7 +275,10 @@ def _execute_batch(
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(plan: SweepPlan, space: EnvSpace) -> None:
+def _init_worker(
+    plan: SweepPlan, space: EnvSpace, chaos: ChaosPlan | None = None
+) -> None:
+    install_chaos(chaos)
     machine = get_machine(plan.arch)
     _WORKER_STATE["plan"] = plan
     _WORKER_STATE["machine"] = machine
@@ -264,19 +292,70 @@ def _worker_run_batch(batch: BatchSpec) -> list[SweepRecord]:
     )
 
 
-def _make_pool(
-    n_processes: int, plan: SweepPlan, space: EnvSpace
-) -> multiprocessing.pool.Pool:
-    """A worker pool whose processes hold the sweep state (test seam)."""
-    return multiprocessing.Pool(
-        n_processes, initializer=_init_worker, initargs=(plan, space)
+def _supervised_run_batch(payload: tuple, attempt: int) -> list[SweepRecord]:
+    """Worker entry point: run one batch, honoring installed chaos.
+
+    ``payload`` is ``(batch_index, batch)`` — the index keys the chaos
+    plan's fault lookup, which is per ``(batch_index, attempt)`` so a
+    first-attempt fault recovers on retry while a poison fault
+    (``attempts=None``) defeats every attempt.
+    """
+    index, batch = payload
+    fault = installed_worker_fault(index, attempt)
+    if fault == "corrupt-result":
+        return corrupted_payload(index)
+    if fault is not None:
+        trigger_worker_fault(fault)  # crash never returns; hang blocks
+    return _worker_run_batch(batch)
+
+
+def _validate_batch_records(value: object) -> str | None:
+    """Reject worker payloads that are not a batch's records.
+
+    The supervisor treats a rejection as a ``corrupt-result`` attempt
+    failure, so a worker returning garbage (bit-flipped IPC, chaos
+    injection) is retried instead of poisoning the dataset.
+    """
+    if (
+        isinstance(value, list)
+        and value
+        and all(isinstance(r, SweepRecord) for r in value)
+    ):
+        return None
+    return (
+        "worker returned a corrupt payload instead of batch records: "
+        f"{repr(value)[:120]}"
     )
 
 
-def _chunksize(n_batches: int, n_processes: int) -> int:
-    """Batches per dispatch: ~4 chunks per worker balances the dispatch
-    overhead on small batches against load balance on stragglers."""
-    return max(1, n_batches // (n_processes * 4))
+#: Default batch deadline: a generous floor plus a per-sample allowance,
+#: so the timeout scales with batch size instead of flagging big batches.
+BASE_BATCH_TIMEOUT_S = 30.0
+PER_SAMPLE_TIMEOUT_S = 0.01
+
+
+def _batch_timeout_s(n_configs: int, repetitions: int) -> float:
+    return BASE_BATCH_TIMEOUT_S + PER_SAMPLE_TIMEOUT_S * n_configs * repetitions
+
+
+def _make_supervisor(
+    n_workers: int,
+    plan: SweepPlan,
+    space: EnvSpace,
+    chaos: ChaosPlan | None,
+    policy: RetryPolicy,
+    fail_policy: str,
+) -> Supervisor:
+    """The supervised worker fleet holding the sweep state (test seam)."""
+    return Supervisor(
+        _supervised_run_batch,
+        initializer=_init_worker,
+        initargs=(plan, space, chaos),
+        n_workers=n_workers,
+        policy=policy,
+        validate=_validate_batch_records,
+        fail_fast=(fail_policy == "raise"),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -321,6 +400,10 @@ def run_sweep(
     n_processes: int = 1,
     progress: "callable | None" = None,
     cache: "SweepCache | str | os.PathLike | None" = None,
+    fail_policy: str = "raise",
+    retry: RetryPolicy | None = None,
+    chaos: ChaosPlan | None = None,
+    batch_timeout_s: float | None = None,
 ) -> SweepResult:
     """Execute a sweep plan; deterministic for a given plan.
 
@@ -333,29 +416,49 @@ def run_sweep(
     directory path), skips batches whose records are already on disk and
     persists each newly computed batch, making interrupted sweeps
     resumable.  See ``docs/SWEEP_CACHE.md`` for the key scheme.
+
+    Failure handling (see ``docs/RESILIENCE.md``): each batch attempt can
+    crash, hang past its deadline (``batch_timeout_s``, default scaled by
+    batch size), raise, or return a corrupt payload.  Attempts retry per
+    ``retry`` (a :class:`~repro.resilience.policy.RetryPolicy`); a batch
+    that exhausts its budget is quarantined.  Under
+    ``fail_policy="degrade"`` the sweep completes without the quarantined
+    batches (counted in ``n_quarantined_batches``; a later run over the
+    same cache retries them); under ``fail_policy="raise"`` the first
+    quarantine raises :class:`~repro.errors.PoisonBatchError` carrying
+    the failure report.  ``chaos``, if given (a
+    :class:`~repro.resilience.chaos.ChaosPlan`), injects that plan's
+    faults — the test/rehearsal path behind ``repro-omp chaos``.
+
+    On interruption or error, batches that finished before the failure
+    are flushed to the cache before the exception propagates, so no
+    landed work is ever lost.
     """
+    if fail_policy not in ("raise", "degrade"):
+        raise ConfigError(
+            f"fail_policy must be 'raise' or 'degrade', got {fail_policy!r}"
+        )
     space = space or EnvSpace()
     machine = get_machine(plan.arch)
     batches = plan_batches(plan)
     total = len(batches)
     result = SweepResult(plan=plan)
+    policy = retry if retry is not None else RetryPolicy(seed=plan.seed)
+    ledger = FailureLedger(policy, fail_policy)
 
-    grid: list[EnvConfig] | None = None
+    configs = space.grid(machine, plan.scale, seed=plan.seed)
     n_classes_at: dict[int, int] = {}
 
     def classes_at(nthreads: int) -> int:
         """Equivalence classes of the grid at one thread count (memoized;
         the whole batch shares it, so counting happens in the parent)."""
-        nonlocal grid
         if nthreads not in n_classes_at:
-            if grid is None:
-                grid = space.grid(machine, plan.scale, seed=plan.seed)
             if plan.prune:
                 n_classes_at[nthreads] = len(
-                    equivalence_groups(grid, machine, nthreads=nthreads)
+                    equivalence_groups(configs, machine, nthreads=nthreads)
                 )
             else:
-                n_classes_at[nthreads] = len(grid)
+                n_classes_at[nthreads] = len(configs)
         return n_classes_at[nthreads]
 
     if cache is not None:
@@ -368,7 +471,6 @@ def run_sweep(
     cached: dict[int, list[SweepRecord]] = {}
     keys: dict[int, str] = {}
     if cache is not None:
-        configs = space.grid(machine, plan.scale, seed=plan.seed)
         grid_fp = cache.grid_fingerprint(configs)
         machine_fp = cache.machine_fingerprint(machine)
         for i, batch in enumerate(batches):
@@ -379,8 +481,8 @@ def run_sweep(
     misses = [i for i in range(total) if i not in cached]
 
     def in_order(
-        miss_stream: Iterator[list[SweepRecord]],
-    ) -> Iterator[tuple[int, BatchSpec, list[SweepRecord], bool]]:
+        miss_stream: Iterator[list[SweepRecord] | None],
+    ) -> Iterator[tuple[int, BatchSpec, list[SweepRecord] | None, bool]]:
         """Merge cached batches with streamed misses, in batch order."""
         for i, batch in enumerate(batches):
             if i in cached:
@@ -388,37 +490,134 @@ def run_sweep(
             else:
                 yield i, batch, next(miss_stream), False
 
-    def consume(miss_stream: Iterator[list[SweepRecord]]) -> None:
+    def consume(miss_stream: Iterator[list[SweepRecord] | None]) -> None:
         for done, (i, batch, records, was_cached) in enumerate(
             in_order(miss_stream), 1
         ):
-            result.records.extend(records)
-            if was_cached:
+            if records is None:
+                # Quarantined under fail_policy="degrade": nothing lands,
+                # nothing is cached, so a resume re-attempts this batch.
+                result.n_quarantined_batches += 1
+            elif was_cached:
+                result.records.extend(records)
                 result.n_cached_batches += 1
             else:
+                result.records.extend(records)
                 result.n_computed_batches += 1
                 n_sim = classes_at(batch.nthreads)
                 result.n_simulated_configs += n_sim
                 result.n_pruned_configs += len(records) - n_sim
                 if cache is not None:
                     cache.put(keys[i], records)
+                    fault = (chaos.cache_fault(i) if chaos is not None
+                             else None)
+                    if fault is not None:
+                        apply_cache_fault(cache.path_for(keys[i]), fault)
             if progress is not None:
                 progress(done, total, batch.app, batch.input_size,
                          batch.nthreads)
 
-    if n_processes > 1 and len(misses) > 1:
-        n_workers = min(n_processes, len(misses))
-        with _make_pool(n_workers, plan, space) as pool:
-            stream = pool.imap(
-                _worker_run_batch,
-                [batches[i] for i in misses],
-                chunksize=_chunksize(len(misses), n_workers),
-            )
-            consume(stream)
-    else:
-        configs = space.grid(machine, plan.scale, seed=plan.seed)
-        consume(
-            _execute_batch(plan, machine, configs, batches[i])
-            for i in misses
+    def inline_stream() -> Iterator[list[SweepRecord] | None]:
+        """Serial execution with the same retry/quarantine semantics.
+
+        Chaos worker faults that cannot be survived in-process (a real
+        crash or hang would take the sweep down with it) are simulated as
+        the failure they would produce under supervision.
+        """
+        for i in misses:
+            attempt = 0
+            while True:
+                kind = cause = records = None
+                fault = (chaos.worker_fault(i, attempt)
+                         if chaos is not None else None)
+                if fault == "crash":
+                    kind = "crash"
+                    cause = (f"injected worker crash (serial mode, exit "
+                             f"{CHAOS_CRASH_EXIT})")
+                elif fault == "hang":
+                    kind = "timeout"
+                    cause = ("injected hang exceeded the batch deadline "
+                             "(serial mode)")
+                else:
+                    if fault == "corrupt-result":
+                        records = corrupted_payload(i)
+                    else:
+                        try:
+                            records = _execute_batch(
+                                plan, machine, configs, batches[i]
+                            )
+                        except Exception as exc:
+                            kind = "error"
+                            cause = f"{type(exc).__name__}: {exc}"
+                    if kind is None:
+                        error = _validate_batch_records(records)
+                        if error is not None:
+                            kind, cause, records = (
+                                "corrupt-result", error, None
+                            )
+                if kind is None:
+                    if attempt > 0:
+                        ledger.record_success(i)
+                    yield records
+                    break
+                if ledger.record_failure(i, batches[i], attempt, kind,
+                                         cause):
+                    time.sleep(policy.delay_s(i, attempt + 1))
+                    attempt += 1
+                    continue
+                if fail_policy == "raise":
+                    raise PoisonBatchError(
+                        f"batch {i} quarantined after {attempt + 1} failed "
+                        f"attempt(s) (last: {kind}: {cause}) under "
+                        "fail_policy='raise'"
+                    )
+                yield None
+                break
+
+    def build_report(worker_respawns: int = 0) -> FailureReport:
+        return ledger.build_report(
+            injected=chaos.describe() if chaos is not None else (),
+            cache_corrupt_keys=(cache.corrupt_keys if cache is not None
+                                else ()),
+            worker_respawns=worker_respawns,
         )
+
+    supervisor: Supervisor | None = None
+    try:
+        if n_processes > 1 and len(misses) > 1:
+            timeout = (
+                batch_timeout_s if batch_timeout_s is not None
+                else _batch_timeout_s(len(configs), plan.repetitions)
+            )
+            tasks = [
+                SupervisedTask(
+                    task_id=t, index=i, payload=(i, batches[i]),
+                    timeout_s=timeout, identity=batches[i],
+                )
+                for t, i in enumerate(misses)
+            ]
+            supervisor = _make_supervisor(
+                min(n_processes, len(misses)), plan, space, chaos,
+                policy, fail_policy,
+            )
+            consume(supervisor.stream(tasks, ledger))
+        else:
+            consume(inline_stream())
+    except BaseException as exc:
+        # Flush batches that completed before the failure so landed work
+        # survives a Ctrl-C or a poison batch under fail_policy="raise".
+        if supervisor is not None and cache is not None:
+            for task_id, records in supervisor.completed_unyielded():
+                cache.put(keys[misses[task_id]], records)
+        if isinstance(exc, PoisonBatchError):
+            exc.report = build_report(
+                supervisor.worker_respawns if supervisor is not None else 0
+            )
+        raise
+    finally:
+        if supervisor is not None:
+            supervisor.close()
+    result.failure_report = build_report(
+        supervisor.worker_respawns if supervisor is not None else 0
+    )
     return result

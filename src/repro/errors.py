@@ -22,6 +22,10 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
     "CheckFailure",
+    "ResilienceError",
+    "WorkerCrashError",
+    "BatchTimeoutError",
+    "PoisonBatchError",
     "DatasetError",
     "SchemaError",
     "CacheError",
@@ -104,6 +108,33 @@ class DeadlockError(SimulationError):
 class CheckFailure(ReproError):
     """A verification check (invariant, metamorphic relation, differential
     comparison, or golden-trace match) found a violation."""
+
+
+# --------------------------------------------------------------------------
+# Resilience (supervised sweep execution)
+# --------------------------------------------------------------------------
+class ResilienceError(ReproError):
+    """The supervised execution layer failed unrecoverably (worker
+    initialization error, respawn budget exhausted)."""
+
+
+class WorkerCrashError(ResilienceError):
+    """A sweep worker process died mid-batch (or chaos simulated it)."""
+
+
+class BatchTimeoutError(ResilienceError):
+    """A batch exceeded its wall-clock deadline (hung worker)."""
+
+
+class PoisonBatchError(ResilienceError):
+    """A batch kept failing past its retry budget under
+    ``fail_policy="raise"``.  Carries the sweep's
+    :class:`~repro.resilience.report.FailureReport` (when available) as
+    ``report`` so callers can see every attempt and cause."""
+
+    def __init__(self, message: str, report: object = None):
+        super().__init__(message)
+        self.report = report
 
 
 # --------------------------------------------------------------------------

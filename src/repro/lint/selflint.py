@@ -8,8 +8,10 @@ rules mechanically enforce the determinism contract on ``src/repro``:
   ``runtime/``): simulated time must come from the event loop, never the
   host clock.
 - **SIM002** — no unseeded randomness in model code (``desim/``,
-  ``runtime/``, ``arch/``): module-global ``random.*`` / legacy
-  ``numpy.random.*`` state, or ``default_rng()`` without a seed.
+  ``runtime/``, ``arch/``, ``resilience/``): module-global ``random.*`` /
+  legacy ``numpy.random.*`` state, or ``default_rng()`` without a seed.
+  The resilience layer is in scope because retry jitter and chaos-fault
+  placement feed the deterministic failure reports.
 - **SIM003** — no iteration over set expressions anywhere in the package:
   set order is hash-randomized across processes, so any record or report
   derived from it would be irreproducible.
@@ -60,7 +62,7 @@ DEFAULT_WAIVERS = Path(__file__).resolve().parent / "waivers.toml"
 #: rule id -> path-prefix scopes (relative to the linted root, "" = all).
 SELF_RULES: dict[str, tuple[str, ...]] = {
     "SIM001": ("desim/", "runtime/"),
-    "SIM002": ("desim/", "runtime/", "arch/"),
+    "SIM002": ("desim/", "runtime/", "arch/", "resilience/"),
     "SIM003": ("",),
     "SIM004": ("runtime/", "arch/", "workloads/", "desim/"),
     "SIM005": ("check/",),

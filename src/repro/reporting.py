@@ -23,12 +23,16 @@ __all__ = ["report_payload", "render_report", "write_report_file"]
 def report_payload(
     findings: Sequence[Finding] | None = None,
     checks: Sequence | None = None,
+    failure_report: object | None = None,
     **extra: object,
 ) -> dict:
     """One JSON-serializable payload for any mix of findings and checks.
 
-    ``extra`` keys (plane metadata: suites, stats, fuzz outcomes, prune
-    stats) are merged at the top level.
+    ``failure_report``, if given, is a sweep
+    :class:`~repro.resilience.report.FailureReport` (anything with
+    ``to_dict``/``format_text``).  ``extra`` keys (plane metadata:
+    suites, stats, fuzz outcomes, prune stats) are merged at the top
+    level.
     """
     payload: dict = {}
     if findings is not None:
@@ -42,6 +46,8 @@ def report_payload(
                 "checks": [r.to_dict() for r in checks],
             }
         )
+    if failure_report is not None:
+        payload["failure_report"] = failure_report.to_dict()
     payload.update(extra)
     return payload
 
@@ -50,6 +56,7 @@ def render_report(
     fmt: str,
     findings: Sequence[Finding] | None = None,
     checks: Sequence | None = None,
+    failure_report: object | None = None,
     **extra: object,
 ) -> str:
     """Render one report as ``text`` (human) or ``json`` (machine).
@@ -60,7 +67,8 @@ def render_report(
     """
     if fmt == "json":
         return json.dumps(
-            report_payload(findings=findings, checks=checks, **extra),
+            report_payload(findings=findings, checks=checks,
+                           failure_report=failure_report, **extra),
             indent=1,
         )
     if fmt != "text":
@@ -72,6 +80,8 @@ def render_report(
         sections.append(format_results(list(checks)))
     if findings is not None:
         sections.append(format_findings(list(findings)))
+    if failure_report is not None:
+        sections.append(failure_report.format_text())
     return "\n".join(sections)
 
 
@@ -79,13 +89,15 @@ def write_report_file(
     path: str | Path,
     findings: Sequence[Finding] | None = None,
     checks: Sequence | None = None,
+    failure_report: object | None = None,
     **extra: object,
 ) -> None:
     """Write the JSON report artifact (the CI job upload)."""
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(
-        render_report("json", findings=findings, checks=checks, **extra)
+        render_report("json", findings=findings, checks=checks,
+                      failure_report=failure_report, **extra)
         + "\n",
         encoding="utf-8",
     )

@@ -1,0 +1,64 @@
+"""Fault-tolerant sweep execution (``repro.resilience``).
+
+The paper's 240k+-sample campaigns are long-horizon measurement runs
+where partial failure is the norm: workers crash, hang, or return
+garbage, and on-disk cache entries rot.  This package keeps the sweep
+engine producing results under all of it (see ``docs/RESILIENCE.md``):
+
+- :mod:`repro.resilience.supervisor` — supervised worker processes with
+  per-batch deadlines, death/hang detection, respawn, and in-order
+  result streaming,
+- :mod:`repro.resilience.policy` — deterministic exponential backoff
+  with seeded jitter (SIM002-clean: no global RNG),
+- :mod:`repro.resilience.report` — per-batch failure accounting
+  (attempts, causes, quarantine/recovery) rendered through the shared
+  :mod:`repro.reporting` serializer,
+- :mod:`repro.resilience.chaos` — seeded, replayable fault injection
+  (worker crash/hang/corrupt payloads, cache torn-writes/bit-flips),
+  surfaced as ``repro-omp chaos`` and ``pytest -m chaos``.
+"""
+
+from repro.resilience.chaos import (
+    CACHE_FAULT_KINDS,
+    CHAOS_CRASH_EXIT,
+    FAULT_KINDS,
+    WORKER_FAULT_KINDS,
+    ChaosFault,
+    ChaosPlan,
+    apply_cache_fault,
+    corrupted_payload,
+    install_chaos,
+    installed_worker_fault,
+    trigger_worker_fault,
+)
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.report import (
+    FAILURE_KINDS,
+    BatchAttempt,
+    BatchFailure,
+    FailureLedger,
+    FailureReport,
+)
+from repro.resilience.supervisor import SupervisedTask, Supervisor
+
+__all__ = [
+    "RetryPolicy",
+    "BatchAttempt",
+    "BatchFailure",
+    "FailureLedger",
+    "FailureReport",
+    "FAILURE_KINDS",
+    "ChaosFault",
+    "ChaosPlan",
+    "FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
+    "CACHE_FAULT_KINDS",
+    "CHAOS_CRASH_EXIT",
+    "apply_cache_fault",
+    "corrupted_payload",
+    "install_chaos",
+    "installed_worker_fault",
+    "trigger_worker_fault",
+    "SupervisedTask",
+    "Supervisor",
+]

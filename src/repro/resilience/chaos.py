@@ -1,0 +1,251 @@
+"""Deterministic chaos injection for the supervised sweep path.
+
+A :class:`ChaosPlan` is a seeded, fully explicit list of faults keyed by
+batch index (and, for worker faults, by attempt number), so every failure
+scenario is *replayable*: the same plan against the same sweep produces
+the same :class:`~repro.resilience.report.FailureReport`, which is what
+the chaos determinism tests and the ``resilience-degrade-parity``
+differential check rely on.
+
+Five fault kinds:
+
+- ``crash`` — the worker process dies mid-batch (``os._exit``),
+- ``hang`` — the worker sleeps past its deadline; the supervisor must
+  kill and respawn it,
+- ``corrupt-result`` — the worker returns a garbage payload; the
+  supervisor's validation must catch it,
+- ``cache-torn-write`` — the batch's cache entry is truncated after the
+  write (a simulated power cut mid-``rename``-less write),
+- ``cache-bit-flip`` — one byte of the entry is flipped on disk (media
+  corruption); both cache faults must be detected by the cache's content
+  checksum on the next read and quarantined to ``<key>.corrupt``.
+
+Worker faults default to attempt 0 only, so a retry succeeds; a fault
+with ``attempts=None`` applies to *every* attempt, which is how a poison
+batch (quarantined after the retry budget) is modeled.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "WORKER_FAULT_KINDS",
+    "CACHE_FAULT_KINDS",
+    "FAULT_KINDS",
+    "CHAOS_CRASH_EXIT",
+    "HANG_SLEEP_S",
+    "CORRUPT_MARKER",
+    "ChaosFault",
+    "ChaosPlan",
+    "install_chaos",
+    "installed_worker_fault",
+    "trigger_worker_fault",
+    "corrupted_payload",
+    "apply_cache_fault",
+]
+
+WORKER_FAULT_KINDS = ("crash", "hang", "corrupt-result")
+CACHE_FAULT_KINDS = ("cache-torn-write", "cache-bit-flip")
+FAULT_KINDS = WORKER_FAULT_KINDS + CACHE_FAULT_KINDS
+
+#: Exit code a chaos-crashed worker dies with (shows up in the report).
+CHAOS_CRASH_EXIT = 13
+#: How long a chaos hang sleeps — far past any sane batch deadline.
+HANG_SLEEP_S = 3600.0
+#: Sentinel in a chaos-corrupted worker payload.
+CORRUPT_MARKER = "<chaos-corrupted>"
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One planned fault.
+
+    ``attempts`` is the tuple of attempt numbers the fault fires on
+    (default: first attempt only), or None for every attempt (poison).
+    Cache faults ignore ``attempts`` — they corrupt the entry once,
+    after it is written.
+    """
+
+    kind: str
+    batch_index: int
+    attempts: tuple[int, ...] | None = (0,)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown chaos fault kind {self.kind!r}; have {FAULT_KINDS}"
+            )
+        if self.batch_index < 0:
+            raise ConfigError("batch_index must be >= 0")
+
+    def applies(self, attempt: int) -> bool:
+        """Whether this fault fires on the given attempt number."""
+        return self.attempts is None or attempt in self.attempts
+
+    def describe(self) -> dict:
+        """JSON-ready form of this fault."""
+        return {
+            "kind": self.kind,
+            "batch_index": self.batch_index,
+            "attempts": ("all" if self.attempts is None
+                         else list(self.attempts)),
+        }
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded, replayable set of faults for one sweep."""
+
+    seed: int = 0
+    faults: tuple[ChaosFault, ...] = ()
+
+    @classmethod
+    def generate(
+        cls,
+        n_batches: int,
+        seed: int = 0,
+        crashes: int = 1,
+        hangs: int = 1,
+        corrupt_results: int = 0,
+        cache_faults: int = 1,
+        poison: int = 0,
+    ) -> "ChaosPlan":
+        """Draw a plan with the given fault counts on distinct batches.
+
+        Deterministic for a given ``(seed, n_batches, counts)``: the
+        target indices come from ``random.Random(f"chaos:{seed}")``,
+        never from global RNG state.  Poison faults are crashes with
+        ``attempts=None`` — they defeat every retry.
+        """
+        counts = {
+            "crashes": crashes,
+            "hangs": hangs,
+            "corrupt_results": corrupt_results,
+            "cache_faults": cache_faults,
+            "poison": poison,
+        }
+        for name, count in counts.items():
+            if count < 0:
+                raise ConfigError(f"{name} must be >= 0")
+        needed = sum(counts.values())
+        if needed > n_batches:
+            raise ConfigError(
+                f"plan needs {needed} distinct batches but the sweep has "
+                f"only {n_batches}"
+            )
+        rng = random.Random(f"chaos:{seed}")
+        indices = iter(rng.sample(range(n_batches), needed))
+        faults = []
+        for _ in range(crashes):
+            faults.append(ChaosFault("crash", next(indices)))
+        for _ in range(hangs):
+            faults.append(ChaosFault("hang", next(indices)))
+        for _ in range(corrupt_results):
+            faults.append(ChaosFault("corrupt-result", next(indices)))
+        for _ in range(cache_faults):
+            faults.append(
+                ChaosFault(rng.choice(CACHE_FAULT_KINDS), next(indices),
+                           attempts=None)
+            )
+        for _ in range(poison):
+            faults.append(ChaosFault("crash", next(indices), attempts=None))
+        ordered = tuple(
+            sorted(faults, key=lambda f: (f.batch_index, f.kind))
+        )
+        return cls(seed=seed, faults=ordered)
+
+    def worker_fault(self, batch_index: int, attempt: int) -> str | None:
+        """The worker-side fault kind to inject for this attempt, if any."""
+        for fault in self.faults:
+            if (fault.kind in WORKER_FAULT_KINDS
+                    and fault.batch_index == batch_index
+                    and fault.applies(attempt)):
+                return fault.kind
+        return None
+
+    def cache_fault(self, batch_index: int) -> str | None:
+        """The cache-entry fault to apply after this batch's put, if any."""
+        for fault in self.faults:
+            if (fault.kind in CACHE_FAULT_KINDS
+                    and fault.batch_index == batch_index):
+                return fault.kind
+        return None
+
+    def describe(self) -> list[dict]:
+        """JSON-ready fault list (the report's ``injected`` section)."""
+        return [f.describe() for f in self.faults]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; invert with :meth:`from_dict`."""
+        return {"seed": self.seed, "faults": self.describe()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChaosPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        try:
+            faults = tuple(
+                ChaosFault(
+                    kind=f["kind"],
+                    batch_index=f["batch_index"],
+                    attempts=(None if f.get("attempts") == "all"
+                              else tuple(f.get("attempts", (0,)))),
+                )
+                for f in payload["faults"]
+            )
+            return cls(seed=payload["seed"], faults=faults)
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(f"malformed chaos plan: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Worker-side injection
+# ----------------------------------------------------------------------
+#: The plan installed in this process (workers install it at init).
+_INSTALLED: ChaosPlan | None = None
+
+
+def install_chaos(plan: ChaosPlan | None) -> None:
+    """Install (or clear) the chaos plan for this process's workers."""
+    global _INSTALLED
+    _INSTALLED = plan
+
+
+def installed_worker_fault(batch_index: int, attempt: int) -> str | None:
+    """The installed plan's worker fault for this attempt, if any."""
+    if _INSTALLED is None:
+        return None
+    return _INSTALLED.worker_fault(batch_index, attempt)
+
+
+def trigger_worker_fault(kind: str) -> None:
+    """Execute a worker-side fault *inside the worker process*."""
+    if kind == "crash":
+        os._exit(CHAOS_CRASH_EXIT)
+    if kind == "hang":
+        time.sleep(HANG_SLEEP_S)
+
+
+def corrupted_payload(batch_index: int) -> list:
+    """What a chaos-corrupted worker returns instead of records."""
+    return [CORRUPT_MARKER, batch_index]
+
+
+def apply_cache_fault(path: str | os.PathLike, kind: str) -> None:
+    """Corrupt one on-disk cache entry in place (supervisor side)."""
+    path = Path(path)
+    data = path.read_bytes()
+    if kind == "cache-torn-write":
+        path.write_bytes(data[: max(1, len(data) // 2)])
+    elif kind == "cache-bit-flip":
+        mid = len(data) // 2
+        flipped = bytes([data[mid] ^ 0x08])
+        path.write_bytes(data[:mid] + flipped + data[mid + 1:])
+    else:
+        raise ConfigError(f"unknown cache fault kind {kind!r}")

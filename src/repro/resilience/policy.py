@@ -1,0 +1,86 @@
+"""Deterministic retry policy for the supervised sweep path.
+
+A failed batch is retried with exponential backoff plus *seeded* jitter:
+the jitter draw is keyed by ``(seed, batch_index, attempt)``, so the full
+backoff schedule of any batch is a pure function of the policy — two runs
+of the same plan produce identical schedules (and therefore identical
+:class:`~repro.resilience.report.FailureReport` timings-free contents),
+which is what makes chaos scenarios replayable.  No process-global RNG is
+ever touched (the SIM002 self-lint covers this package).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, and how patiently, a failed batch is retried.
+
+    Attributes
+    ----------
+    max_retries:
+        Retries after the first attempt; a batch is quarantined as
+        *poison* after ``1 + max_retries`` failed attempts.
+    base_delay_s:
+        Backoff before the first retry.
+    backoff_factor:
+        Multiplier per further retry (exponential backoff).
+    max_delay_s:
+        Cap on the un-jittered backoff delay.
+    jitter:
+        Symmetric jitter fraction in ``[0, 1]``: the delay is scaled by a
+        seeded draw from ``[1 - jitter, 1 + jitter]``.
+    seed:
+        Base seed of the jitter stream (sweeps default it to the plan
+        seed).
+    """
+
+    max_retries: int = 2
+    base_delay_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.base_delay_s < 0:
+            raise ConfigError("base_delay_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if self.max_delay_s < self.base_delay_s:
+            raise ConfigError("max_delay_s must be >= base_delay_s")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError("jitter must be in [0, 1]")
+
+    def delay_s(self, batch_index: int, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of one batch.
+
+        Deterministic: the jitter RNG is seeded from
+        ``(seed, batch_index, attempt)``, never from global state.
+        """
+        if attempt < 1:
+            raise ConfigError(f"retry attempt must be >= 1, got {attempt}")
+        base = min(
+            self.base_delay_s * self.backoff_factor ** (attempt - 1),
+            self.max_delay_s,
+        )
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        rng = random.Random(f"backoff:{self.seed}:{batch_index}:{attempt}")
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+    def schedule(self, batch_index: int) -> tuple[float, ...]:
+        """The full backoff schedule one batch would experience."""
+        return tuple(
+            self.delay_s(batch_index, attempt)
+            for attempt in range(1, self.max_retries + 1)
+        )

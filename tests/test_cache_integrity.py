@@ -1,0 +1,122 @@
+"""Tests for the sweep cache's corruption detection and quarantine.
+
+The v4 on-disk format embeds a SHA-256 over the canonical records
+serialization; these tests prove the checksum catches real corruption
+modes (torn writes, bit flips, semantic tampering) and that corrupt
+entries are quarantined to ``<key>.corrupt`` — counted and preserved,
+never silently re-simulated.
+"""
+
+import json
+
+import pytest
+
+from repro.core.cache import CACHE_FORMAT_VERSION, SweepCache
+from repro.core.sweep import SweepPlan, run_sweep
+from repro.resilience.chaos import apply_cache_fault
+
+
+@pytest.fixture(scope="module")
+def records():
+    plan = SweepPlan(arch="milan", workload_names=("cg",), scale="small",
+                     repetitions=2)
+    return run_sweep(plan).records
+
+
+@pytest.fixture
+def cache(tmp_path, records):
+    cache = SweepCache(tmp_path)
+    cache.put("k", records)
+    return cache
+
+
+class TestChecksumRoundtrip:
+    def test_put_get_bit_identical(self, cache, records):
+        assert cache.get("k") == records
+
+    def test_payload_carries_checksum(self, cache):
+        payload = json.loads(cache.path_for("k").read_text())
+        assert payload["version"] == CACHE_FORMAT_VERSION
+        assert len(payload["sha256"]) == 64
+
+    def test_fsync_mode_roundtrips(self, tmp_path, records):
+        cache = SweepCache(tmp_path / "durable", fsync=True)
+        cache.put("k", records)
+        assert cache.get("k") == records
+
+
+class TestQuarantine:
+    @pytest.mark.parametrize("fault", ["cache-torn-write",
+                                       "cache-bit-flip"])
+    def test_injected_fault_detected_and_quarantined(self, cache, fault):
+        apply_cache_fault(cache.path_for("k"), fault)
+        assert cache.get("k") is None
+        assert cache.corrupt_keys == ["k"]
+        # The entry moved aside: the poisoned bytes stay inspectable,
+        # the live path is free for the recomputed batch.
+        assert not cache.path_for("k").exists()
+        assert cache.corrupt_path_for("k").exists()
+
+    def test_semantic_tamper_caught_by_checksum(self, cache):
+        """Valid JSON with one altered runtime must still fail: the
+        checksum covers record *content*, not just parseability."""
+        payload = json.loads(cache.path_for("k").read_text())
+        payload["records"][0]["runtimes"][0] += 1.0
+        cache.path_for("k").write_text(json.dumps(payload))
+        assert cache.get("k") is None
+        assert cache.corrupt_keys == ["k"]
+
+    def test_non_dict_payload_quarantined(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.path_for("junk").write_text("[1, 2, 3]")
+        assert cache.get("junk") is None
+        assert cache.corrupt_keys == ["junk"]
+
+    def test_missing_checksum_field_quarantined(self, cache):
+        payload = json.loads(cache.path_for("k").read_text())
+        del payload["sha256"]
+        cache.path_for("k").write_text(json.dumps(payload))
+        assert cache.get("k") is None
+        assert cache.corrupt_keys == ["k"]
+
+    def test_reput_after_quarantine_recovers(self, cache, records):
+        apply_cache_fault(cache.path_for("k"), "cache-bit-flip")
+        assert cache.get("k") is None
+        cache.put("k", records)
+        assert cache.get("k") == records
+
+
+class TestMissVsCorruption:
+    def test_version_mismatch_is_a_plain_miss(self, cache):
+        """A stale format is expected after upgrades — it must NOT be
+        flagged as corruption."""
+        payload = json.loads(cache.path_for("k").read_text())
+        payload["version"] = CACHE_FORMAT_VERSION + 1
+        cache.path_for("k").write_text(json.dumps(payload))
+        assert cache.get("k") is None
+        assert cache.corrupt_keys == []
+        assert cache.path_for("k").exists()  # left in place
+
+    def test_absent_key_is_a_plain_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        assert cache.get("nope") is None
+        assert cache.corrupt_keys == []
+
+
+class TestStats:
+    def test_counters_track_every_outcome(self, cache, records):
+        cache.get("k")                                     # hit
+        cache.get("absent")                                # miss
+        apply_cache_fault(cache.path_for("k"), "cache-torn-write")
+        cache.get("k")                                     # corrupt
+        stats = cache.stats
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2      # absent + quarantined
+        assert stats["writes"] == 1
+        assert stats["corrupt"] == 1
+        assert stats["corrupt_keys"] == ("k",)
+
+    def test_repr_mentions_corruption(self, cache):
+        apply_cache_fault(cache.path_for("k"), "cache-bit-flip")
+        cache.get("k")
+        assert "1 corrupt" in repr(cache)

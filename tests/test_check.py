@@ -27,6 +27,7 @@ from repro.check import (
     relation_cost_scaling,
     relation_default_speedup_unity,
     relation_serial_phase_threads,
+    resilience_degrade_parity,
     run_all,
     run_check,
     run_suite,
@@ -332,3 +333,36 @@ class TestCheckCLI:
         assert code == 0
         assert len(list(tmp_path.glob("*.json"))) == 4
         assert "blessed" in out
+
+
+# ----------------------------------------------------------------------
+# Resilience degrade+resume parity
+# ----------------------------------------------------------------------
+class TestResilienceDegradeParity:
+    def test_registered_in_differential_suite(self):
+        assert "resilience-degrade-parity" in [
+            name for name, _ in SUITES["differential"]
+        ]
+
+    def test_quick_degrade_parity(self):
+        out = resilience_degrade_parity()
+        assert "bit-identical" in out["details"]
+        assert out["n_quarantined"] >= 1
+        assert out["n_recovered"] >= 1
+
+    def test_silent_corruption_swallow_is_caught(self, monkeypatch):
+        """Regress the cache to its old behavior — corruption read as a
+        plain miss, never recorded — and the check must fail: resume
+        parity alone is not enough, the fault must be *observable*."""
+        from repro.core.cache import SweepCache
+
+        real_get = SweepCache.get
+
+        def swallowing(self, key):
+            records = real_get(self, key)
+            self.corrupt_keys.clear()
+            return records
+
+        monkeypatch.setattr(SweepCache, "get", swallowing)
+        with pytest.raises(CheckFailure, match="corrupt"):
+            resilience_degrade_parity()

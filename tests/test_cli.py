@@ -1,5 +1,7 @@
 """End-to-end tests of the repro-omp CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -228,3 +230,58 @@ class TestSweepCacheCLI:
         self._sweep(tmp_path, "--cache-dir", cache_dir)
         assert (tmp_path / "ds.csv").read_bytes() == first
         capsys.readouterr()
+
+
+class TestResilienceCLI:
+    """The sweep resilience flags and the chaos rehearsal subcommand."""
+
+    pytestmark = pytest.mark.chaos
+
+    def test_resilience_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["sweep", "--arch", "milan", "-o", "x.csv",
+             "--fail-policy", "degrade", "--max-retries", "5",
+             "--batch-timeout-s", "2.5", "--fsync-cache",
+             "--failure-report", "rep.json"]
+        )
+        assert args.fail_policy == "degrade" and args.max_retries == 5
+        assert args.batch_timeout_s == 2.5 and args.fsync_cache
+        assert args.failure_report == "rep.json"
+
+    def test_fail_policy_defaults_strict(self):
+        args = build_parser().parse_args(
+            ["sweep", "--arch", "milan", "-o", "x.csv"]
+        )
+        assert args.fail_policy == "raise" and not args.fsync_cache
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.command == "chaos"
+        assert args.crashes == args.hangs == args.poison == 1
+        assert args.cache_faults == 1 and args.fmt == "text"
+
+    def test_sweep_failure_report_written(self, tmp_path, capsys):
+        report = tmp_path / "rep.json"
+        assert main(["sweep", "--arch", "milan", "--workloads", "nqueens",
+                     "--scale", "small", "--repetitions", "1",
+                     "--fail-policy", "degrade",
+                     "--failure-report", str(report),
+                     "-o", str(tmp_path / "ds.csv")]) == 0
+        capsys.readouterr()
+        payload = json.loads(report.read_text())
+        assert payload["failure_report"]["n_failed_batches"] == 0
+        assert payload["failure_report"]["fail_policy"] == "degrade"
+
+    def test_chaos_scenario_end_to_end(self, tmp_path, capsys):
+        """The CI rehearsal: seeded faults in, parity verdict out."""
+        report = tmp_path / "chaos.json"
+        assert main(["chaos", "--seed", "0",
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "resume parity vs fault-free sweep: IDENTICAL" in out
+        assert "1/1 injected cache fault(s) caught by checksum" in out
+        payload = json.loads(report.read_text())
+        assert payload["chaos"]["resume_parity"] is True
+        assert payload["chaos"]["cache_faults_detected"] == 1
+        assert payload["failure_report"]["n_quarantined"] == 1
+        assert len(payload["chaos"]["chaos_plan"]["faults"]) == 5

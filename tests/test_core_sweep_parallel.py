@@ -4,8 +4,9 @@ The historical bug: ``run_sweep(n_processes > 1)`` used ``pool.map`` — a
 full barrier — so the ``progress`` callback documented as incremental
 fired only after the entire sweep had completed, and every batch payload
 re-pickled the full configuration grid.  These tests pin the streaming
-contract: results are consumed (and progress emitted) as each batch
-lands, and workers receive only a lightweight :class:`BatchSpec`.
+contract — results are consumed (and progress emitted) as each batch
+lands, and workers receive only a lightweight :class:`BatchSpec` — now
+through the supervised executor that replaced the bare pool.
 """
 
 import pytest
@@ -14,36 +15,33 @@ import repro.core.sweep as sweep_mod
 from repro.core.sweep import BatchSpec, SweepPlan, plan_batches, run_sweep
 
 
-class _LazyFakePool:
-    """In-process Pool stand-in whose ``imap`` computes lazily.
+class _LazyFakeSupervisor:
+    """In-process Supervisor stand-in whose ``stream`` computes lazily.
 
-    Each item is computed only when the consumer asks for the next
+    Each task is computed only when the consumer asks for the next
     result, so the event log distinguishes streaming consumption
-    (compute/progress interleaved) from a ``pool.map`` barrier (all
-    computes, then all progress).
+    (compute/progress interleaved) from a barrier (all computes, then
+    all progress).
     """
 
     def __init__(self, plan, space, log):
         sweep_mod._init_worker(plan, space)
         self.log = log
-        self.items = []
+        self.tasks = []
+        self.worker_respawns = 0
 
-    def imap(self, func, iterable, chunksize=1):
-        self.items = list(iterable)
-        assert chunksize >= 1
+    def stream(self, tasks, ledger=None):
+        self.tasks = list(tasks)
+        for task in self.tasks:
+            batch = task.payload[1]
+            self.log.append(("compute", batch.app, batch.input_size))
+            yield sweep_mod._supervised_run_batch(task.payload, 0)
 
-        def stream():
-            for item in self.items:
-                self.log.append(("compute", item.app, item.input_size))
-                yield func(item)
+    def completed_unyielded(self):
+        return []
 
-        return stream()
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc):
-        return False
+    def close(self):
+        pass
 
 
 @pytest.fixture
@@ -57,8 +55,9 @@ class TestStreamingProgress:
                                                      two_batch_plan):
         log = []
         monkeypatch.setattr(
-            sweep_mod, "_make_pool",
-            lambda n, plan, space: _LazyFakePool(plan, space, log),
+            sweep_mod, "_make_supervisor",
+            lambda n, plan, space, chaos, policy, fail_policy:
+            _LazyFakeSupervisor(plan, space, log),
         )
 
         def progress(done, total, app, inp, threads):
@@ -71,8 +70,8 @@ class TestStreamingProgress:
         n = len(plan_batches(two_batch_plan))
         assert n >= 2
         # Strict interleaving: compute_i is immediately followed by
-        # progress_i.  Under the old pool.map barrier the log would have
-        # been n computes followed by n progress calls.
+        # progress_i.  Under a barrier dispatch the log would have been
+        # n computes followed by n progress calls.
         assert kinds == ["compute", "progress"] * n
         dones = [e[1] for e in log if e[0] == "progress"]
         assert dones == list(range(1, n + 1))
@@ -81,22 +80,27 @@ class TestStreamingProgress:
                                               two_batch_plan):
         """The grid must live in worker state, not in batch payloads."""
         log = []
-        pools = []
+        supervisors = []
 
-        def make_pool(n, plan, space):
-            pool = _LazyFakePool(plan, space, log)
-            pools.append(pool)
-            return pool
+        def make_supervisor(n, plan, space, chaos, policy, fail_policy):
+            sup = _LazyFakeSupervisor(plan, space, log)
+            supervisors.append(sup)
+            return sup
 
-        monkeypatch.setattr(sweep_mod, "_make_pool", make_pool)
+        monkeypatch.setattr(sweep_mod, "_make_supervisor", make_supervisor)
         run_sweep(two_batch_plan, n_processes=2)
-        (pool,) = pools
-        assert pool.items == plan_batches(two_batch_plan)
-        assert all(type(item) is BatchSpec for item in pool.items)
+        (sup,) = supervisors
+        batches = plan_batches(two_batch_plan)
+        assert [t.payload[1] for t in sup.tasks] == batches
+        assert all(type(t.payload[1]) is BatchSpec for t in sup.tasks)
+        # Task ids are the contiguous stream order; indices address the
+        # full batch list (here no cache, so they coincide).
+        assert [t.task_id for t in sup.tasks] == list(range(len(batches)))
+        assert [t.index for t in sup.tasks] == list(range(len(batches)))
         # The initializer materialized the grid once for the process.
         assert len(sweep_mod._WORKER_STATE["configs"]) > 1
 
-    def test_real_pool_progress_fires_per_batch_in_order(self):
+    def test_real_supervisor_progress_fires_per_batch_in_order(self):
         plan = SweepPlan(arch="milan", workload_names=("cg", "nqueens"),
                          scale="small", repetitions=2)
         calls = []
@@ -128,14 +132,22 @@ class TestParallelParity:
 
 
 class TestDispatchTuning:
-    def test_chunksize_floor_is_one(self):
-        assert sweep_mod._chunksize(3, 8) == 1
-
-    def test_chunksize_targets_four_chunks_per_worker(self):
-        assert sweep_mod._chunksize(96, 4) == 6
+    def test_batch_timeout_scales_with_batch_size(self):
+        small = sweep_mod._batch_timeout_s(10, 2)
+        large = sweep_mod._batch_timeout_s(1000, 4)
+        assert small >= sweep_mod.BASE_BATCH_TIMEOUT_S
+        assert large > small
 
     def test_invalid_fidelity_rejected(self):
         from repro.errors import ConfigError
 
         with pytest.raises(ConfigError):
             SweepPlan(arch="milan", fidelity="quantum")
+
+    def test_invalid_fail_policy_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            run_sweep(SweepPlan(arch="milan", workload_names=("cg",),
+                                inputs_limit=1),
+                      fail_policy="retry-forever")

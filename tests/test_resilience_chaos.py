@@ -1,0 +1,153 @@
+"""Tests for the deterministic chaos-injection plans.
+
+Runs under the ``chaos`` marker so ``pytest -m chaos`` exercises the
+fault-injection machinery behind ``repro-omp chaos``.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import ChaosFault, ChaosPlan
+from repro.resilience.chaos import (
+    CACHE_FAULT_KINDS,
+    CORRUPT_MARKER,
+    WORKER_FAULT_KINDS,
+    apply_cache_fault,
+    corrupted_payload,
+    install_chaos,
+    installed_worker_fault,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """Never leak an installed plan into other tests in this process."""
+    yield
+    install_chaos(None)
+
+
+class TestChaosFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosFault("meteor-strike", 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosFault("crash", -1)
+
+    def test_applies_default_first_attempt_only(self):
+        fault = ChaosFault("crash", 3)
+        assert fault.applies(0) and not fault.applies(1)
+
+    def test_poison_applies_to_every_attempt(self):
+        fault = ChaosFault("crash", 3, attempts=None)
+        assert all(fault.applies(a) for a in range(5))
+        assert fault.describe()["attempts"] == "all"
+
+
+class TestChaosPlanGenerate:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(crashes=1, hangs=1, corrupt_results=1,
+                      cache_faults=1, poison=1)
+        assert (ChaosPlan.generate(12, seed=5, **kwargs)
+                == ChaosPlan.generate(12, seed=5, **kwargs))
+
+    def test_faults_land_on_distinct_batches(self):
+        plan = ChaosPlan.generate(8, seed=2, crashes=2, hangs=2,
+                                  corrupt_results=2, cache_faults=1,
+                                  poison=1)
+        indices = [f.batch_index for f in plan.faults]
+        assert len(indices) == len(set(indices)) == 8
+
+    def test_too_many_faults_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosPlan.generate(3, crashes=2, hangs=2)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosPlan.generate(10, crashes=-1)
+
+    def test_roundtrip_through_dict(self):
+        plan = ChaosPlan.generate(10, seed=9, crashes=1, hangs=1,
+                                  corrupt_results=1, cache_faults=1,
+                                  poison=1)
+        assert ChaosPlan.from_dict(plan.to_dict()) == plan
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosPlan.from_dict({"seed": 0})
+
+    def test_no_global_rng_consumed(self):
+        import random
+
+        random.seed(99)
+        before = random.getstate()
+        ChaosPlan.generate(20, seed=4, crashes=3, cache_faults=2)
+        assert random.getstate() == before
+
+
+class TestFaultLookup:
+    @pytest.fixture
+    def plan(self):
+        return ChaosPlan(seed=0, faults=(
+            ChaosFault("crash", 0),
+            ChaosFault("hang", 1),
+            ChaosFault("crash", 2, attempts=None),     # poison
+            ChaosFault("cache-bit-flip", 3, attempts=None),
+        ))
+
+    def test_worker_fault_first_attempt_only(self, plan):
+        assert plan.worker_fault(0, 0) == "crash"
+        assert plan.worker_fault(0, 1) is None
+        assert plan.worker_fault(1, 0) == "hang"
+
+    def test_poison_fires_every_attempt(self, plan):
+        assert all(plan.worker_fault(2, a) == "crash" for a in range(4))
+
+    def test_cache_fault_separate_namespace(self, plan):
+        assert plan.cache_fault(3) == "cache-bit-flip"
+        assert plan.worker_fault(3, 0) is None
+        assert plan.cache_fault(0) is None
+
+    def test_clean_batch_has_no_fault(self, plan):
+        assert plan.worker_fault(9, 0) is None
+        assert plan.cache_fault(9) is None
+
+    def test_installed_plan_lookup(self, plan):
+        assert installed_worker_fault(0, 0) is None  # nothing installed
+        install_chaos(plan)
+        assert installed_worker_fault(0, 0) == "crash"
+        install_chaos(None)
+        assert installed_worker_fault(0, 0) is None
+
+
+class TestFaultEffects:
+    def test_corrupted_payload_is_not_records(self):
+        payload = corrupted_payload(7)
+        assert CORRUPT_MARKER in payload and 7 in payload
+
+    def test_torn_write_truncates(self, tmp_path):
+        victim = tmp_path / "entry.json"
+        victim.write_bytes(b"x" * 100)
+        apply_cache_fault(victim, "cache-torn-write")
+        assert len(victim.read_bytes()) == 50
+
+    def test_bit_flip_changes_one_byte_same_length(self, tmp_path):
+        victim = tmp_path / "entry.json"
+        original = bytes(range(64))
+        victim.write_bytes(original)
+        apply_cache_fault(victim, "cache-bit-flip")
+        flipped = victim.read_bytes()
+        assert len(flipped) == len(original)
+        assert sum(a != b for a, b in zip(original, flipped)) == 1
+
+    def test_unknown_cache_fault_rejected(self, tmp_path):
+        victim = tmp_path / "entry.json"
+        victim.write_bytes(b"data")
+        with pytest.raises(ConfigError):
+            apply_cache_fault(victim, "cache-gamma-ray")
+
+    def test_kind_partition(self):
+        assert not set(WORKER_FAULT_KINDS) & set(CACHE_FAULT_KINDS)

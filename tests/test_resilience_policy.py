@@ -1,0 +1,77 @@
+"""Tests for the deterministic retry/backoff policy."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import RetryPolicy
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [
+        dict(max_retries=-1),
+        dict(base_delay_s=-0.1),
+        dict(backoff_factor=0.5),
+        dict(max_delay_s=0.01, base_delay_s=0.05),
+        dict(jitter=1.5),
+        dict(jitter=-0.1),
+    ])
+    def test_bad_parameters_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**bad)
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy().delay_s(0, 0)
+
+
+class TestBackoffShape:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(max_retries=4, base_delay_s=0.1,
+                             backoff_factor=2.0, max_delay_s=100.0,
+                             jitter=0.0)
+        assert policy.schedule(0) == pytest.approx((0.1, 0.2, 0.4, 0.8))
+
+    def test_cap_at_max_delay(self):
+        policy = RetryPolicy(max_retries=6, base_delay_s=1.0,
+                             backoff_factor=10.0, max_delay_s=2.0,
+                             jitter=0.0)
+        assert all(d <= 2.0 for d in policy.schedule(0))
+        assert policy.delay_s(0, 6) == 2.0
+
+    def test_zero_base_delay_stays_zero(self):
+        policy = RetryPolicy(base_delay_s=0.0, max_delay_s=0.0)
+        assert policy.delay_s(3, 1) == 0.0
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(max_retries=3, base_delay_s=0.1,
+                             backoff_factor=2.0, max_delay_s=10.0,
+                             jitter=0.25)
+        for batch in range(20):
+            for attempt in (1, 2, 3):
+                base = min(0.1 * 2.0 ** (attempt - 1), 10.0)
+                delay = policy.delay_s(batch, attempt)
+                assert base * 0.75 <= delay <= base * 1.25
+
+
+class TestDeterminism:
+    def test_same_inputs_same_delay(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        for batch in range(10):
+            assert a.schedule(batch) == b.schedule(batch)
+
+    def test_delay_varies_across_batches_and_seeds(self):
+        policy = RetryPolicy(seed=0)
+        delays = {policy.delay_s(batch, 1) for batch in range(16)}
+        assert len(delays) > 1, "jitter must decorrelate batches"
+        assert (RetryPolicy(seed=0).delay_s(0, 1)
+                != RetryPolicy(seed=1).delay_s(0, 1))
+
+    def test_no_global_rng_consumed(self):
+        """The jitter stream must not touch ``random``'s module state."""
+        import random
+
+        random.seed(1234)
+        before = random.getstate()
+        RetryPolicy(seed=3).schedule(5)
+        assert random.getstate() == before
