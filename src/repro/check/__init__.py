@@ -18,6 +18,7 @@ The CLI subcommand and the pytest marker run the same check functions.
 from repro.check.differential import (
     GOLDEN_CASES,
     bless_golden_traces,
+    columnar_pipeline_parity,
     default_golden_dir,
     differential_parity,
     golden_trace_check,
@@ -65,6 +66,7 @@ __all__ = [
     "differential_parity",
     "pruning_parity",
     "resilience_degrade_parity",
+    "columnar_pipeline_parity",
     "golden_trace_check",
     "bless_golden_traces",
     "SUITES",

@@ -37,6 +37,7 @@ __all__ = [
     "differential_parity",
     "pruning_parity",
     "resilience_degrade_parity",
+    "columnar_pipeline_parity",
     "golden_trace_check",
     "verify_bless_stability",
     "bless_golden_traces",
@@ -248,6 +249,122 @@ def resilience_degrade_parity(plan: SweepPlan | None = None) -> dict:
         "n_failed_batches": report.n_failed_batches,
         "n_quarantined": report.n_quarantined,
         "n_recovered": report.n_recovered,
+    }
+
+
+def columnar_pipeline_parity(plan: SweepPlan | None = None) -> dict:
+    """The packed columnar record path must be invisible end-to-end.
+
+    One plan's records travel every columnar hop — packing into a
+    :class:`~repro.frame.columns.RecordBlock`, the JSON payload
+    round-trip (the spool/cache wire shape), a cache format v5 store and
+    load, and the block-backed dataset table — and every hop must
+    reproduce the dict path bit-identically.  The vectorized frame fast
+    paths (``group_by``, ``join``, stable descending ``sort_by``) are
+    then compared against their hash-based python reference
+    implementations on the resulting dataset table.
+    """
+    from repro.core.dataset import enrich_with_speedup, records_to_table
+    from repro.core.sweep import (
+        sweep_block_to_records,
+        sweep_records_to_block,
+    )
+    from repro.frame.columns import RecordBlock
+
+    plan = plan or _quick_plan()
+    records = run_sweep(plan).records
+    if not records:
+        raise CheckFailure("columnar-parity plan produced no records")
+
+    block = sweep_records_to_block(records)
+    if sweep_block_to_records(block) != records:
+        raise CheckFailure(
+            "columnar pack/unpack round-trip altered the records"
+        )
+    payload = json.loads(json.dumps(block.to_payload()))
+    if sweep_block_to_records(RecordBlock.from_payload(payload)) != records:
+        raise CheckFailure(
+            "columnar JSON payload round-trip altered the records"
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
+        cache = SweepCache(Path(tmp) / "cache")
+        key = "f" * 64
+        cache.put(key, block)
+        if cache.get(key) != records:
+            raise CheckFailure(
+                "cache format v5 round-trip altered the records"
+            )
+        if cache.corrupt_keys:
+            raise CheckFailure(
+                "cache format v5 round-trip flagged a healthy entry as "
+                "corrupt"
+            )
+
+    table_dict = records_to_table(list(records))
+    table_block = records_to_table(block)
+    if table_dict.column_names != table_block.column_names:
+        raise CheckFailure(
+            "block-backed dataset table changed the column set: "
+            f"{table_dict.column_names} vs {table_block.column_names}"
+        )
+    if table_dict.to_records() != table_block.to_records():
+        raise CheckFailure(
+            "block-backed dataset table diverged from the dict path"
+        )
+    enriched = enrich_with_speedup(table_block)
+    if enriched.to_records() != enrich_with_speedup(table_dict).to_records():
+        raise CheckFailure(
+            "speedup enrichment diverged between the block and dict paths"
+        )
+
+    keys = ["app", "input_size", "num_threads"]
+    fast = enriched.group_by(keys)
+    reference = enriched._group_by_python(keys)
+    if [k for k, _ in fast] != [k for k, _ in reference] or any(
+        a.to_records() != b.to_records()
+        for (_, a), (_, b) in zip(fast, reference)
+    ):
+        raise CheckFailure(
+            "vectorized group_by diverged from the python reference"
+        )
+
+    best = enriched.aggregate(["app"], {"speedup": "max"})
+    joined_fast = enriched._join_fast(best, ["app"], "inner")
+    joined_ref = enriched._join_python(best, ["app"], "inner")
+    if joined_fast is None:
+        raise CheckFailure(
+            "vectorized join refused a factorizable dataset key"
+        )
+    if joined_fast.to_records() != joined_ref.to_records():
+        raise CheckFailure(
+            "vectorized join diverged from the python reference"
+        )
+
+    tagged = enriched.with_column("_row", list(range(enriched.num_rows)))
+    by_app = tagged.sort_by("app", descending=True)
+    apps = list(by_app.column("app"))
+    rows = [int(v) for v in by_app.column("_row")]
+    for i in range(len(apps) - 1):
+        if apps[i] < apps[i + 1]:
+            raise CheckFailure(
+                "descending sort produced a non-descending key sequence"
+            )
+        if apps[i] == apps[i + 1] and rows[i] > rows[i + 1]:
+            raise CheckFailure(
+                "descending sort broke the stable-tie contract: equal "
+                "keys reordered"
+            )
+    return {
+        "details": (
+            f"{len(records)} records bit-identical through "
+            "pack/payload/cache-v5/table hops; vectorized group_by "
+            f"({len(fast)} groups), join ({joined_fast.num_rows} rows) "
+            "and stable descending sort match the python reference"
+        ),
+        "n_records": len(records),
+        "n_groups": len(fast),
+        "block_nbytes": block.nbytes(),
     }
 
 

@@ -44,6 +44,8 @@ SUITES: dict[str, tuple] = {
         ("equivalence-pruning-parity", differential.pruning_parity),
         ("resilience-degrade-parity",
          differential.resilience_degrade_parity),
+        ("columnar-pipeline-parity",
+         differential.columnar_pipeline_parity),
         ("golden-traces", differential.golden_trace_check),
     ),
 }
@@ -70,7 +72,8 @@ def run_suite(
             body = lambda fn=fn: fn(golden_dir=golden_dir)
         elif (
             name in ("execution-path-parity", "equivalence-pruning-parity",
-                     "resilience-degrade-parity")
+                     "resilience-degrade-parity",
+                     "columnar-pipeline-parity")
             and not quick
         ):
             body = lambda fn=fn: fn(plan=differential.full_plan())

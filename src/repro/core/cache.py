@@ -24,16 +24,20 @@ batch's contents depend on:
 
 Entries are one JSON file per batch named ``<key>.json``, written
 atomically (temp file + rename, optionally fsync'd) so a killed sweep
-never leaves a torn entry.  Every payload embeds a SHA-256 over the
-canonical serialization of its records, verified on read: an entry that
-fails to parse, fails its checksum, or holds malformed records is
-**quarantined** — moved aside to ``<key>.corrupt`` and counted in
-:attr:`SweepCache.stats` — never silently re-simulated, so disk
-corruption is observable (and surfaces in the sweep's
+never leaves a torn entry.  Since format v5 the payload is a **packed
+columnar frame** (:class:`~repro.frame.columns.RecordBlock` — flat typed
+column arrays plus a string-interning table, see ``docs/COLUMNAR.md``)
+instead of one JSON object per record: identity strings are stored once
+each, and the entry is a fraction of the v4 size.  Every payload embeds
+a SHA-256 over the canonical serialization of its frame, verified on
+read: an entry that fails to parse, fails its checksum, or holds a
+malformed frame is **quarantined** — moved aside to ``<key>.corrupt``
+and counted in :attr:`SweepCache.stats` — never silently re-simulated,
+so disk corruption is observable (and surfaces in the sweep's
 :class:`~repro.resilience.report.FailureReport`).  A version-mismatched
-entry is a legitimate miss, not corruption.  Because runtimes round-trip
-JSON exactly (``repr``-based float serialization), cached records are
-bit-identical to freshly simulated ones.
+entry (v4 and older) is a legitimate miss, not corruption.  Because
+runtimes round-trip JSON exactly (``repr``-based float serialization),
+cached records are bit-identical to freshly simulated ones.
 """
 
 from __future__ import annotations
@@ -42,12 +46,20 @@ import dataclasses
 import hashlib
 import json
 import os
+import re
 from collections.abc import Sequence
 from pathlib import Path
 
 from repro.arch.topology import MachineTopology
-from repro.core.sweep import BatchSpec, SweepPlan, SweepRecord
-from repro.errors import CacheError, UnknownMachine
+from repro.core.sweep import (
+    BatchSpec,
+    SweepPlan,
+    SweepRecord,
+    sweep_block_to_records,
+    sweep_records_to_block,
+)
+from repro.errors import CacheError, FrameError, UnknownMachine
+from repro.frame.columns import RecordBlock
 from repro.runtime.costs import get_costs
 from repro.runtime.icv import EnvConfig
 
@@ -61,7 +73,10 @@ __all__ = ["CACHE_FORMAT_VERSION", "SweepCache", "batch_key",
 #: identical runtimes), so v2 record contents are stale.
 #: v4: payloads carry a content checksum (``sha256`` over the canonical
 #: records serialization), verified on every read.
-CACHE_FORMAT_VERSION = 4
+#: v5: payloads store one packed columnar frame (``frame``) instead of a
+#: per-record dict list; the checksum now covers the canonical frame
+#: serialization.  v4 entries read as plain misses.
+CACHE_FORMAT_VERSION = 5
 
 _CONFIG_FIELDS = (
     "num_threads",
@@ -73,6 +88,10 @@ _CONFIG_FIELDS = (
     "force_reduction",
     "align_alloc",
 )
+
+
+#: A live entry's file name: the SHA-256 content address plus ``.json``.
+_ENTRY_NAME_RE = re.compile(r"\A[0-9a-f]{64}\.json\Z")
 
 
 def grid_fingerprint(configs: Sequence[EnvConfig]) -> str:
@@ -125,6 +144,12 @@ def batch_key(
 
 
 def _record_to_dict(record: SweepRecord) -> dict:
+    """Legacy (v4) per-record dict codec.
+
+    No longer the storage format; kept as the reference representation
+    the ``columnar-pipeline-parity`` check and the record-pipeline
+    benchmarks compare the packed frame path against.
+    """
     return {
         "arch": record.arch,
         "app": record.app,
@@ -136,20 +161,21 @@ def _record_to_dict(record: SweepRecord) -> dict:
     }
 
 
-def _canonical_records(records_payload: list) -> bytes:
+def _canonical_payload(payload: object) -> bytes:
     """The byte string the content checksum covers.
 
-    Canonical JSON (sorted keys, no whitespace) of the records payload:
-    identical whether computed from freshly built dicts at put time or
-    from the parsed payload at get time, because JSON floats round-trip
-    via ``repr`` exactly.
+    Canonical JSON (sorted keys, no whitespace) of the frame payload:
+    identical whether computed from the freshly packed frame at put time
+    or from the parsed payload at get time, because JSON floats
+    round-trip via ``repr`` exactly.
     """
     return json.dumps(
-        records_payload, sort_keys=True, separators=(",", ":")
+        payload, sort_keys=True, separators=(",", ":")
     ).encode("utf-8")
 
 
 def _record_from_dict(payload: dict) -> SweepRecord:
+    """Inverse of :func:`_record_to_dict` (legacy v4 reference codec)."""
     try:
         return SweepRecord(
             arch=payload["arch"],
@@ -201,8 +227,10 @@ class SweepCache:
 
     @property
     def stats(self) -> dict:
-        """Session counters; ``corrupt`` makes disk rot observable."""
+        """Session counters plus the on-disk entry count; ``corrupt``
+        makes disk rot observable."""
         return {
+            "entries": len(self),
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
@@ -251,45 +279,55 @@ class SweepCache:
             self._quarantine(key)
             return None
         if payload.get("version") != CACHE_FORMAT_VERSION:
-            # A stale on-disk format is expected after upgrades — a
-            # legitimate miss, not corruption.
+            # A stale on-disk format (v4 and older) is expected after
+            # upgrades — a legitimate miss, not corruption.
             self.misses += 1
             return None
-        records_payload = payload.get("records")
+        frame_payload = payload.get("frame")
         digest = payload.get("sha256")
         if (
-            not isinstance(records_payload, list)
+            not isinstance(frame_payload, dict)
             or digest is None
             or hashlib.sha256(
-                _canonical_records(records_payload)
+                _canonical_payload(frame_payload)
             ).hexdigest() != digest
         ):
             self._quarantine(key)
             return None
         try:
-            records = [_record_from_dict(d) for d in records_payload]
-        except CacheError:
+            records = sweep_block_to_records(
+                RecordBlock.from_payload(frame_payload)
+            )
+        except (FrameError, CacheError):
             self._quarantine(key)
             return None
         self.hits += 1
         return records
 
-    def put(self, key: str, records: Sequence[SweepRecord]) -> None:
+    def put(
+        self, key: str, records: "Sequence[SweepRecord] | RecordBlock"
+    ) -> None:
         """Persist one batch atomically under ``key``.
+
+        ``records`` is either a record list or an already-packed
+        :class:`~repro.frame.columns.RecordBlock` (what multiprocess
+        sweep workers spool home — stored without a re-pack).
 
         With ``fsync=True`` the entry is flushed to stable storage (file
         data before the rename, directory entry after) so a power cut
         cannot tear it — the durability mode for long unattended
         campaigns.
         """
-        records_payload = [_record_to_dict(r) for r in records]
+        block = (records if isinstance(records, RecordBlock)
+                 else sweep_records_to_block(records))
+        frame_payload = block.to_payload()
         payload = {
             "version": CACHE_FORMAT_VERSION,
             "key": key,
             "sha256": hashlib.sha256(
-                _canonical_records(records_payload)
+                _canonical_payload(frame_payload)
             ).hexdigest(),
-            "records": records_payload,
+            "frame": frame_payload,
         }
         path = self._path(key)
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")
@@ -311,8 +349,18 @@ class SweepCache:
         self.writes += 1
 
     def __len__(self) -> int:
-        """Number of live batch entries on disk (quarantined excluded)."""
-        return sum(1 for _ in self.root.glob("*.json"))
+        """Number of live batch entries on disk.
+
+        Counts only well-formed content-address names —
+        ``<64-hex-key>.json``, what :func:`batch_key` produces — so a
+        foreign or quarantine-adjacent file dropped into the cache
+        directory (``notes.json``, tooling output, a hand-renamed
+        ``.corrupt`` sibling) never inflates the entry count.
+        """
+        return sum(
+            1 for p in self.root.glob("*.json")
+            if _ENTRY_NAME_RE.match(p.name)
+        )
 
     def __repr__(self) -> str:
         return (

@@ -24,8 +24,9 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.sweep import SweepRecord
+from repro.core.sweep import SweepRecord, sweep_block_schema
 from repro.errors import DatasetError, SchemaError
+from repro.frame.columns import RecordBlock
 from repro.frame.table import Table
 from repro.runtime.icv import UNSET
 from repro.stats.descriptive import summarize
@@ -63,8 +64,17 @@ def _require(table: Table, columns: Sequence[str], op: str) -> None:
         raise SchemaError(f"{op}: missing columns {missing}")
 
 
-def records_to_table(records: Sequence[SweepRecord]) -> Table:
-    """Flatten sweep records into the dataset table."""
+def records_to_table(records: Sequence[SweepRecord] | RecordBlock) -> Table:
+    """Flatten sweep records into the dataset table.
+
+    Accepts either a sequence of :class:`SweepRecord` or a packed
+    :class:`~repro.frame.columns.RecordBlock` straight off the sweep
+    pipeline; the block path builds the table column-at-a-time without
+    materializing per-row dicts and yields the same table (pinned by the
+    ``columnar-pipeline-parity`` check).
+    """
+    if isinstance(records, RecordBlock):
+        return _block_to_dataset_table(records)
     if not records:
         raise DatasetError("no sweep records to tabulate")
     n_runs = len(records[0].runtimes)
@@ -94,6 +104,31 @@ def records_to_table(records: Sequence[SweepRecord]) -> Table:
             row[f"runtime_{i}"] = rt
         rows.append(row)
     return Table.from_records(rows)
+
+
+def _block_to_dataset_table(block: RecordBlock) -> Table:
+    """Columnar fast path of :func:`records_to_table`."""
+    if len(block) == 0:
+        raise DatasetError("no sweep records to tabulate")
+    width = block.columns["runtimes"].width if "runtimes" in block.columns \
+        else 1
+    expected = {
+        k: ((v, 1) if isinstance(v, str) else v)
+        for k, v in sweep_block_schema(width).items()
+    }
+    if block.schema != expected:
+        raise DatasetError(
+            f"not a sweep batch block: schema {block.schema}"
+        )
+    table = Table.from_block(
+        block,
+        vector_names={"runtimes": [f"runtime_{i}" for i in range(width)]},
+    ).without_columns(["cfg_num_threads"])
+    # align None (unset) travels as -1 in the block; the dataset encodes
+    # it as 0 so the column stays numeric (same as the dict path).
+    align = table.column("align_alloc").copy()
+    align[align < 0] = 0
+    return table.with_column("align_alloc", align)
 
 
 def run_columns(table: Table) -> list[str]:

@@ -68,6 +68,9 @@ __all__ = [
     "equivalence_groups",
     "plan_batches",
     "run_sweep",
+    "sweep_block_schema",
+    "sweep_records_to_block",
+    "sweep_block_to_records",
 ]
 
 
@@ -191,6 +194,150 @@ class SweepResult:
 
 
 # ----------------------------------------------------------------------
+# Columnar batch codec
+# ----------------------------------------------------------------------
+#: ``str`` columns of the sweep-record block schema, in record order.
+_BLOCK_STR_FIELDS = (
+    "arch", "app", "suite", "input_size", "places", "proc_bind",
+    "schedule", "library", "blocktime", "force_reduction",
+)
+
+
+def sweep_block_schema(repetitions: int) -> dict:
+    """The :class:`~repro.frame.columns.RecordBlock` schema of one batch.
+
+    ``runtimes`` is a fixed-width float64 vector column (one slot per
+    repetition); the two None-able ints (``cfg_num_threads``,
+    ``align_alloc``) use ``-1`` sentinels — both are >= 1 when set.
+    """
+    return {
+        "arch": "str",
+        "app": "str",
+        "suite": "str",
+        "input_size": "str",
+        "num_threads": "i8",
+        "cfg_num_threads": "i8",
+        "places": "str",
+        "proc_bind": "str",
+        "schedule": "str",
+        "library": "str",
+        "blocktime": "str",
+        "force_reduction": "str",
+        "align_alloc": "i8",
+        "runtimes": ("f8", max(1, repetitions)),
+    }
+
+
+def sweep_records_to_block(records: "Sequence[SweepRecord]"):
+    """Pack sweep records into a typed columnar block.
+
+    Lossless and order-preserving: :func:`sweep_block_to_records` of the
+    result is element-wise equal to ``records`` (pinned by the
+    ``columnar-pipeline-parity`` check).  All records must share one
+    repetition count — the sweep invariant.
+    """
+    from repro.errors import FrameError
+    from repro.frame.columns import RecordBlock
+
+    reps = len(records[0].runtimes) if records else 1
+    if reps == 0:
+        raise FrameError("cannot pack a record with zero runtimes")
+    for r in records:
+        if len(r.runtimes) != reps:
+            raise FrameError(
+                f"inconsistent repetition counts in one batch: "
+                f"{len(r.runtimes)} vs {reps}"
+            )
+    block = RecordBlock(sweep_block_schema(reps))
+    cols = block.columns
+    cfgs = [r.config for r in records]
+    # Column-at-a-time bulk appends: one C-level array extend per
+    # column instead of 14 python-level appends per record.  Strings
+    # therefore intern in column order (still deterministic for a given
+    # record sequence, which is all the cache checksum needs).
+    cols["arch"].extend_cells(r.arch for r in records)
+    cols["app"].extend_cells(r.app for r in records)
+    cols["suite"].extend_cells(r.suite for r in records)
+    cols["input_size"].extend_cells(r.input_size for r in records)
+    cols["num_threads"].extend_cells(int(r.num_threads) for r in records)
+    cols["cfg_num_threads"].extend_cells(
+        -1 if c.num_threads is None else int(c.num_threads) for c in cfgs
+    )
+    cols["places"].extend_cells(c.places for c in cfgs)
+    cols["proc_bind"].extend_cells(c.proc_bind for c in cfgs)
+    cols["schedule"].extend_cells(c.schedule for c in cfgs)
+    cols["library"].extend_cells(c.library for c in cfgs)
+    cols["blocktime"].extend_cells(c.blocktime for c in cfgs)
+    cols["force_reduction"].extend_cells(c.force_reduction for c in cfgs)
+    cols["align_alloc"].extend_cells(
+        -1 if c.align_alloc is None else int(c.align_alloc) for c in cfgs
+    )
+    # A width-1 vector column stores scalar cells.
+    if reps > 1:
+        cols["runtimes"].extend_cells(r.runtimes for r in records)
+    else:
+        cols["runtimes"].extend_cells(r.runtimes[0] for r in records)
+    return block
+
+
+def sweep_block_to_records(block) -> list[SweepRecord]:
+    """Unpack a columnar batch block back into :class:`SweepRecord` rows.
+
+    Column-at-a-time (one ``tolist`` per column, no per-cell NumPy
+    boxing); raises :class:`~repro.errors.FrameError` on any schema or
+    value mismatch, which the cache maps to quarantine.
+    """
+    from repro.errors import FrameError
+
+    width = block.columns["runtimes"].width if "runtimes" in block.columns \
+        else 1
+    expected = sweep_block_schema(width)
+    if block.schema != {k: ((v, 1) if isinstance(v, str) else v)
+                        for k, v in expected.items()}:
+        raise FrameError(
+            f"not a sweep batch block: schema {block.schema}"
+        )
+    cols = {name: arr.tolist() for name, arr in block.to_arrays().items()}
+    for name in _BLOCK_STR_FIELDS:
+        if any(v is None for v in cols[name]):
+            raise FrameError(f"sweep batch block: null {name!r} cell")
+    records = []
+    for i in range(len(block)):
+        try:
+            config = EnvConfig(
+                num_threads=(
+                    None if cols["cfg_num_threads"][i] < 0
+                    else cols["cfg_num_threads"][i]
+                ),
+                places=cols["places"][i],
+                proc_bind=cols["proc_bind"][i],
+                schedule=cols["schedule"][i],
+                library=cols["library"][i],
+                blocktime=cols["blocktime"][i],
+                force_reduction=cols["force_reduction"][i],
+                align_alloc=(
+                    None if cols["align_alloc"][i] < 0
+                    else cols["align_alloc"][i]
+                ),
+            )
+        except ConfigError as exc:
+            raise FrameError(
+                f"sweep batch block row {i}: invalid config: {exc}"
+            ) from exc
+        records.append(SweepRecord(
+            arch=cols["arch"][i],
+            app=cols["app"][i],
+            suite=cols["suite"][i],
+            input_size=cols["input_size"][i],
+            num_threads=cols["num_threads"][i],
+            config=config,
+            runtimes=(tuple(cols["runtimes"][i]) if width > 1
+                      else (cols["runtimes"][i],)),
+        ))
+    return records
+
+
+# ----------------------------------------------------------------------
 # Batch execution
 # ----------------------------------------------------------------------
 def equivalence_groups(
@@ -285,14 +432,22 @@ def _init_worker(
     _WORKER_STATE["configs"] = space.grid(machine, plan.scale, seed=plan.seed)
 
 
-def _worker_run_batch(batch: BatchSpec) -> list[SweepRecord]:
+def _worker_run_batch(batch: BatchSpec):
+    """Execute one batch and pack it columnar for the trip home.
+
+    Workers ship :class:`~repro.frame.columns.RecordBlock` payloads — a
+    handful of flat typed buffers plus an interning table — through the
+    supervisor's spool files instead of pickling one dict-shaped object
+    graph per record.  The supervisor side unpacks (and thereby
+    validates) them; records are bit-identical to serial execution.
+    """
     state = _WORKER_STATE
-    return _execute_batch(
+    return sweep_records_to_block(_execute_batch(
         state["plan"], state["machine"], state["configs"], batch
-    )
+    ))
 
 
-def _supervised_run_batch(payload: tuple, attempt: int) -> list[SweepRecord]:
+def _supervised_run_batch(payload: tuple, attempt: int):
     """Worker entry point: run one batch, honoring installed chaos.
 
     ``payload`` is ``(batch_index, batch)`` — the index keys the chaos
@@ -314,8 +469,23 @@ def _validate_batch_records(value: object) -> str | None:
 
     The supervisor treats a rejection as a ``corrupt-result`` attempt
     failure, so a worker returning garbage (bit-flipped IPC, chaos
-    injection) is retried instead of poisoning the dataset.
+    injection) is retried instead of poisoning the dataset.  Accepts
+    either form the pipeline moves: a packed
+    :class:`~repro.frame.columns.RecordBlock` (the multiprocess spool
+    payload — validated by a full decode) or a plain record list (the
+    serial path).
     """
+    from repro.errors import FrameError
+    from repro.frame.columns import RecordBlock
+
+    if isinstance(value, RecordBlock):
+        try:
+            records = sweep_block_to_records(value)
+        except FrameError as exc:
+            return f"worker returned an undecodable batch block: {exc}"
+        if records:
+            return None
+        return "worker returned an empty batch block"
     if (
         isinstance(value, list)
         and value
@@ -491,9 +661,17 @@ def run_sweep(
                 yield i, batch, next(miss_stream), False
 
     def consume(miss_stream: Iterator[list[SweepRecord] | None]) -> None:
+        from repro.frame.columns import RecordBlock
+
         for done, (i, batch, records, was_cached) in enumerate(
             in_order(miss_stream), 1
         ):
+            # Multiprocess misses land as packed column blocks; keep the
+            # block for the cache write (stored as-is under format v5)
+            # and unpack once for the in-memory result.
+            block = records if isinstance(records, RecordBlock) else None
+            if block is not None:
+                records = sweep_block_to_records(block)
             if records is None:
                 # Quarantined under fail_policy="degrade": nothing lands,
                 # nothing is cached, so a resume re-attempts this batch.
@@ -508,7 +686,8 @@ def run_sweep(
                 result.n_simulated_configs += n_sim
                 result.n_pruned_configs += len(records) - n_sim
                 if cache is not None:
-                    cache.put(keys[i], records)
+                    cache.put(keys[i], block if block is not None
+                              else records)
                     fault = (chaos.cache_fault(i) if chaos is not None
                              else None)
                     if fault is not None:

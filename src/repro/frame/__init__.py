@@ -9,12 +9,17 @@ reproduction actually needs:
   ``join``/``pivot`` and friends,
 - :func:`~repro.frame.io.read_csv` / :func:`~repro.frame.io.write_csv` —
   type-inferring CSV round-tripping,
-- :mod:`~repro.frame.ops` — aggregation helpers shared by ``Table`` methods.
+- :mod:`~repro.frame.ops` — aggregation helpers shared by ``Table`` methods,
+- :mod:`~repro.frame.columns` — typed columnar record blocks
+  (:class:`~repro.frame.columns.RecordBlock`) with string interning and
+  zero-copy extend: the packed form sweep batches travel and persist in
+  (see ``docs/COLUMNAR.md``).
 """
 
 from repro.frame.table import Table
 from repro.frame.io import read_csv, write_csv
 from repro.frame.ops import AGGREGATORS, aggregate_column, concat_tables
+from repro.frame.columns import ColumnBlock, RecordBlock, StringTable
 
 __all__ = [
     "Table",
@@ -23,4 +28,7 @@ __all__ = [
     "AGGREGATORS",
     "aggregate_column",
     "concat_tables",
+    "ColumnBlock",
+    "RecordBlock",
+    "StringTable",
 ]

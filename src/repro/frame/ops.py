@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable, Sequence
 from typing import Any, Callable
 
@@ -18,6 +19,22 @@ def _numeric(arr: np.ndarray) -> np.ndarray:
         return np.asarray(arr, dtype=float)
     except (ValueError, TypeError) as exc:
         raise FrameError(f"non-numeric column cannot be aggregated: {exc}") from exc
+
+
+#: Stand-in key for missing cells in ``nunique``: ``nan != nan``, so a set
+#: of raw cells counts every ``nan`` occurrence as a distinct value.
+_MISSING = object()
+
+
+def _nunique(arr: np.ndarray) -> int:
+    seen = set()
+    for x in arr:
+        if isinstance(x, np.generic):
+            x = x.item()
+        if x is None or (isinstance(x, float) and math.isnan(x)):
+            x = _MISSING
+        seen.add(x)
+    return len(seen)
 
 
 def _first(arr: np.ndarray) -> Any:
@@ -43,7 +60,7 @@ AGGREGATORS: dict[str, Callable[[np.ndarray], Any]] = {
     "max": lambda a: float(np.max(_numeric(a))),
     "sum": lambda a: float(np.sum(_numeric(a))),
     "count": lambda a: int(a.shape[0]),
-    "nunique": lambda a: len({x.item() if isinstance(x, np.generic) else x for x in a}),
+    "nunique": _nunique,
     "first": _first,
     "last": _last,
 }

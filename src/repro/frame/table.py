@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import ColumnError, LengthMismatch
 from repro.frame import ops
+from repro.frame.columns import RecordBlock
 
 __all__ = ["Table"]
 
@@ -89,6 +90,67 @@ def _group_key(row_values: tuple) -> tuple:
     return tuple(out)
 
 
+def _factorize(arr: np.ndarray) -> tuple[np.ndarray, int] | None:
+    """First-appearance integer codes for a key column.
+
+    Returns ``(codes, n_distinct)`` where equal cells share a code and
+    codes are numbered by order of first appearance, or ``None`` when the
+    column cannot be factorized without changing key semantics (floats
+    containing ``nan``, object columns holding anything but ``str``).
+    Callers fall back to the hash-based python path, which defines the
+    reference behaviour.
+    """
+    if arr.dtype == object:
+        if not all(type(v) is str for v in arr):
+            return None
+    elif arr.dtype.kind == "f":
+        if np.isnan(arr).any():
+            return None
+    elif arr.dtype.kind not in ("i", "u", "b", "U", "S"):
+        return None
+    uniques, inverse = np.unique(arr, return_inverse=True)
+    inverse = inverse.reshape(-1)
+    k = int(uniques.shape[0])
+    n = arr.shape[0]
+    # np.unique numbers codes in sorted order; renumber by first
+    # appearance so downstream group order matches the insertion-ordered
+    # dict of the python path.
+    first_pos = np.full(k, n, dtype=np.int64)
+    np.minimum.at(first_pos, inverse, np.arange(n, dtype=np.int64))
+    rank = np.empty(k, dtype=np.int64)
+    rank[np.argsort(first_pos, kind="stable")] = np.arange(k, dtype=np.int64)
+    return rank[inverse], k
+
+
+def _composite_codes(cols: Sequence[np.ndarray]) -> np.ndarray | None:
+    """First-appearance codes over row *tuples* of the key columns.
+
+    ``None`` when any column is not safely factorizable — distinct tuples
+    get distinct codes, equal tuples share one, and codes are numbered by
+    the tuple's first appearance.
+    """
+    if not cols:
+        return None
+    combined: np.ndarray | None = None
+    cardinality = 1
+    for col in cols:
+        res = _factorize(col)
+        if res is None:
+            return None
+        codes, k = res
+        if combined is None:
+            combined, cardinality = codes, max(k, 1)
+        else:
+            if cardinality * max(k, 1) > 2**62:
+                return None  # composite code would overflow int64
+            combined = combined * k + codes
+            cardinality *= max(k, 1)
+    if len(cols) == 1:
+        return combined
+    refactored = _factorize(combined)  # restore first-appearance numbering
+    return None if refactored is None else refactored[0]
+
+
 class Table:
     """A columnar table: ordered mapping of column name -> 1-D array.
 
@@ -150,6 +212,42 @@ class Table:
             for n in names:
                 cols[n].append(rec.get(n))
         return cls({n: _nan_for_missing(cols[n]) for n in names})
+
+    @classmethod
+    def from_block(
+        cls,
+        block: RecordBlock,
+        vector_names: Mapping[str, Sequence[str]] | None = None,
+    ) -> "Table":
+        """Build a table directly from a packed :class:`RecordBlock`.
+
+        Numeric columns are zero-copy views over the block's machine
+        buffers; string columns decode through the block's interning
+        table into ``object`` arrays (``None`` for null codes).  A vector
+        column of width ``w > 1`` expands into ``w`` scalar columns named
+        per ``vector_names[name]`` (default ``f"{name}_{j}"``), matching
+        what :meth:`from_records` infers from exploded rows.
+        """
+        vector_names = dict(vector_names or {})
+        cols: dict[str, np.ndarray] = {}
+        for name, arr in block.to_arrays().items():
+            if arr.ndim == 1:
+                if name in vector_names:  # width-1 vector column
+                    arr = arr.reshape(-1, 1)
+                else:
+                    cols[name] = arr
+                    continue
+            sub = vector_names.get(name) or [
+                f"{name}_{j}" for j in range(arr.shape[1])
+            ]
+            if len(sub) != arr.shape[1]:
+                raise ColumnError(
+                    f"vector column {name!r} has width {arr.shape[1]}, "
+                    f"got {len(sub)} names"
+                )
+            for j, sub_name in enumerate(sub):
+                cols[str(sub_name)] = arr[:, j]
+        return cls(cols)
 
     @classmethod
     def empty(cls, names: Sequence[str]) -> "Table":
@@ -215,8 +313,17 @@ class Table:
             yield self.row(i)
 
     def to_records(self) -> list[dict[str, Any]]:
-        """All rows as a list of dicts."""
-        return list(self.iter_rows())
+        """All rows as a list of dicts (column-at-a-time fast path)."""
+        names = self.column_names
+        lists = []
+        for arr in self._columns.values():
+            if arr.dtype == object:
+                lists.append(
+                    [v.item() if isinstance(v, np.generic) else v for v in arr]
+                )
+            else:
+                lists.append(arr.tolist())
+        return [dict(zip(names, row)) for row in zip(*lists)]
 
     def to_dict(self) -> dict[str, list]:
         """Columns as plain Python lists."""
@@ -318,21 +425,30 @@ class Table:
         return self.take(np.arange(min(n, self._length)))
 
     def sort_by(self, names: str | Sequence[str], descending: bool = False) -> "Table":
-        """Stable sort by one or more columns."""
+        """Stable sort by one or more columns.
+
+        Rows with equal keys keep their original relative order in *both*
+        directions: ``descending=True`` inverts the keys themselves
+        (negated numerics, rank-inverted strings) rather than reversing
+        the sorted row order, which would also flip tied rows.  ``nan``
+        keys sort last in both directions.
+        """
         if isinstance(names, str):
             names = [names]
-        order = np.arange(self._length)
         # np.lexsort sorts by the *last* key primarily, so feed reversed.
         keys = []
         for n in reversed(list(names)):
             col = self.column(n)
             if col.dtype == object:
                 col = np.asarray([str(v) for v in col])
+            if descending:
+                if col.dtype.kind in ("i", "f"):
+                    col = -col
+                else:
+                    uniques, inverse = np.unique(col, return_inverse=True)
+                    col = -inverse.reshape(-1)
             keys.append(col)
-        if keys:
-            order = np.lexsort(keys)
-        if descending:
-            order = order[::-1]
+        order = np.lexsort(keys) if keys else np.arange(self._length)
         return self.take(order)
 
     def unique(self, name: str) -> list:
@@ -353,9 +469,34 @@ class Table:
         Returns ``[(key_tuple, subtable), ...]`` with groups ordered by first
         appearance.  ``key_tuple`` always has one element per key column even
         for a single key.
+
+        Runs a vectorized factorize-and-gather fast path; key columns it
+        cannot factorize safely (``nan`` floats, non-string object cells)
+        fall back to :meth:`_group_by_python`, which defines the
+        reference semantics.
         """
         if isinstance(names, str):
             names = [names]
+        names = list(names)
+        cols = [self.column(n) for n in names]
+        codes = _composite_codes(cols)
+        if codes is None:
+            return self._group_by_python(names)
+        if self._length == 0:
+            return []
+        order = np.argsort(codes, kind="stable")
+        boundaries = np.nonzero(np.diff(codes[order]))[0] + 1
+        out: list[tuple[tuple, Table]] = []
+        for idx in np.split(order, boundaries):
+            first = int(idx[0])  # rows within a group keep table order
+            key = _group_key(tuple(c[first] for c in cols))
+            out.append((key, self.take(idx)))
+        return out
+
+    def _group_by_python(
+        self, names: Sequence[str]
+    ) -> list[tuple[tuple, "Table"]]:
+        """Hash-based reference implementation of :meth:`group_by`."""
         cols = [self.column(n) for n in names]
         groups: dict[tuple, list[int]] = {}
         for i in range(self._length):
@@ -405,11 +546,105 @@ class Table:
         in both tables take the right table's values under a ``_right``
         suffix.  Left join fills unmatched right columns with ``None``
         (``nan`` when the column is otherwise numeric).
+
+        Runs a vectorized factorize-and-gather fast path; key columns it
+        cannot factorize safely fall back to :meth:`_join_python`, which
+        defines the reference semantics.
         """
         if how not in ("inner", "left"):
             raise ValueError(f"unsupported join type {how!r}")
         if isinstance(on, str):
             on = [on]
+        on = list(on)
+        fast = self._join_fast(other, on, how)
+        if fast is not None:
+            return fast
+        return self._join_python(other, on, how)
+
+    def _join_fast(
+        self, other: "Table", on: list[str], how: str
+    ) -> "Table | None":
+        """Vectorized factorize-and-gather join.
+
+        Returns ``None`` when any key column cannot be factorized safely
+        (the python path then defines the semantics).
+        """
+        n_left, n_right = self._length, other.num_rows
+        merged_keys = []
+        for name in on:
+            lk, rk = self.column(name), other.column(name)
+            if lk.dtype == object or rk.dtype == object:
+                both = np.empty(n_left + n_right, dtype=object)
+                both[:n_left] = lk
+                both[n_left:] = rk
+            else:
+                both = np.concatenate([lk, rk])
+            merged_keys.append(both)
+        codes = _composite_codes(merged_keys)
+        if codes is None:
+            return None
+        lcode, rcode = codes[:n_left], codes[n_left:]
+        k = int(codes.max()) + 1 if codes.shape[0] else 0
+
+        # Right rows grouped by key code, original order within a group.
+        rorder = np.argsort(rcode, kind="stable")
+        rcount = np.bincount(rcode, minlength=k)
+        rstart = np.zeros(k, dtype=np.int64)
+        if k:
+            rstart[1:] = np.cumsum(rcount)[:-1]
+
+        matches = rcount[lcode] if k else np.zeros(n_left, dtype=np.int64)
+        out_count = np.maximum(matches, 1) if how == "left" else matches
+        total = int(out_count.sum())
+        right_value_cols = [n for n in other.column_names if n not in on]
+        out_right_names = {
+            n: (f"{n}_right" if n in self._columns else n)
+            for n in right_value_cols
+        }
+        if total == 0:
+            names = self.column_names + [
+                out_right_names[n] for n in right_value_cols
+            ]
+            return Table.empty(names)
+
+        # Expand each left row into its run of output rows, then walk the
+        # matching right-group slice with a per-run offset ramp.
+        left_idx = np.repeat(np.arange(n_left, dtype=np.int64), out_count)
+        run_starts = np.cumsum(out_count) - out_count
+        offsets = (
+            np.arange(total, dtype=np.int64) - np.repeat(run_starts, out_count)
+        )
+        matched = np.repeat(matches > 0, out_count)
+        right_row = np.full(total, -1, dtype=np.int64)
+        pos = (np.repeat(rstart[lcode], out_count) + offsets)[matched]
+        right_row[matched] = rorder[pos]
+
+        cols: dict[str, Any] = {
+            name: arr[left_idx] for name, arr in self._columns.items()
+        }
+        all_matched = bool(matched.all())
+        for name in right_value_cols:
+            arr = other.column(name)
+            if all_matched:
+                cols[out_right_names[name]] = arr[right_row]
+                continue
+            if len(arr) == 0:  # empty right side: every row is unmatched
+                cols[out_right_names[name]] = _nan_for_missing(
+                    [None] * total
+                )
+                continue
+            gathered = arr[np.maximum(right_row, 0)]
+            values = [
+                None if j < 0 else v
+                for j, v in zip(right_row.tolist(), gathered)
+            ]
+            cols[out_right_names[name]] = _nan_for_missing(values)
+        return Table(cols)
+
+    def _join_python(
+        self, other: "Table", on: list[str], how: str
+    ) -> "Table":
+        """Hash-based reference implementation of :meth:`join`."""
         right_index: dict[tuple, list[int]] = {}
         rcols = [other.column(n) for n in on]
         for j in range(other.num_rows):

@@ -42,7 +42,11 @@ Two IPC decisions exist specifically to survive abrupt worker death
   frame far below the pipe's atomic-write size (``PIPE_BUF``).  A worker
   killed mid-result can therefore never leave a *partial* frame that
   would block the supervisor's reader mid-``recv`` forever; it leaves
-  either a complete tiny message or nothing.
+  either a complete tiny message or nothing.  Sweep workers hand the
+  spool packed :class:`~repro.frame.columns.RecordBlock` batches
+  (``array.array`` buffers pickle as raw bytes — see
+  ``docs/COLUMNAR.md``), so spool files stay compact at full-grid
+  batch sizes.
 """
 
 from __future__ import annotations

@@ -1,7 +1,8 @@
 """Tests for the sweep cache's corruption detection and quarantine.
 
-The v4 on-disk format embeds a SHA-256 over the canonical records
-serialization; these tests prove the checksum catches real corruption
+The v5 on-disk format embeds a SHA-256 over the canonical serialization
+of the packed columnar frame; these tests prove the checksum catches
+real corruption
 modes (torn writes, bit flips, semantic tampering) and that corrupt
 entries are quarantined to ``<key>.corrupt`` — counted and preserved,
 never silently re-simulated.
@@ -59,9 +60,11 @@ class TestQuarantine:
 
     def test_semantic_tamper_caught_by_checksum(self, cache):
         """Valid JSON with one altered runtime must still fail: the
-        checksum covers record *content*, not just parseability."""
+        checksum covers frame *content*, not just parseability."""
         payload = json.loads(cache.path_for("k").read_text())
-        payload["records"][0]["runtimes"][0] += 1.0
+        runtimes = next(c for c in payload["frame"]["columns"]
+                        if c["name"] == "runtimes")
+        runtimes["data"][0] += 1.0
         cache.path_for("k").write_text(json.dumps(payload))
         assert cache.get("k") is None
         assert cache.corrupt_keys == ["k"]

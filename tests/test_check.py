@@ -20,6 +20,7 @@ from repro.check import (
     check_no_negative_delay,
     check_schedule_chunk_coverage,
     check_work_stealing_conservation,
+    columnar_pipeline_parity,
     differential_parity,
     golden_trace_check,
     pruning_parity,
@@ -333,6 +334,67 @@ class TestCheckCLI:
         assert code == 0
         assert len(list(tmp_path.glob("*.json"))) == 4
         assert "blessed" in out
+
+
+# ----------------------------------------------------------------------
+# Columnar record pipeline parity
+# ----------------------------------------------------------------------
+class TestColumnarPipelineParity:
+    def test_registered_in_differential_suite(self):
+        assert "columnar-pipeline-parity" in [
+            name for name, _ in SUITES["differential"]
+        ]
+
+    def test_quick_columnar_parity(self):
+        out = columnar_pipeline_parity()
+        assert "bit-identical" in out["details"]
+        assert out["n_records"] > 0 and out["n_groups"] > 0
+        assert out["block_nbytes"] > 0
+
+    def test_lossy_unpack_is_caught(self, monkeypatch):
+        """A decoder that drops a record must fail the round-trip leg."""
+        import repro.core.sweep as sweep_mod
+
+        real = sweep_mod.sweep_block_to_records
+
+        def lossy(block):
+            return real(block)[:-1]
+
+        monkeypatch.setattr(sweep_mod, "sweep_block_to_records", lossy)
+        with pytest.raises(CheckFailure, match="round-trip altered"):
+            columnar_pipeline_parity()
+
+    def test_wrong_group_order_is_caught(self, monkeypatch):
+        """A factorizer that numbers groups in sorted instead of
+        first-appearance order must fail the group_by parity leg."""
+        import repro.frame.table as table_mod
+
+        real = table_mod._composite_codes
+
+        def sorted_order(cols):
+            codes = real(cols)
+            return None if codes is None else codes.max() - codes
+
+        monkeypatch.setattr(table_mod, "_composite_codes", sorted_order)
+        with pytest.raises(CheckFailure, match="group_by diverged"):
+            columnar_pipeline_parity()
+
+    def test_reversing_descending_sort_is_caught(self, monkeypatch):
+        """The regressed sort (reverse the ascending order array) breaks
+        the stable-tie contract and must fail the sort leg."""
+        from repro.frame.table import Table
+
+        real = Table.sort_by
+
+        def reversing(self, names, descending=False):
+            out = real(self, names)
+            if descending:
+                out = out.take(list(range(out.num_rows - 1, -1, -1)))
+            return out
+
+        monkeypatch.setattr(Table, "sort_by", reversing)
+        with pytest.raises(CheckFailure, match="stable-tie"):
+            columnar_pipeline_parity()
 
 
 # ----------------------------------------------------------------------

@@ -179,8 +179,21 @@ class TestSweepCacheStore:
     def test_len_counts_entries(self, tmp_path, plan):
         cache = SweepCache(tmp_path)
         assert len(cache) == 0
-        cache.put("k", run_sweep(plan).records[:1])
+        cache.put("0" * 64, run_sweep(plan).records[:1])
         assert len(cache) == 1
+
+    def test_len_ignores_foreign_files(self, tmp_path, plan):
+        """Only well-formed ``<64-hex-key>.json`` names are entries: a
+        stray JSON file (or a short test key) must not inflate
+        ``len(cache)`` / ``stats['entries']``."""
+        cache = SweepCache(tmp_path)
+        cache.put("1" * 64, run_sweep(plan).records[:1])
+        (tmp_path / "notes.json").write_text("{}", encoding="utf-8")
+        (tmp_path / "README.json").write_text("[]", encoding="utf-8")
+        (tmp_path / ("2" * 64 + ".corrupt")).write_text("x",
+                                                        encoding="utf-8")
+        assert len(cache) == 1
+        assert cache.stats["entries"] == 1
 
 
 class TestRunSweepResume:

@@ -1,0 +1,276 @@
+"""Unit tests for the typed columnar block layer (repro.frame.columns)."""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ColumnError, FrameError
+from repro.frame.columns import (
+    NONE_CODE,
+    ColumnBlock,
+    RecordBlock,
+    StringTable,
+    infer_schema,
+)
+from repro.frame.table import Table
+
+
+@pytest.fixture
+def schema():
+    return {"app": "str", "threads": "i8", "runtimes": ("f8", 2)}
+
+
+@pytest.fixture
+def block(schema):
+    b = RecordBlock(schema)
+    b.append({"app": "cg", "threads": 8, "runtimes": (1.0, 2.0)})
+    b.append({"app": "ep", "threads": 16, "runtimes": (3.0, 4.0)})
+    b.append({"app": "cg", "threads": 32, "runtimes": (5.0, 6.0)})
+    return b
+
+
+class TestStringTable:
+    def test_interns_first_add_order(self):
+        t = StringTable()
+        assert t.add("b") == 0
+        assert t.add("a") == 1
+        assert t.add("b") == 0  # existing code, no new entry
+        assert len(t) == 2
+        assert t.to_list() == ["b", "a"]
+        assert t[0] == "b" and t[1] == "a"
+        assert "a" in t and "z" not in t
+
+    def test_non_string_rejected(self):
+        with pytest.raises(FrameError, match="cannot intern"):
+            StringTable().add(3)
+
+    def test_lookup_array_gathers(self):
+        t = StringTable(["x", "y"])
+        arr = t.lookup_array()
+        assert arr.dtype == object
+        assert arr[np.asarray([1, 0, 1])].tolist() == ["y", "x", "y"]
+
+
+class TestColumnBlock:
+    def test_str_column_needs_table(self):
+        with pytest.raises(FrameError, match="string table"):
+            ColumnBlock("app", "str")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FrameError, match="unknown column kind"):
+            ColumnBlock("x", "f4")
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(FrameError, match="width"):
+            ColumnBlock("x", "f8", width=0)
+
+    def test_none_encodes_to_sentinel(self):
+        col = ColumnBlock("app", "str", strings=StringTable())
+        col.append(None)
+        col.append("cg")
+        assert col.data[0] == NONE_CODE
+        assert col.cell(0) is None and col.cell(1) == "cg"
+
+    def test_vector_cell_roundtrip(self):
+        col = ColumnBlock("rt", "f8", width=3)
+        col.append((1.0, 2.0, 3.0))
+        assert len(col) == 1
+        assert col.cell(0) == (1.0, 2.0, 3.0)
+
+    def test_wrong_vector_length_rejected(self):
+        col = ColumnBlock("rt", "f8", width=2)
+        with pytest.raises(FrameError, match="width"):
+            col.append((1.0, 2.0, 3.0))
+
+    def test_to_numpy_zero_copy_numeric(self):
+        col = ColumnBlock("n", "i8")
+        col.append(7)
+        col.append(9)
+        arr = col.to_numpy()
+        assert arr.dtype == np.int64 and arr.tolist() == [7, 9]
+        assert arr.base is not None  # a frombuffer view, not a copy
+
+    def test_to_numpy_width_reshapes(self):
+        col = ColumnBlock("rt", "f8", width=2)
+        col.append((1.0, 2.0))
+        col.append((3.0, 4.0))
+        assert col.to_numpy().shape == (2, 2)
+
+    def test_extend_block_kind_mismatch(self):
+        a, b = ColumnBlock("x", "i8"), ColumnBlock("x", "f8")
+        with pytest.raises(FrameError, match="cannot extend"):
+            a.extend_block(b)
+
+
+class TestInferSchema:
+    def test_kinds(self):
+        rec = {"s": "a", "none": None, "i": 3, "f": 1.5, "v": (1.0, 2.0)}
+        assert infer_schema(rec) == {
+            "s": ("str", 1), "none": ("str", 1), "i": ("i8", 1),
+            "f": ("f8", 1), "v": ("f8", 2),
+        }
+
+    def test_bool_rejected(self):
+        with pytest.raises(FrameError, match="bool"):
+            infer_schema({"b": True})
+
+    def test_unsupported_cell_rejected(self):
+        with pytest.raises(FrameError, match="cannot infer"):
+            infer_schema({"x": object()})
+
+
+class TestRecordBlock:
+    def test_roundtrip(self, block):
+        assert len(block) == 3
+        assert block.record(1) == {
+            "app": "ep", "threads": 16, "runtimes": (3.0, 4.0)
+        }
+        assert block.to_records()[0]["app"] == "cg"
+
+    def test_shared_string_table_interns_once(self, block):
+        assert len(block.strings) == 2  # "cg", "ep"
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(FrameError, match="at least one column"):
+            RecordBlock({})
+
+    def test_append_missing_field_rejected(self, block):
+        with pytest.raises(FrameError, match="fields"):
+            block.append({"app": "cg"})
+        with pytest.raises(FrameError, match="missing column"):
+            block.append({"app": "cg", "threads": 1, "bogus": 2.0})
+
+    def test_from_records_infers_schema(self):
+        b = RecordBlock.from_records(
+            [{"app": "cg", "x": 1.5}, {"app": None, "x": 2.5}]
+        )
+        assert b.schema == {"app": ("str", 1), "x": ("f8", 1)}
+        assert b.record(1) == {"app": None, "x": 2.5}
+
+    def test_from_records_empty_needs_schema(self):
+        with pytest.raises(FrameError, match="zero records"):
+            RecordBlock.from_records([])
+
+    def test_extend_remaps_string_codes(self, schema):
+        a = RecordBlock(schema)
+        a.append({"app": "cg", "threads": 1, "runtimes": (1.0, 1.0)})
+        b = RecordBlock(schema)  # independent table: different codes
+        b.append({"app": "ep", "threads": 2, "runtimes": (2.0, 2.0)})
+        b.append({"app": "cg", "threads": 3, "runtimes": (3.0, 3.0)})
+        b.append({"app": None, "threads": 4, "runtimes": (4.0, 4.0)})
+        a.extend(b)
+        assert len(a) == 4
+        assert [r["app"] for r in a.to_records()] == [
+            "cg", "ep", "cg", None
+        ]
+
+    def test_extend_same_table_skips_remap(self, schema):
+        a = RecordBlock(schema)
+        a.append({"app": "cg", "threads": 1, "runtimes": (1.0, 1.0)})
+        b = RecordBlock(schema)
+        b.strings = a.strings  # same producer: shared table object
+        b.columns = {
+            n: ColumnBlock(n, c.kind, strings=a.strings, width=c.width)
+            for n, c in a.columns.items()
+        }
+        b.append({"app": "ep", "threads": 2, "runtimes": (2.0, 2.0)})
+        a.extend(b)
+        assert a.to_records()[1]["app"] == "ep"
+
+    def test_extend_schema_mismatch_rejected(self, block):
+        other = RecordBlock({"app": "str"})
+        with pytest.raises(FrameError, match="schema mismatch"):
+            block.extend(other)
+
+    def test_nbytes_counts_buffers_and_strings(self, block):
+        # 3 rows x (1 str code + 1 int + 2 floats) x 8 bytes + "cg" + "ep"
+        assert block.nbytes() == 3 * 4 * 8 + 4
+
+    def test_pickle_roundtrip_is_compact(self, block):
+        clone = pickle.loads(pickle.dumps(block))
+        assert clone.to_records() == block.to_records()
+
+
+class TestPayload:
+    def test_json_roundtrip_bit_identical(self, block):
+        payload = json.loads(json.dumps(block.to_payload()))
+        clone = RecordBlock.from_payload(payload)
+        assert clone.to_records() == block.to_records()
+        assert clone.schema == block.schema
+
+    def test_missing_field_rejected(self, block):
+        payload = block.to_payload()
+        del payload["strings"]
+        with pytest.raises(FrameError, match="columnar payload"):
+            RecordBlock.from_payload(payload)
+
+    def test_row_count_mismatch_rejected(self, block):
+        payload = block.to_payload()
+        payload["n"] = 99
+        with pytest.raises(FrameError, match="rows"):
+            RecordBlock.from_payload(payload)
+
+    def test_out_of_range_string_code_rejected(self, block):
+        payload = block.to_payload()
+        app = next(c for c in payload["columns"] if c["name"] == "app")
+        app["data"][0] = 57
+        with pytest.raises(FrameError, match="out-of-range"):
+            RecordBlock.from_payload(payload)
+
+    def test_duplicate_interned_string_rejected(self, block):
+        payload = block.to_payload()
+        payload["strings"] = ["cg", "cg"]
+        with pytest.raises(FrameError, match="duplicate"):
+            RecordBlock.from_payload(payload)
+
+    def test_non_numeric_cell_rejected(self, block):
+        payload = block.to_payload()
+        payload["columns"][1]["data"][0] = "not-a-number"
+        with pytest.raises(FrameError, match="columnar payload"):
+            RecordBlock.from_payload(payload)
+
+
+class TestTableFromBlock:
+    def test_columns_and_dtypes(self, block):
+        t = Table.from_block(block)
+        assert t.column_names == [
+            "app", "threads", "runtimes_0", "runtimes_1"
+        ]
+        assert t.column("app").dtype == object
+        assert t.column("threads").dtype == np.int64
+        assert t.column("runtimes_1").tolist() == [2.0, 4.0, 6.0]
+
+    def test_vector_names_override(self, block):
+        t = Table.from_block(
+            block, vector_names={"runtimes": ["rt_a", "rt_b"]}
+        )
+        assert t.column_names == ["app", "threads", "rt_a", "rt_b"]
+
+    def test_vector_names_apply_to_width_one(self):
+        b = RecordBlock({"runtimes": ("f8", 1)})
+        b.append({"runtimes": 1.5})  # width-1 cells are scalars
+        t = Table.from_block(b, vector_names={"runtimes": ["runtime_0"]})
+        assert t.column_names == ["runtime_0"]
+        assert t.column("runtime_0").tolist() == [1.5]
+
+    def test_wrong_vector_name_count_rejected(self, block):
+        with pytest.raises(ColumnError, match="width"):
+            Table.from_block(block, vector_names={"runtimes": ["only-one"]})
+
+    def test_none_string_cells_survive(self):
+        b = RecordBlock({"app": "str", "x": "f8"})
+        b.append({"app": None, "x": 1.0})
+        t = Table.from_block(b)
+        assert t.column("app")[0] is None
+
+    def test_matches_from_records(self, block):
+        via_block = Table.from_block(block)
+        exploded = []
+        for rec in block.to_records():
+            row = {"app": rec["app"], "threads": rec["threads"]}
+            for i, v in enumerate(rec["runtimes"]):
+                row[f"runtimes_{i}"] = v
+            exploded.append(row)
+        assert via_block == Table.from_records(exploded)

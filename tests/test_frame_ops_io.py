@@ -62,6 +62,29 @@ class TestAggregators:
             aggregate_column(arr, name)  # must not raise
 
 
+class TestNuniqueMissing:
+    """Regression: ``nan != nan``, so a set of raw cells used to count
+    every nan occurrence as a distinct value."""
+
+    def test_repeated_nan_counts_once(self):
+        arr = np.array([1.0, np.nan, np.nan, np.nan, 2.0])
+        assert aggregate_column(arr, "nunique") == 3
+
+    def test_none_and_nan_share_one_sentinel(self):
+        arr = np.empty(4, dtype=object)
+        arr[:] = [None, float("nan"), "a", "a"]
+        assert aggregate_column(arr, "nunique") == 2
+
+    def test_np_float_nan_normalized_too(self):
+        arr = np.empty(3, dtype=object)
+        arr[:] = [np.float64("nan"), float("nan"), 1.0]
+        assert aggregate_column(arr, "nunique") == 2
+
+    def test_distinct_values_still_distinct(self):
+        arr = np.array([1.0, 2.0, 1.0])
+        assert aggregate_column(arr, "nunique") == 2
+
+
 class TestConcat:
     def test_concat_basic(self):
         a = Table({"x": [1, 2], "s": ["a", "b"]})

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ColumnError, LengthMismatch
+from repro.frame.ops import concat_tables
 from repro.frame.table import Table
 
 
@@ -276,3 +277,161 @@ class TestMissingKeyCSVRoundTrip:
         assert back.column("extra")[0] == 2.0
         assert np.isnan(back.column("extra")[1])
         assert back == t
+
+
+class TestSortStability:
+    """Regression: ``descending=True`` used to reverse the ascending
+    order array, which also reversed tied rows — breaking the
+    stable-sort contract."""
+
+    def test_descending_numeric_ties_keep_original_order(self):
+        t = Table({"k": [2, 1, 2, 1, 2], "id": [0, 1, 2, 3, 4]})
+        d = t.sort_by("k", descending=True)
+        assert list(d["k"]) == [2, 2, 2, 1, 1]
+        assert list(d["id"]) == [0, 2, 4, 1, 3]
+
+    def test_descending_string_ties_keep_original_order(self):
+        t = Table({"k": ["b", "a", "b", "a"], "id": [0, 1, 2, 3]})
+        assert list(t.sort_by("k", descending=True)["id"]) == [0, 2, 1, 3]
+
+    def test_multi_key_descending_stable(self):
+        t = Table({"a": ["x", "y", "x", "y", "x"],
+                   "b": [1, 2, 1, 2, 1], "id": [0, 1, 2, 3, 4]})
+        assert list(t.sort_by(["a", "b"], descending=True)["id"]) == \
+            [1, 3, 0, 2, 4]
+
+    def test_ascending_ties_unchanged(self):
+        t = Table({"k": [2, 1, 2], "id": [0, 1, 2]})
+        assert list(t.sort_by("k")["id"]) == [1, 0, 2]
+
+    def test_descending_nan_sorts_last(self):
+        t = Table({"k": [1.0, float("nan"), 2.0]})
+        vals = list(t.sort_by("k", descending=True)["k"])
+        assert vals[0] == 2.0 and vals[1] == 1.0 and np.isnan(vals[2])
+
+
+class TestVectorizedParity:
+    """The factorize-and-gather fast paths agree with the hash-based
+    python reference implementations, and unsafe keys fall back."""
+
+    def test_group_by_matches_python(self, simple):
+        fast = simple.group_by(["app", "arch"])
+        ref = simple._group_by_python(["app", "arch"])
+        assert [k for k, _ in fast] == [k for k, _ in ref]
+        for (_, a), (_, b) in zip(fast, ref):
+            assert a.to_records() == b.to_records()
+
+    def test_group_keys_are_python_scalars(self, simple):
+        for key, _ in simple.group_by(["app", "runtime"]):
+            assert type(key[0]) is str and type(key[1]) is float
+
+    def test_nan_keys_fall_back_to_python(self):
+        t = Table({"k": [1.0, float("nan"), 1.0], "v": [1, 2, 3]})
+        groups = t.group_by("k")
+        assert [list(s["v"]) for _, s in groups] == [[1, 3], [2]]
+
+    def test_mixed_object_keys_fall_back(self):
+        k = np.empty(3, dtype=object)
+        k[:] = ["a", 1, "a"]
+        t = Table({"k": k, "v": [1, 2, 3]})
+        assert [list(s["v"]) for _, s in t.group_by("k")] == [[1, 3], [2]]
+
+    def test_join_matches_python(self, simple):
+        meta = Table({"arch": ["milan", "a64fx"], "cores": [96, 48]})
+        for how in ("inner", "left"):
+            fast = simple._join_fast(meta, ["arch"], how)
+            ref = simple._join_python(meta, ["arch"], how)
+            assert fast is not None
+            assert fast.column_names == ref.column_names
+            assert fast.to_records() == ref.to_records()
+
+    def test_join_duplicate_right_keys_expand_in_order(self):
+        left = Table({"k": ["a", "b"], "x": [1, 2]})
+        right = Table({"k": ["a", "a"], "y": [10, 20]})
+        assert left.join(right, on="k").to_records() == [
+            {"k": "a", "x": 1, "y": 10},
+            {"k": "a", "x": 1, "y": 20},
+        ]
+
+    def test_left_join_empty_right_matches_python(self):
+        """Regression: gathering right values from a zero-row table
+        indexed out of bounds instead of filling every row missing."""
+        left = Table({"k": ["a"], "x": [1]})
+        right = Table.empty(["k", "y"])
+        fast = left._join_fast(right, ["k"], "left")
+        ref = left._join_python(right, ["k"], "left")
+        assert fast is not None
+        assert fast.to_records() == ref.to_records()
+        assert left.join(right, on="k", how="inner").num_rows == 0
+
+    def test_join_nan_key_never_matches(self):
+        left = Table({"k": [1.0, float("nan")], "x": [1, 2]})
+        right = Table({"k": [1.0, float("nan")], "y": [3, 4]})
+        assert left.join(right, on="k").to_records() == [
+            {"k": 1.0, "x": 1, "y": 3}
+        ]
+
+
+RECORDS_BOTH_PATHS = [
+    {"app": "cg", "arch": "milan", "runtime": 1.0},
+    {"app": "cg", "arch": "a64fx", "runtime": 2.0},
+    {"app": "bt", "arch": "milan", "runtime": 3.0},
+    {"app": "bt", "arch": "milan", "runtime": 4.0},
+]
+SCHEMA_BOTH_PATHS = {"app": "str", "arch": "str", "runtime": "f8"}
+
+
+@pytest.fixture(params=["records", "block"])
+def build(request):
+    """Build one logical table via the dict path or the block path."""
+    from repro.frame.columns import RecordBlock
+
+    def _build(records, schema):
+        if request.param == "records":
+            return Table.from_records(records)
+        return Table.from_block(RecordBlock.from_records(records, schema))
+
+    return _build
+
+
+class TestEdgeCasesBothPaths:
+    """The frame edge cases hold identically for dict-built and
+    block-built tables."""
+
+    def test_multi_key_group_order_is_first_appearance(self, build):
+        t = build(RECORDS_BOTH_PATHS, SCHEMA_BOTH_PATHS)
+        keys = [k for k, _ in t.group_by(["app", "arch"])]
+        assert keys == [("cg", "milan"), ("cg", "a64fx"), ("bt", "milan")]
+
+    def test_left_join_none_becomes_nan(self, build):
+        t = build(RECORDS_BOTH_PATHS, SCHEMA_BOTH_PATHS)
+        meta = build([{"arch": "a64fx", "cores": 48}],
+                     {"arch": "str", "cores": "i8"})
+        j = t.join(meta, on="arch", how="left")
+        assert j["cores"].dtype.kind == "f"
+        cores = np.asarray(j["cores"], dtype=float)
+        assert int(np.isnan(cores).sum()) == 3 and cores[1] == 48.0
+
+    def test_concat_with_empty(self, build):
+        t = build(RECORDS_BOTH_PATHS, SCHEMA_BOTH_PATHS)
+        empty = t.head(0)
+        out = concat_tables([empty, t, empty])
+        assert out.to_records() == t.to_records()
+        assert concat_tables([]).num_rows == 0
+
+    def test_disjoint_key_sets_match_explicit_none_block(self):
+        """from_records fills disjoint keys with None/nan; a block built
+        with explicit nulls must produce the same table."""
+        from repro.frame.columns import RecordBlock
+
+        via_records = Table.from_records(
+            [{"a": "x", "b": 1.0}, {"a": "y", "c": "z"}]
+        )
+        assert via_records.column("b").dtype.kind == "f"  # nan-filled
+        via_block = Table.from_block(RecordBlock.from_records(
+            [{"a": "x", "b": 1.0, "c": None},
+             {"a": "y", "b": float("nan"), "c": "z"}],
+            {"a": "str", "b": "f8", "c": "str"},
+        ))
+        assert via_records.column_names == via_block.column_names
+        assert via_records == via_block
