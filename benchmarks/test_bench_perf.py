@@ -169,6 +169,42 @@ def test_perf_sweep_cache_hit(benchmark, tmp_path):
     assert result.n_cached_batches > 0
 
 
+def test_perf_sweep_nodes_sharded(benchmark):
+    """Sharded multi-node dispatch: the socket-transport backend at 2
+    shards, plus a one-shot shard-count scaling series (1/2/4 lanes)
+    recorded in BENCH_sweep.json.
+
+    The series captures the fixed cost of node spawn + frame transport
+    against the work-stealing win as lanes are added; the parity of the
+    produced records is pinned separately by sharded-execution-parity.
+    """
+    import time
+
+    from repro.core.sweep import SweepPlan, run_sweep
+
+    plan = SweepPlan(arch="milan", workload_names=("cg",), scale="small",
+                     repetitions=1, inputs_limit=1)
+    result = benchmark(run_sweep, plan, n_processes=2, backend="nodes",
+                       n_shards=2)
+    assert result.backend == "nodes"
+    assert result.n_shards == 2
+    assert result.shard_report is not None
+
+    scaling = {}
+    for shards in (1, 2, 4):
+        t0 = time.perf_counter()
+        one = run_sweep(plan, n_processes=2, backend="nodes",
+                        n_shards=shards)
+        scaling[shards] = round(time.perf_counter() - t0, 4)
+        assert one.records == result.records
+    benchmark.extra_info["n_records"] = len(result.records)
+    benchmark.extra_info["shard_scaling_s"] = \
+        {str(k): v for k, v in scaling.items()}
+    benchmark.extra_info["n_steals"] = result.shard_report.n_steals
+    benchmark.extra_info["n_reassignments"] = \
+        result.shard_report.n_reassignments
+
+
 # ----------------------------------------------------------------------
 # Record pipeline: dict-records baseline vs columnar blocks
 # ----------------------------------------------------------------------

@@ -24,6 +24,7 @@ from repro.check.differential import (
     golden_trace_check,
     pruning_parity,
     resilience_degrade_parity,
+    sharded_execution_parity,
 )
 from repro.check.invariants import (
     InvariantObserver,
@@ -67,6 +68,7 @@ __all__ = [
     "pruning_parity",
     "resilience_degrade_parity",
     "columnar_pipeline_parity",
+    "sharded_execution_parity",
     "golden_trace_check",
     "bless_golden_traces",
     "SUITES",

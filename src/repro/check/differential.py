@@ -38,6 +38,7 @@ __all__ = [
     "pruning_parity",
     "resilience_degrade_parity",
     "columnar_pipeline_parity",
+    "sharded_execution_parity",
     "golden_trace_check",
     "verify_bless_stability",
     "bless_golden_traces",
@@ -180,20 +181,28 @@ def pruning_parity(plan: SweepPlan | None = None) -> dict:
     }
 
 
-def resilience_degrade_parity(plan: SweepPlan | None = None) -> dict:
+def resilience_degrade_parity(
+    plan: SweepPlan | None = None, backend: str = "pool"
+) -> dict:
     """Chaos degrade + resume must reproduce the fault-free sweep.
 
     Injects a seeded :class:`~repro.resilience.chaos.ChaosPlan` (a worker
     crash, a hang, a corrupt payload, a poison batch, and an on-disk
-    cache corruption) into a multiprocess degrade-mode sweep, then
-    resumes over the same cache.  The resume must re-attempt the
-    quarantined batch, catch the cache corruption via checksum, and yield
-    records bit-identical to a clean exhaustive run — the guarantee that
-    graceful degradation never silently alters the dataset.
+    cache corruption) into a degrade-mode sweep on the given executor
+    ``backend``, then resumes over the same cache.  The resume must
+    re-attempt the quarantined batch, catch the cache corruption via
+    checksum, and yield records bit-identical to a clean exhaustive run —
+    the guarantee that graceful degradation never silently alters the
+    dataset, on every backend (the serial path *simulates* faults it
+    cannot survive in-process; the nodes backend runs sharded).
     """
     from repro.core.sweep import plan_batches
-    from repro.resilience import ChaosPlan, RetryPolicy
+    from repro.resilience import BACKEND_NAMES, ChaosPlan, RetryPolicy
 
+    if backend not in BACKEND_NAMES:
+        raise CheckFailure(
+            f"unknown backend {backend!r}; have {BACKEND_NAMES}"
+        )
     plan = plan or dataclasses.replace(
         _quick_plan(), workload_names=("cg", "ep", "nqueens")
     )
@@ -209,7 +218,8 @@ def resilience_degrade_parity(plan: SweepPlan | None = None) -> dict:
         degraded = run_sweep(
             plan, n_processes=2, cache=SweepCache(Path(tmp) / "cache"),
             fail_policy="degrade", chaos=chaos, retry=retry,
-            batch_timeout_s=5.0,
+            batch_timeout_s=5.0, backend=backend,
+            n_shards=2 if backend == "nodes" else 1,
         )
         if degraded.n_quarantined_batches == 0:
             raise CheckFailure(
@@ -243,8 +253,10 @@ def resilience_degrade_parity(plan: SweepPlan | None = None) -> dict:
             f"{len(resumed.records)} records bit-identical after "
             f"{report.n_failed_batches} failed batch(es) "
             f"({report.n_quarantined} quarantined, "
-            f"{report.n_recovered} recovered) and 1 cache corruption"
+            f"{report.n_recovered} recovered) and 1 cache corruption "
+            f"on the {backend} backend"
         ),
+        "backend": backend,
         "n_records": len(resumed.records),
         "n_failed_batches": report.n_failed_batches,
         "n_quarantined": report.n_quarantined,
@@ -252,7 +264,9 @@ def resilience_degrade_parity(plan: SweepPlan | None = None) -> dict:
     }
 
 
-def columnar_pipeline_parity(plan: SweepPlan | None = None) -> dict:
+def columnar_pipeline_parity(
+    plan: SweepPlan | None = None, backend: str = "serial"
+) -> dict:
     """The packed columnar record path must be invisible end-to-end.
 
     One plan's records travel every columnar hop — packing into a
@@ -263,6 +277,11 @@ def columnar_pipeline_parity(plan: SweepPlan | None = None) -> dict:
     paths (``group_by``, ``join``, stable descending ``sort_by``) are
     then compared against their hash-based python reference
     implementations on the resulting dataset table.
+
+    ``backend`` selects the executor the source records come from, so
+    the same guarantees are pinned when blocks arrive through the pool
+    spool or across the nodes backend's socket frames rather than from
+    in-process execution.
     """
     from repro.core.dataset import enrich_with_speedup, records_to_table
     from repro.core.sweep import (
@@ -270,9 +289,19 @@ def columnar_pipeline_parity(plan: SweepPlan | None = None) -> dict:
         sweep_records_to_block,
     )
     from repro.frame.columns import RecordBlock
+    from repro.resilience import BACKEND_NAMES
 
+    if backend not in BACKEND_NAMES:
+        raise CheckFailure(
+            f"unknown backend {backend!r}; have {BACKEND_NAMES}"
+        )
     plan = plan or _quick_plan()
-    records = run_sweep(plan).records
+    records = run_sweep(
+        plan,
+        n_processes=1 if backend == "serial" else 2,
+        backend=backend,
+        n_shards=2 if backend == "nodes" else 1,
+    ).records
     if not records:
         raise CheckFailure("columnar-parity plan produced no records")
 
@@ -365,6 +394,108 @@ def columnar_pipeline_parity(plan: SweepPlan | None = None) -> dict:
         "n_records": len(records),
         "n_groups": len(fast),
         "block_nbytes": block.nbytes(),
+    }
+
+
+def sharded_execution_parity(plan: SweepPlan | None = None) -> dict:
+    """Every backend × shard count must be bit-identical to serial.
+
+    The tentpole guarantee of the executor-backend abstraction: records
+    are a function of the plan alone, never of the execution substrate.
+    One plan runs on every backend in
+    :data:`~repro.resilience.BACKEND_NAMES` at shard counts 1, 2 and 4,
+    and each combination must reproduce the serial reference exactly —
+    sharding permutes *dispatch* order (round-robin interleave, work
+    stealing, key-homed assignment) but results always surface in
+    submission order, and the columnar spool/frame encodings must be
+    lossless across every boundary (pool pipe, nodes socket).
+
+    The same pin then extends to faulted execution: a seeded chaos plan
+    with a poison batch, a node loss and a shard partition runs on the
+    nodes backend under ``fail_policy="degrade"`` with a cache, and the
+    resume over that cache must again match the serial reference.  The
+    chaos leg is checked for non-vacuity (something was quarantined,
+    and both node-fault kinds appear in the failure report).
+    """
+    from repro.core.sweep import plan_batches
+    from repro.resilience import BACKEND_NAMES, ChaosPlan, RetryPolicy
+
+    plan = plan or _quick_plan()
+    serial = run_sweep(plan)
+    if not serial.records:
+        raise CheckFailure("sharded-parity plan produced no records")
+
+    combos: list[str] = []
+    for backend in BACKEND_NAMES:
+        for n_shards in (1, 2, 4):
+            result = run_sweep(plan, n_processes=2, backend=backend,
+                               n_shards=n_shards)
+            if result.records != serial.records:
+                n = sum(
+                    1 for a, b in zip(serial.records, result.records)
+                    if a != b
+                ) + abs(len(serial.records) - len(result.records))
+                raise CheckFailure(
+                    f"backend={backend} shards={n_shards} diverged from "
+                    f"the serial reference: {n} record(s) differ "
+                    f"(serial {len(serial.records)} vs "
+                    f"{len(result.records)})"
+                )
+            combos.append(f"{backend}x{n_shards}")
+
+    n_batches = len(plan_batches(plan))
+    chaos = ChaosPlan.generate(n_batches, seed=7, crashes=0, hangs=0,
+                               corrupt_results=0, cache_faults=0,
+                               poison=1, node_lost=1, shard_partitions=1)
+    retry = RetryPolicy(max_retries=1, base_delay_s=0.01, seed=7)
+    with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
+        degraded = run_sweep(
+            plan, n_processes=2, cache=SweepCache(Path(tmp) / "cache"),
+            fail_policy="degrade", chaos=chaos, retry=retry,
+            batch_timeout_s=5.0, backend="nodes", n_shards=2,
+        )
+        if degraded.n_quarantined_batches == 0:
+            raise CheckFailure(
+                "nodes chaos degrade run quarantined nothing — the "
+                "poison fault did not fire, so the check is vacuous"
+            )
+        report = degraded.failure_report
+        kinds = {
+            attempt.kind
+            for failure in report.batches
+            for attempt in failure.attempts
+        }
+        missing = {"node-lost", "shard-partition"} - kinds
+        if missing:
+            raise CheckFailure(
+                "nodes chaos degrade run never observed "
+                f"{sorted(missing)} fault(s); saw {sorted(kinds)}"
+            )
+        resumed = run_sweep(plan, cache=SweepCache(Path(tmp) / "cache"),
+                            fail_policy="degrade")
+    if resumed.records != serial.records:
+        n = sum(
+            1 for a, b in zip(serial.records, resumed.records) if a != b
+        ) + abs(len(serial.records) - len(resumed.records))
+        raise CheckFailure(
+            "nodes chaos degrade+resume diverged from the serial "
+            f"reference: {n} record(s) differ (serial "
+            f"{len(serial.records)} vs resumed {len(resumed.records)})"
+        )
+    return {
+        "details": (
+            f"{len(serial.records)} records bit-identical across "
+            f"{len(combos)} backend×shard combination(s) "
+            f"({', '.join(combos)}); nodes degrade+resume under "
+            f"node-lost/shard-partition chaos matched the serial "
+            f"reference ({report.n_failed_batches} failed batch(es), "
+            f"{report.n_quarantined} quarantined)"
+        ),
+        "n_records": len(serial.records),
+        "combinations": combos,
+        "chaos_fault_kinds": sorted(kinds),
+        "n_failed_batches": report.n_failed_batches,
+        "n_quarantined": report.n_quarantined,
     }
 
 

@@ -46,6 +46,8 @@ SUITES: dict[str, tuple] = {
          differential.resilience_degrade_parity),
         ("columnar-pipeline-parity",
          differential.columnar_pipeline_parity),
+        ("sharded-execution-parity",
+         differential.sharded_execution_parity),
         ("golden-traces", differential.golden_trace_check),
     ),
 }
@@ -73,7 +75,8 @@ def run_suite(
         elif (
             name in ("execution-path-parity", "equivalence-pruning-parity",
                      "resilience-degrade-parity",
-                     "columnar-pipeline-parity")
+                     "columnar-pipeline-parity",
+                     "sharded-execution-parity")
             and not quick
         ):
             body = lambda fn=fn: fn(plan=differential.full_plan())

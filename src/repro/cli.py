@@ -28,9 +28,10 @@ Subcommands mirror the study's workflow:
   happens-before race detection, and the schedule-perturbation fuzzer
   over the simulated runtime (see ``docs/SANITIZER.md``),
 - ``chaos`` — rehearse the sweep engine's failure handling: inject a
-  seeded fault plan (worker crashes/hangs, corrupt payloads, cache
-  corruption) into a degrade-mode sweep, then prove the resumed sweep is
-  record-identical to a fault-free run (see ``docs/RESILIENCE.md``),
+  seeded fault plan (worker crashes/hangs, corrupt payloads, node loss,
+  shard partitions, cache corruption) into a degrade-mode sweep on any
+  executor backend, then prove the resumed sweep is record-identical to
+  a fault-free run (see ``docs/RESILIENCE.md``),
 - ``workloads`` — the 15 benchmark models and their experimental design,
 - ``figures`` — regenerate the paper's figure gallery (violins + heat
   maps) from a fresh sweep in one command,
@@ -90,6 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=EnvSpace.SCALES)
     p_sweep.add_argument("--repetitions", type=int, default=3)
     p_sweep.add_argument("--processes", type=int, default=1)
+    p_sweep.add_argument("--backend", default="auto",
+                         choices=("auto", "serial", "pool", "nodes"),
+                         help="executor backend: in-process 'serial', the "
+                              "supervised worker 'pool', or simulated "
+                              "multi-node 'nodes' over socket links "
+                              "(default: auto — pool when --processes > 1)")
+    p_sweep.add_argument("--shards", type=int, default=1,
+                         help="execution shards for the sharded backends; "
+                              "records are bit-identical at any count "
+                              "(default: 1)")
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument("--fidelity", default="analytic",
                          choices=("analytic", "des"),
@@ -271,6 +282,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_ch.add_argument("--inputs-limit", type=int, default=2)
     p_ch.add_argument("--processes", type=int, default=2,
                       help="worker processes (1 = serial fault simulation)")
+    p_ch.add_argument("--backend", default="auto",
+                      choices=("auto", "serial", "pool", "nodes"),
+                      help="executor backend for the degrade pass "
+                           "(default: auto — pool when --processes > 1)")
+    p_ch.add_argument("--shards", type=int, default=1,
+                      help="execution shards for the degrade pass "
+                           "(default: 1)")
     p_ch.add_argument("--seed", type=int, default=0,
                       help="chaos plan seed; same seed, same faults, "
                            "same failure report")
@@ -283,6 +301,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_ch.add_argument("--poison", type=int, default=1,
                       help="batches that fail every attempt and must be "
                            "quarantined")
+    p_ch.add_argument("--node-lost", type=int, default=0,
+                      help="abrupt node deaths mid-result (nodes backend; "
+                           "pool/serial degrade them to process faults)")
+    p_ch.add_argument("--shard-partitions", type=int, default=0,
+                      help="shard network partitions (closed socket links) "
+                           "recovered by reassignment")
     p_ch.add_argument("--max-retries", type=int, default=2)
     p_ch.add_argument("--batch-timeout-s", type=float, default=5.0)
     p_ch.add_argument("--cache-dir", default=None,
@@ -361,7 +385,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         retry = RetryPolicy(max_retries=args.max_retries, seed=args.seed)
     result = run_sweep(plan, n_processes=args.processes, progress=progress,
                        cache=cache, fail_policy=args.fail_policy,
-                       retry=retry, batch_timeout_s=args.batch_timeout_s)
+                       retry=retry, batch_timeout_s=args.batch_timeout_s,
+                       backend=args.backend, n_shards=args.shards)
     table = enrich_with_speedup(aggregate_runs(records_to_table(result.records)))
     write_csv(table, args.output)
     rep = result.failure_report
@@ -379,6 +404,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if cache is not None:
         print(f"cache: {result.n_cached_batches} batches reused, "
               f"{result.n_computed_batches} simulated -> {cache.root}")
+    if result.shard_report is not None:
+        sr = result.shard_report
+        print(f"shards: {sr.n_shards} lane(s) on the {result.backend} "
+              f"backend, {sr.n_steals} steal(s), "
+              f"{sr.n_reassignments} reassignment(s), "
+              f"{sr.node_respawns} node respawn(s)")
     if result.n_pruned_configs:
         total = result.n_simulated_configs + result.n_pruned_configs
         print(f"pruning: {result.n_simulated_configs}/{total} configs "
@@ -785,6 +816,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         corrupt_results=args.corrupt_results,
         cache_faults=args.cache_faults,
         poison=args.poison,
+        node_lost=args.node_lost,
+        shard_partitions=args.shard_partitions,
     )
     retry = RetryPolicy(max_retries=args.max_retries, base_delay_s=0.01,
                         seed=args.seed)
@@ -803,6 +836,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             plan, n_processes=args.processes, cache=SweepCache(cache_dir),
             fail_policy="degrade", chaos=chaos, retry=retry,
             batch_timeout_s=args.batch_timeout_s,
+            backend=args.backend, n_shards=args.shards,
         )
         report = degraded.failure_report
         # The resume pass re-attempts quarantined batches and trips the
@@ -816,13 +850,22 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     faults_detected = len(resume_cache.corrupt_keys) == args.cache_faults
     verdict = {
         "n_batches": n_batches,
+        "backend": degraded.backend,
+        "n_shards": degraded.n_shards,
         "chaos_plan": chaos.to_dict(),
         "resume_parity": parity,
         "cache_faults_detected": len(resume_cache.corrupt_keys),
         "cache_faults_injected": args.cache_faults,
     }
+    if degraded.shard_report is not None:
+        verdict["shard_report"] = degraded.shard_report.to_dict()
     print(render_report(args.fmt, failure_report=report, chaos=verdict))
     if args.fmt == "text":
+        if degraded.shard_report is not None:
+            sr = degraded.shard_report
+            print(f"shards: {sr.n_shards} lane(s), {sr.n_steals} "
+                  f"steal(s), {sr.n_reassignments} reassignment(s), "
+                  f"{sr.node_respawns} node respawn(s)")
         print(f"resume: {resumed.n_cached_batches} batches from cache, "
               f"{resumed.n_computed_batches} re-simulated, "
               f"{len(resume_cache.corrupt_keys)}/{args.cache_faults} "

@@ -38,6 +38,15 @@ so disk corruption is observable (and surfaces in the sweep's
 entry (v4 and older) is a legitimate miss, not corruption.  Because
 runtimes round-trip JSON exactly (``repr``-based float serialization),
 cached records are bit-identical to freshly simulated ones.
+
+Keys additionally map onto **prefix partitions**: the first
+:data:`~repro.resilience.sharding.PARTITION_PREFIX_HEX` hex digits of a
+key select one of :attr:`SweepCache.n_partitions` partitions, the same
+function the sharded sweep uses to pick a batch's home shard.  A shard
+therefore touches a stable subset of partitions, per-partition stats
+show where entries and corruption live, and a corrupt entry is charged
+to the partition that owns it — never to another shard's.  See
+``docs/SWEEP_CACHE.md``.
 """
 
 from __future__ import annotations
@@ -58,8 +67,9 @@ from repro.core.sweep import (
     sweep_block_to_records,
     sweep_records_to_block,
 )
-from repro.errors import CacheError, FrameError, UnknownMachine
+from repro.errors import CacheError, ConfigError, FrameError, UnknownMachine
 from repro.frame.columns import RecordBlock
+from repro.resilience.sharding import partition_for_key
 from repro.runtime.costs import get_costs
 from repro.runtime.icv import EnvConfig
 
@@ -204,15 +214,44 @@ class SweepCache:
     machine_fingerprint = staticmethod(machine_fingerprint)
     batch_key = staticmethod(batch_key)
 
-    def __init__(self, root: str | os.PathLike, fsync: bool = False):
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        fsync: bool = False,
+        n_partitions: int = 8,
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
+        if n_partitions < 1:
+            raise ConfigError(
+                f"n_partitions must be >= 1, got {n_partitions}"
+            )
+        #: Key-prefix partition count (see :func:`repro.resilience.
+        #: sharding.partition_for_key`).  Partitions are an *accounting
+        #: view* — entries share one directory; the prefix of the key
+        #: decides ownership, so shards and sweep parents agree without
+        #: coordination and per-partition stats stay meaningful however
+        #: many shards wrote the entries.
+        self.n_partitions = n_partitions
         self.hits = 0
         self.misses = 0
         self.writes = 0
         #: Keys quarantined this session, in discovery order.
         self.corrupt_keys: list[str] = []
+
+    def partition_for(self, key: str) -> int:
+        """The key-prefix partition owning ``key``.
+
+        Real sweep keys are 64-hex digests; the cache itself accepts any
+        string, so a foreign key falls back to a deterministic hash of
+        its bytes rather than failing the accounting.
+        """
+        try:
+            return partition_for_key(key, self.n_partitions)
+        except ConfigError:
+            digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+            return partition_for_key(digest, self.n_partitions)
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -228,14 +267,32 @@ class SweepCache:
     @property
     def stats(self) -> dict:
         """Session counters plus the on-disk entry count; ``corrupt``
-        makes disk rot observable."""
+        makes disk rot observable.
+
+        ``partitions`` breaks entries and session corruption down by
+        key-prefix partition, so a corrupt entry is charged to the
+        partition that owns it and never bleeds into another shard's
+        accounting.
+        """
+        entries = [0] * self.n_partitions
+        for p in self.root.glob("*.json"):
+            if _ENTRY_NAME_RE.match(p.name):
+                entries[self.partition_for(p.name[:-len(".json")])] += 1
+        corrupt = [0] * self.n_partitions
+        for key in self.corrupt_keys:
+            corrupt[self.partition_for(key)] += 1
         return {
-            "entries": len(self),
+            "entries": sum(entries),
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
             "corrupt": len(self.corrupt_keys),
             "corrupt_keys": tuple(self.corrupt_keys),
+            "partitions": tuple(
+                {"partition": i, "entries": entries[i],
+                 "corrupt": corrupt[i]}
+                for i in range(self.n_partitions)
+            ),
         }
 
     def _quarantine(self, key: str) -> None:

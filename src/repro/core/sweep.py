@@ -35,7 +35,6 @@ records.
 from __future__ import annotations
 
 import os
-import time
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -44,17 +43,30 @@ from repro.arch.machines import get_machine
 from repro.arch.topology import MachineTopology
 from repro.core.envspace import EnvSpace
 from repro.errors import ConfigError, PoisonBatchError
+from repro.resilience.backends import (
+    BACKEND_NAMES,
+    ExecutorBackend,
+    NodesBackend,
+    SerialBackend,
+    SerialChaosFault,
+)
 from repro.resilience.chaos import (
     CHAOS_CRASH_EXIT,
+    CHAOS_NODE_LOST_EXIT,
+    CHAOS_PARTITION_EXIT,
     ChaosPlan,
     apply_cache_fault,
     corrupted_payload,
+    in_node_context,
     install_chaos,
+    installed_node_fault,
     installed_worker_fault,
+    trigger_node_fault,
     trigger_worker_fault,
 )
 from repro.resilience.policy import RetryPolicy
 from repro.resilience.report import FailureLedger, FailureReport
+from repro.resilience.sharding import ShardPlanner, ShardReport
 from repro.resilience.supervisor import SupervisedTask, Supervisor
 from repro.runtime.executor import RuntimeExecutor, apply_measurement_noise
 from repro.runtime.icv import EnvConfig
@@ -174,6 +186,14 @@ class SweepResult:
     n_quarantined_batches: int = 0
     #: Per-batch failure accounting for this run (always present).
     failure_report: FailureReport | None = None
+    #: Which executor backend ran the misses ("serial", "pool", "nodes")
+    #: and across how many shards; records are backend-invariant (the
+    #: ``sharded-execution-parity`` check pins it).
+    backend: str = "serial"
+    n_shards: int = 1
+    #: Steal/reassign diagnostics (nodes backend only).  Operational —
+    #: depends on real execution timing, unlike ``failure_report``.
+    shard_report: ShardReport | None = None
 
     @property
     def n_samples(self) -> int:
@@ -454,8 +474,17 @@ def _supervised_run_batch(payload: tuple, attempt: int):
     plan's fault lookup, which is per ``(batch_index, attempt)`` so a
     first-attempt fault recovers on retry while a poison fault
     (``attempts=None``) defeats every attempt.
+
+    Node-level faults fire at the transport layer inside a nodes-backend
+    node (``_node_main`` injects them before this function runs); in a
+    plain pool worker — no transport to sever — they degrade to a
+    process death with the fault's distinctive exit code, so the pool
+    backend still exercises every chaos plan.
     """
     index, batch = payload
+    node_fault = installed_node_fault(index, attempt)
+    if node_fault is not None and not in_node_context():
+        trigger_node_fault(node_fault)  # never returns
     fault = installed_worker_fault(index, attempt)
     if fault == "corrupt-result":
         return corrupted_payload(index)
@@ -528,6 +557,31 @@ def _make_supervisor(
     )
 
 
+def _make_nodes_backend(
+    n_nodes: int,
+    plan: SweepPlan,
+    space: EnvSpace,
+    chaos: ChaosPlan | None,
+    policy: RetryPolicy,
+    fail_policy: str,
+) -> NodesBackend:
+    """The simulated multi-node fleet holding the sweep state (test seam).
+
+    One node per shard; nodes run the same entry point, initializer and
+    validator as pool workers, so a batch computes identically on every
+    backend — only the dispatch substrate differs.
+    """
+    return NodesBackend(
+        _supervised_run_batch,
+        initializer=_init_worker,
+        initargs=(plan, space, chaos),
+        n_nodes=n_nodes,
+        policy=policy,
+        validate=_validate_batch_records,
+        fail_fast=(fail_policy == "raise"),
+    )
+
+
 # ----------------------------------------------------------------------
 # Planning
 # ----------------------------------------------------------------------
@@ -574,6 +628,8 @@ def run_sweep(
     retry: RetryPolicy | None = None,
     chaos: ChaosPlan | None = None,
     batch_timeout_s: float | None = None,
+    backend: str = "auto",
+    n_shards: int = 1,
 ) -> SweepResult:
     """Execute a sweep plan; deterministic for a given plan.
 
@@ -603,11 +659,30 @@ def run_sweep(
     On interruption or error, batches that finished before the failure
     are flushed to the cache before the exception propagates, so no
     landed work is ever lost.
+
+    ``backend`` selects the executor substrate for the cache misses:
+    ``"serial"`` (in-process), ``"pool"`` (supervised multiprocess
+    fleet), ``"nodes"`` (simulated multi-node cluster over socket
+    links, one node per shard), or ``"auto"`` — pool when
+    ``n_processes > 1`` leaves more than one miss to share, else
+    serial.  ``n_shards`` partitions the miss stream: homes follow the
+    cache's key-prefix partitioning when a cache is present (else
+    round-robin), the pool interleaves dispatch across shards, and the
+    nodes backend runs one process per shard with work stealing.
+    Records are bit-identical across every ``backend`` × ``n_shards``
+    combination (the ``sharded-execution-parity`` check pins it).
     """
     if fail_policy not in ("raise", "degrade"):
         raise ConfigError(
             f"fail_policy must be 'raise' or 'degrade', got {fail_policy!r}"
         )
+    if backend not in BACKEND_NAMES + ("auto",):
+        raise ConfigError(
+            f"backend must be one of {('auto',) + BACKEND_NAMES}, "
+            f"got {backend!r}"
+        )
+    if n_shards < 1:
+        raise ConfigError(f"n_shards must be >= 1, got {n_shards}")
     space = space or EnvSpace()
     machine = get_machine(plan.arch)
     batches = plan_batches(plan)
@@ -696,62 +771,46 @@ def run_sweep(
                 progress(done, total, batch.app, batch.input_size,
                          batch.nthreads)
 
-    def inline_stream() -> Iterator[list[SweepRecord] | None]:
-        """Serial execution with the same retry/quarantine semantics.
+    def _serial_attempt(payload: tuple, attempt: int):
+        """In-process task function with chaos faults *simulated*.
 
-        Chaos worker faults that cannot be survived in-process (a real
-        crash or hang would take the sweep down with it) are simulated as
-        the failure they would produce under supervision.
+        Faults the serial backend cannot survive for real (a genuine
+        crash, hang, or node loss would take the whole sweep down with
+        it) are booked as the failure they would produce under
+        supervision, via :class:`~repro.resilience.backends.
+        SerialChaosFault`.
         """
-        for i in misses:
-            attempt = 0
-            while True:
-                kind = cause = records = None
-                fault = (chaos.worker_fault(i, attempt)
-                         if chaos is not None else None)
-                if fault == "crash":
-                    kind = "crash"
-                    cause = (f"injected worker crash (serial mode, exit "
-                             f"{CHAOS_CRASH_EXIT})")
-                elif fault == "hang":
-                    kind = "timeout"
-                    cause = ("injected hang exceeded the batch deadline "
-                             "(serial mode)")
-                else:
-                    if fault == "corrupt-result":
-                        records = corrupted_payload(i)
-                    else:
-                        try:
-                            records = _execute_batch(
-                                plan, machine, configs, batches[i]
-                            )
-                        except Exception as exc:
-                            kind = "error"
-                            cause = f"{type(exc).__name__}: {exc}"
-                    if kind is None:
-                        error = _validate_batch_records(records)
-                        if error is not None:
-                            kind, cause, records = (
-                                "corrupt-result", error, None
-                            )
-                if kind is None:
-                    if attempt > 0:
-                        ledger.record_success(i)
-                    yield records
-                    break
-                if ledger.record_failure(i, batches[i], attempt, kind,
-                                         cause):
-                    time.sleep(policy.delay_s(i, attempt + 1))
-                    attempt += 1
-                    continue
-                if fail_policy == "raise":
-                    raise PoisonBatchError(
-                        f"batch {i} quarantined after {attempt + 1} failed "
-                        f"attempt(s) (last: {kind}: {cause}) under "
-                        "fail_policy='raise'"
-                    )
-                yield None
-                break
+        i, batch = payload
+        fault = (chaos.node_fault(i, attempt)
+                 if chaos is not None else None)
+        if fault == "node-lost":
+            raise SerialChaosFault(
+                "node-lost",
+                f"injected node loss (serial mode, exit "
+                f"{CHAOS_NODE_LOST_EXIT})",
+            )
+        if fault == "shard-partition":
+            raise SerialChaosFault(
+                "shard-partition",
+                f"injected shard partition (serial mode, exit "
+                f"{CHAOS_PARTITION_EXIT})",
+            )
+        fault = (chaos.worker_fault(i, attempt)
+                 if chaos is not None else None)
+        if fault == "crash":
+            raise SerialChaosFault(
+                "crash",
+                f"injected worker crash (serial mode, exit "
+                f"{CHAOS_CRASH_EXIT})",
+            )
+        if fault == "hang":
+            raise SerialChaosFault(
+                "timeout",
+                "injected hang exceeded the batch deadline (serial mode)",
+            )
+        if fault == "corrupt-result":
+            return corrupted_payload(i)
+        return _execute_batch(plan, machine, configs, batch)
 
     def build_report(worker_respawns: int = 0) -> FailureReport:
         return ledger.build_report(
@@ -761,42 +820,76 @@ def run_sweep(
             worker_respawns=worker_respawns,
         )
 
-    supervisor: Supervisor | None = None
+    resolved = backend
+    if resolved == "auto":
+        # Historical behavior, unchanged: fan out only when parallelism
+        # was requested and more than one miss exists to share.
+        resolved = ("pool" if n_processes > 1 and len(misses) > 1
+                    else "serial")
+
+    timeout = (
+        batch_timeout_s if batch_timeout_s is not None
+        else _batch_timeout_s(len(configs), plan.repetitions)
+    )
+    tasks = [
+        SupervisedTask(
+            task_id=t, index=i, payload=(i, batches[i]),
+            timeout_s=timeout, identity=batches[i],
+        )
+        for t, i in enumerate(misses)
+    ]
+
+    exec_backend: ExecutorBackend | None = None
     try:
-        if n_processes > 1 and len(misses) > 1:
-            timeout = (
-                batch_timeout_s if batch_timeout_s is not None
-                else _batch_timeout_s(len(configs), plan.repetitions)
-            )
-            tasks = [
-                SupervisedTask(
-                    task_id=t, index=i, payload=(i, batches[i]),
-                    timeout_s=timeout, identity=batches[i],
-                )
-                for t, i in enumerate(misses)
-            ]
-            supervisor = _make_supervisor(
-                min(n_processes, len(misses)), plan, space, chaos,
-                policy, fail_policy,
-            )
-            consume(supervisor.stream(tasks, ledger))
+        if not tasks:
+            consume(iter(()))  # everything was cached; nothing to run
         else:
-            consume(inline_stream())
+            planner = ShardPlanner(n_shards)
+            miss_keys = ([keys[i] for i in misses] if cache is not None
+                         else None)
+            if resolved == "pool":
+                exec_backend = _make_supervisor(
+                    min(n_processes, len(misses)), plan, space, chaos,
+                    policy, fail_policy,
+                )
+                if n_shards > 1:
+                    homes = planner.assign(tasks, miss_keys)
+                    exec_backend.dispatch_order = (
+                        lambda ts: planner.interleave(ts, homes)
+                    )
+            elif resolved == "nodes":
+                exec_backend = _make_nodes_backend(
+                    n_shards, plan, space, chaos, policy, fail_policy,
+                )
+                exec_backend.home_shards = planner.assign(tasks, miss_keys)
+            else:
+                exec_backend = SerialBackend(
+                    _serial_attempt,
+                    policy=policy,
+                    validate=_validate_batch_records,
+                    fail_fast=(fail_policy == "raise"),
+                )
+            consume(exec_backend.stream(tasks, ledger))
     except BaseException as exc:
         # Flush batches that completed before the failure so landed work
         # survives a Ctrl-C or a poison batch under fail_policy="raise".
-        if supervisor is not None and cache is not None:
-            for task_id, records in supervisor.completed_unyielded():
+        if exec_backend is not None and cache is not None:
+            for task_id, records in exec_backend.completed_unyielded():
                 cache.put(keys[misses[task_id]], records)
         if isinstance(exc, PoisonBatchError):
             exc.report = build_report(
-                supervisor.worker_respawns if supervisor is not None else 0
+                exec_backend.worker_respawns
+                if exec_backend is not None else 0
             )
         raise
     finally:
-        if supervisor is not None:
-            supervisor.close()
+        if exec_backend is not None:
+            exec_backend.close()
     result.failure_report = build_report(
-        supervisor.worker_respawns if supervisor is not None else 0
+        exec_backend.worker_respawns if exec_backend is not None else 0
     )
+    result.backend = resolved
+    result.n_shards = n_shards
+    if isinstance(exec_backend, NodesBackend):
+        result.shard_report = exec_backend.shard_report()
     return result

@@ -26,6 +26,10 @@ __all__ = [
     "WorkerCrashError",
     "BatchTimeoutError",
     "PoisonBatchError",
+    "TransportError",
+    "MalformedFrameError",
+    "TruncatedFrameError",
+    "NodeLostError",
     "DatasetError",
     "SchemaError",
     "CacheError",
@@ -135,6 +139,29 @@ class PoisonBatchError(ResilienceError):
     def __init__(self, message: str, report: object = None):
         super().__init__(message)
         self.report = report
+
+
+class TransportError(ResilienceError):
+    """The node socket transport failed.  Every failure mode is typed
+    (see subclasses) so the nodes backend can map it to the right
+    recovery path — retry, respawn, or shard reassignment — instead of
+    hanging on a half-read frame."""
+
+
+class MalformedFrameError(TransportError):
+    """A frame arrived with a bad magic, an implausible length, a failed
+    checksum, or an undecodable payload — the peer is not speaking the
+    protocol (or the bytes rotted in flight)."""
+
+
+class TruncatedFrameError(TransportError):
+    """The connection ended (or stalled past its deadline) in the middle
+    of a frame — the classic mid-message node death."""
+
+
+class NodeLostError(TransportError):
+    """The connection dropped at a frame boundary: the node process died
+    or the link was severed between messages."""
 
 
 # --------------------------------------------------------------------------

@@ -5,30 +5,55 @@ where partial failure is the norm: workers crash, hang, or return
 garbage, and on-disk cache entries rot.  This package keeps the sweep
 engine producing results under all of it (see ``docs/RESILIENCE.md``):
 
+- :mod:`repro.resilience.backends` — the executor-backend protocol and
+  its three substrates: in-process serial (the parity reference), the
+  supervised pool, and a simulated multi-node cluster over socket
+  links,
 - :mod:`repro.resilience.supervisor` — supervised worker processes with
   per-batch deadlines, death/hang detection, respawn, and in-order
-  result streaming,
+  result streaming (the *pool* backend),
+- :mod:`repro.resilience.sharding` — deterministic shard planning:
+  key-prefix cache partitioning, round-robin interleave, and the
+  normative work-stealing arbitration rule,
+- :mod:`repro.resilience.transport` — the length-prefixed, checksummed
+  frame protocol between the sweep parent and its nodes, with every
+  failure mode typed and deadline-bounded,
 - :mod:`repro.resilience.policy` — deterministic exponential backoff
   with seeded jitter (SIM002-clean: no global RNG),
 - :mod:`repro.resilience.report` — per-batch failure accounting
   (attempts, causes, quarantine/recovery) rendered through the shared
   :mod:`repro.reporting` serializer,
 - :mod:`repro.resilience.chaos` — seeded, replayable fault injection
-  (worker crash/hang/corrupt payloads, cache torn-writes/bit-flips),
-  surfaced as ``repro-omp chaos`` and ``pytest -m chaos``.
+  (worker crash/hang/corrupt payloads, node loss/partition, cache
+  torn-writes/bit-flips), surfaced as ``repro-omp chaos`` and
+  ``pytest -m chaos``.
 """
 
+from repro.resilience.backends import (
+    BACKEND_NAMES,
+    ExecutorBackend,
+    NodesBackend,
+    SerialBackend,
+    SerialChaosFault,
+)
 from repro.resilience.chaos import (
     CACHE_FAULT_KINDS,
     CHAOS_CRASH_EXIT,
+    CHAOS_NODE_LOST_EXIT,
+    CHAOS_PARTITION_EXIT,
     FAULT_KINDS,
+    NODE_FAULT_KINDS,
     WORKER_FAULT_KINDS,
     ChaosFault,
     ChaosPlan,
     apply_cache_fault,
     corrupted_payload,
+    enter_node_context,
+    in_node_context,
     install_chaos,
+    installed_node_fault,
     installed_worker_fault,
+    trigger_node_fault,
     trigger_worker_fault,
 )
 from repro.resilience.policy import RetryPolicy
@@ -38,6 +63,15 @@ from repro.resilience.report import (
     BatchFailure,
     FailureLedger,
     FailureReport,
+)
+from repro.resilience.sharding import (
+    PARTITION_PREFIX_HEX,
+    ReassignEvent,
+    ShardPlanner,
+    ShardReport,
+    StealEvent,
+    partition_for_key,
+    simulate_rebalance,
 )
 from repro.resilience.supervisor import SupervisedTask, Supervisor
 
@@ -52,13 +86,32 @@ __all__ = [
     "ChaosPlan",
     "FAULT_KINDS",
     "WORKER_FAULT_KINDS",
+    "NODE_FAULT_KINDS",
     "CACHE_FAULT_KINDS",
     "CHAOS_CRASH_EXIT",
+    "CHAOS_NODE_LOST_EXIT",
+    "CHAOS_PARTITION_EXIT",
     "apply_cache_fault",
     "corrupted_payload",
     "install_chaos",
     "installed_worker_fault",
+    "installed_node_fault",
     "trigger_worker_fault",
+    "trigger_node_fault",
+    "enter_node_context",
+    "in_node_context",
     "SupervisedTask",
     "Supervisor",
+    "BACKEND_NAMES",
+    "ExecutorBackend",
+    "SerialBackend",
+    "SerialChaosFault",
+    "NodesBackend",
+    "PARTITION_PREFIX_HEX",
+    "partition_for_key",
+    "ShardPlanner",
+    "ShardReport",
+    "StealEvent",
+    "ReassignEvent",
+    "simulate_rebalance",
 ]

@@ -1,0 +1,728 @@
+"""Executor backends: one dispatch protocol, three execution substrates.
+
+PR 5 built fault-tolerant sweep execution around exactly one substrate —
+the supervised multiprocess pool.  This module generalizes that into an
+:class:`ExecutorBackend` protocol with three implementations, so the
+sweep engine (and the ``sharded-execution-parity`` check) can run the
+same task stream on any of them and demand bit-identical records:
+
+- ``serial`` (:class:`SerialBackend`) — in-process, no subprocesses.
+  The reference implementation: every other backend is defined as
+  "produces exactly what serial produces".
+- ``pool`` (:class:`~repro.resilience.supervisor.Supervisor`) — the
+  existing supervised worker fleet, registered here as a virtual
+  subclass; nothing about it changed.
+- ``nodes`` (:class:`NodesBackend`) — a simulated multi-node cluster:
+  one OS process per *shard*, each owning one end of a
+  ``socket.socketpair()`` and speaking the length-prefixed frame
+  protocol in :mod:`repro.resilience.transport`.  This models the
+  failure surface a real distributed sweep would have — truncated
+  frames, severed links, lost nodes — on a single machine, where the
+  chaos harness can script it deterministically.
+
+The contract every backend honors (the supervisor defined it):
+
+- ``stream(tasks, ledger)`` yields one outcome per task **in task_id
+  order** regardless of completion order — a successful result, or
+  None for a batch quarantined after its retry budget,
+- every failed attempt lands in the shared
+  :class:`~repro.resilience.report.FailureLedger`,
+- ``completed_unyielded()`` exposes landed-but-unconsumed results so an
+  interrupted sweep can flush them to cache,
+- ``close()`` is idempotent and safe mid-stream.
+
+Sharding (nodes backend)
+------------------------
+Each node is one shard.  Tasks start on their **home** shard — by
+default the :class:`~repro.resilience.sharding.ShardPlanner` round-robin
+assignment; the sweep layer overrides it with the cache key-prefix
+partitioning so a shard's working set maps onto stable cache
+partitions.  An idle node with an empty home queue *steals* from the
+richest backlog (ties to the lowest shard id, taking the victim's tail)
+— the arbitration rule :func:`~repro.resilience.sharding.
+simulate_rebalance` specifies.
+
+Node loss runs a budgeted recovery ladder: the in-flight task is
+retried under the normal :class:`~repro.resilience.policy.RetryPolicy`;
+the node is respawned while the ``max_node_respawns`` budget lasts;
+past it the node is *abandoned* and its backlog reassigned round-robin
+to the survivors (``max_reassignments`` abandonments allowed, logged as
+:class:`~repro.resilience.sharding.ReassignEvent`); with no survivors
+the stream raises :class:`~repro.errors.ResilienceError`.  Steal and
+reassign schedules depend on real execution timing, so they live in the
+:class:`~repro.resilience.sharding.ShardReport` (see
+:meth:`NodesBackend.shard_report`) and never in the deterministic
+:class:`~repro.resilience.report.FailureReport`.
+
+Results cross the node boundary as pickled frames; sweep workers send
+packed :class:`~repro.frame.columns.RecordBlock` batches whose
+``array.array`` columns pickle as raw bytes, so the pipeline stays
+columnar end to end (see ``docs/COLUMNAR.md``).
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import multiprocessing
+import selectors
+import socket
+import time
+from collections import deque
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.errors import (
+    MalformedFrameError,
+    PoisonBatchError,
+    ResilienceError,
+    TransportError,
+    TruncatedFrameError,
+)
+from repro.resilience.chaos import (
+    CHAOS_NODE_LOST_EXIT,
+    CHAOS_PARTITION_EXIT,
+    enter_node_context,
+    installed_node_fault,
+)
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.report import FailureLedger
+from repro.resilience.sharding import (
+    ReassignEvent,
+    ShardPlanner,
+    ShardReport,
+    StealEvent,
+)
+from repro.resilience.supervisor import SupervisedTask, Supervisor
+from repro.resilience.transport import (
+    recv_frame,
+    send_frame,
+    send_truncated_frame,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutorBackend",
+    "SerialBackend",
+    "SerialChaosFault",
+    "NodesBackend",
+]
+
+#: The backend axis the parity checks and the CLI iterate over.
+BACKEND_NAMES = ("serial", "pool", "nodes")
+
+
+class ExecutorBackend(abc.ABC):
+    """The dispatch protocol shared by serial, pool and nodes backends.
+
+    :class:`~repro.resilience.supervisor.Supervisor` predates this
+    protocol and is registered below as a virtual subclass rather than
+    rebased onto it — its public surface already matches.
+    """
+
+    #: Short identifier ("serial", "pool", "nodes").
+    name = "backend"
+    #: Worker/node respawns performed so far (failure-report field).
+    worker_respawns = 0
+
+    @abc.abstractmethod
+    def stream(
+        self,
+        tasks: Sequence[SupervisedTask],
+        ledger: FailureLedger | None = None,
+    ) -> Iterator[object]:
+        """Run all tasks; yield outcomes in ``task_id`` order."""
+
+    def completed_unyielded(self) -> list[tuple[int, object]]:
+        """Landed-but-unconsumed ``(task_id, value)`` pairs."""
+        return []
+
+    def close(self) -> None:
+        """Release all execution resources; idempotent."""
+
+
+ExecutorBackend.register(Supervisor)
+
+
+class SerialChaosFault(Exception):
+    """Raised by a serial-mode task function to simulate a fault the
+    in-process backend cannot survive for real (a crash, a hang, a lost
+    node).  Carries the failure ``kind`` and ``cause`` the ledger
+    records — the serial path *books* the failure instead of dying."""
+
+    def __init__(self, kind: str, cause: str):
+        super().__init__(f"{kind}: {cause}")
+        self.kind = kind
+        self.cause = cause
+
+
+class SerialBackend(ExecutorBackend):
+    """In-process reference backend: no subprocesses, no IPC.
+
+    Mirrors the supervisor's retry/quarantine semantics exactly —
+    deterministic backoff sleeps, validation as ``corrupt-result``,
+    poison on budget exhaustion — so its record stream is the parity
+    reference the other backends are measured against.
+    """
+
+    name = "serial"
+
+    def __init__(
+        self,
+        fn: Callable,
+        policy: RetryPolicy | None = None,
+        validate: Callable | None = None,
+        fail_fast: bool = False,
+    ):
+        self.fn = fn
+        self.policy = policy or RetryPolicy()
+        self.validate = validate
+        self.fail_fast = fail_fast
+        self.ledger: FailureLedger | None = None
+        self.worker_respawns = 0
+        self._outcomes: dict[int, tuple[str, object]] = {}
+        self._yielded = 0
+
+    def stream(
+        self,
+        tasks: Sequence[SupervisedTask],
+        ledger: FailureLedger | None = None,
+    ) -> Iterator[object]:
+        """Run all tasks in-process; yield outcomes in task order."""
+        tasks = list(tasks)
+        if [t.task_id for t in tasks] != list(range(len(tasks))):
+            raise ResilienceError(
+                "task_ids must be the contiguous sequence 0..n-1 in "
+                "submission order"
+            )
+        self.ledger = ledger if ledger is not None else FailureLedger(
+            self.policy, "raise" if self.fail_fast else "degrade"
+        )
+        self._outcomes = {}
+        self._yielded = 0
+        for task in tasks:
+            attempt = 0
+            while True:
+                kind = cause = None
+                value = None
+                try:
+                    value = self.fn(task.payload, attempt)
+                except SerialChaosFault as fault:
+                    kind, cause = fault.kind, fault.cause
+                except Exception as exc:
+                    kind, cause = "error", f"{type(exc).__name__}: {exc}"
+                else:
+                    error = self.validate(value) if self.validate else None
+                    if error is not None:
+                        kind, cause, value = "corrupt-result", error, None
+                if kind is None:
+                    self.ledger.record_success(task.index)
+                    self._outcomes[task.task_id] = ("ok", value)
+                    break
+                if self.ledger.record_failure(
+                    task.index, task.identity, attempt, kind, cause
+                ):
+                    time.sleep(self.policy.delay_s(task.index, attempt + 1))
+                    attempt += 1
+                    continue
+                self._outcomes[task.task_id] = ("poison", None)
+                if self.fail_fast:
+                    raise PoisonBatchError(
+                        f"batch {task.index} quarantined after "
+                        f"{attempt + 1} failed attempt(s) (last: {kind}: "
+                        f"{cause}) under fail_policy='raise'"
+                    )
+                break
+            while self._yielded in self._outcomes:
+                status, out = self._outcomes.pop(self._yielded)
+                self._yielded += 1
+                yield out if status == "ok" else None
+
+    def completed_unyielded(self) -> list[tuple[int, object]]:
+        """Landed-but-unconsumed ``(task_id, value)`` pairs."""
+        return [
+            (task_id, value)
+            for task_id, (status, value) in sorted(self._outcomes.items())
+            if status == "ok"
+        ]
+
+
+# ----------------------------------------------------------------------
+# Nodes backend
+# ----------------------------------------------------------------------
+def _node_main(node_id, fn, initializer, initargs, sock):
+    """Node process body: initialize once, then serve framed tasks.
+
+    Node-level chaos faults fire *here, at the transport layer* —
+    a ``node-lost`` fault sends half a result frame before dying, a
+    ``shard-partition`` fault severs the link between messages — so the
+    parent exercises the real truncated-frame / boundary-EOF recovery
+    paths rather than a polite error message.
+    """
+    import os as _os
+
+    enter_node_context()
+    try:
+        if initializer is not None:
+            initializer(*initargs)
+    except BaseException as exc:
+        try:
+            send_frame(sock, ("init-error", f"{type(exc).__name__}: {exc}"))
+        except TransportError:
+            pass
+        return
+    try:
+        while True:
+            try:
+                message = recv_frame(sock)
+            except TransportError:
+                return  # parent went away; nothing left to serve
+            if message is None or message[0] == "stop":
+                return
+            _tag, task_id, index, payload, attempt = message
+            fault = installed_node_fault(index, attempt)
+            if fault == "node-lost":
+                try:
+                    send_truncated_frame(
+                        sock, ("result", task_id, "ok", None)
+                    )
+                finally:
+                    _os._exit(CHAOS_NODE_LOST_EXIT)
+            if fault == "shard-partition":
+                sock.close()
+                _os._exit(CHAOS_PARTITION_EXIT)
+            try:
+                result = fn(payload, attempt)
+            except Exception as exc:
+                send_frame(sock, ("result", task_id, "error",
+                                  f"{type(exc).__name__}: {exc}"))
+            else:
+                send_frame(sock, ("result", task_id, "ok", result))
+    except KeyboardInterrupt:
+        return
+
+
+@dataclass
+class _NodeSlot:
+    """One node process, its link, and what it is currently running."""
+
+    node_id: int
+    sock: socket.socket | None
+    process: multiprocessing.Process | None
+    #: (task, attempt, deadline) while busy, None while idle.
+    current: tuple | None = None
+    #: False once the node is abandoned (respawn budget exhausted).
+    alive: bool = False
+
+
+class NodesBackend(ExecutorBackend):
+    """Simulated multi-node executor: one process per shard over
+    socketpair links (see module docstring for the full model)."""
+
+    name = "nodes"
+
+    def __init__(
+        self,
+        fn: Callable,
+        initializer: Callable | None = None,
+        initargs: Sequence = (),
+        n_nodes: int = 2,
+        policy: RetryPolicy | None = None,
+        validate: Callable | None = None,
+        fail_fast: bool = False,
+        poll_interval_s: float = 0.05,
+        max_node_respawns: int = 16,
+        max_reassignments: int | None = None,
+        frame_timeout_s: float = 5.0,
+    ):
+        self.fn = fn
+        self.initializer = initializer
+        self.initargs = tuple(initargs)
+        self.n_nodes = max(1, n_nodes)
+        self.policy = policy or RetryPolicy()
+        self.validate = validate
+        self.fail_fast = fail_fast
+        self.poll_interval_s = poll_interval_s
+        self.max_node_respawns = max_node_respawns
+        self.max_reassignments = (
+            max_reassignments if max_reassignments is not None
+            else max(0, self.n_nodes - 1)
+        )
+        self.frame_timeout_s = frame_timeout_s
+        self.planner = ShardPlanner(self.n_nodes)
+        #: Optional per-task home shard override (e.g. cache key-prefix
+        #: partitioning); set before ``stream``, one shard id per task.
+        self.home_shards: Sequence[int] | None = None
+        self.ledger: FailureLedger | None = None
+        self.worker_respawns = 0
+        self._slots: list[_NodeSlot] = []
+        self._selector: selectors.BaseSelector | None = None
+        self._queues: list[deque] = []
+        self._home: list[int] = []
+        self._steals: list[StealEvent] = []
+        self._reassigns: list[ReassignEvent] = []
+        self._abandoned = 0
+        self._retry_heap: list = []
+        self._retry_seq = 0
+        self._outcomes: dict[int, tuple[str, object]] = {}
+        self._yielded = 0
+        self._closed = True
+
+    # -- node lifecycle --------------------------------------------------
+    def _spawn(self, node_id: int) -> _NodeSlot:
+        parent_sock, child_sock = socket.socketpair()
+        process = multiprocessing.Process(
+            target=_node_main,
+            args=(node_id, self.fn, self.initializer, self.initargs,
+                  child_sock),
+            daemon=True,
+        )
+        process.start()
+        # The parent's copy of the child end closes immediately, so the
+        # node process is the *only* holder: node death is EOF here.
+        child_sock.close()
+        self._selector.register(parent_sock, selectors.EVENT_READ, node_id)
+        return _NodeSlot(node_id, parent_sock, process, alive=True)
+
+    def _kill(self, slot: _NodeSlot) -> None:
+        if slot.sock is not None:
+            try:
+                self._selector.unregister(slot.sock)
+            except (KeyError, ValueError):
+                pass
+            slot.sock.close()
+            slot.sock = None
+        process = slot.process
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(1.0)
+        slot.alive = False
+        slot.current = None
+
+    def _exitcode(self, slot: _NodeSlot) -> int | None:
+        if slot.process is None:
+            return None
+        slot.process.join(1.0)
+        return slot.process.exitcode
+
+    def _survivors(self) -> list[_NodeSlot]:
+        return [s for s in self._slots if s.alive]
+
+    def _recover_node(self, slot: _NodeSlot) -> None:
+        """Respawn while the budget lasts; abandon and reassign past it."""
+        self._kill(slot)
+        self.worker_respawns += 1
+        if self.worker_respawns <= self.max_node_respawns:
+            fresh = self._spawn(slot.node_id)
+            slot.sock, slot.process = fresh.sock, fresh.process
+            slot.alive = True
+            return
+        self._abandon(slot)
+
+    def _abandon(self, slot: _NodeSlot) -> None:
+        if self._abandoned >= self.max_reassignments:
+            raise ResilienceError(
+                f"shard reassignment budget exhausted "
+                f"({self.max_reassignments}): nodes keep getting lost"
+            )
+        self._abandoned += 1
+        survivors = self._survivors()
+        if not survivors:
+            raise ResilienceError(
+                "every node is lost; no shard can take the backlog"
+            )
+        backlog = self._queues[slot.node_id]
+        for position, (task, attempt) in enumerate(backlog):
+            target = survivors[position % len(survivors)]
+            self._queues[target.node_id].append((task, attempt))
+            self._home[task.task_id] = target.node_id
+            self._reassigns.append(
+                ReassignEvent(slot.node_id, target.node_id, task.index)
+            )
+        backlog.clear()
+
+    def _route(self, task: SupervisedTask, attempt: int) -> None:
+        """Queue a (re)tried task on its home shard, re-homing it to a
+        survivor if the home was abandoned."""
+        home = self._home[task.task_id]
+        if not self._slots[home].alive:
+            survivors = self._survivors()
+            if not survivors:
+                raise ResilienceError(
+                    "every node is lost; no shard can take the backlog"
+                )
+            target = survivors[task.task_id % len(survivors)]
+            self._reassigns.append(
+                ReassignEvent(home, target.node_id, task.index)
+            )
+            self._home[task.task_id] = home = target.node_id
+        self._queues[home].appendleft((task, attempt))
+
+    # -- event loop ------------------------------------------------------
+    def stream(
+        self,
+        tasks: Sequence[SupervisedTask],
+        ledger: FailureLedger | None = None,
+    ) -> Iterator[object]:
+        """Run all tasks; yield outcomes in task order (see class doc)."""
+        tasks = list(tasks)
+        if [t.task_id for t in tasks] != list(range(len(tasks))):
+            raise ResilienceError(
+                "task_ids must be the contiguous sequence 0..n-1 in "
+                "submission order"
+            )
+        self.ledger = ledger if ledger is not None else FailureLedger(
+            self.policy, "raise" if self.fail_fast else "degrade"
+        )
+        homes = (list(self.home_shards) if self.home_shards is not None
+                 else list(self.planner.assign(tasks)))
+        if len(homes) != len(tasks):
+            raise ResilienceError(
+                f"got {len(homes)} home shards for {len(tasks)} tasks"
+            )
+        self._home = homes
+        self._queues = [deque() for _ in range(self.n_nodes)]
+        for task, home in zip(tasks, homes):
+            self._queues[home].append((task, 0))
+        self._retry_heap = []
+        self._outcomes = {}
+        self._yielded = 0
+        self._steals = []
+        self._reassigns = []
+        self._abandoned = 0
+        self.worker_respawns = 0
+        self._selector = selectors.DefaultSelector()
+        self._slots = [self._spawn(i) for i in range(self.n_nodes)]
+        self._closed = False
+        try:
+            while self._yielded < len(tasks):
+                self._dispatch()
+                self._poll(self._wait_budget())
+                self._enforce_deadlines()
+                while self._yielded in self._outcomes:
+                    status, value = self._outcomes.pop(self._yielded)
+                    self._yielded += 1
+                    yield value if status == "ok" else None
+        finally:
+            self.close()
+
+    def _dispatch(self) -> None:
+        now = time.monotonic()
+        while self._retry_heap and self._retry_heap[0][0] <= now:
+            _, _, task, attempt = heapq.heappop(self._retry_heap)
+            # Retries jump their home queue, mirroring the supervisor.
+            self._route(task, attempt)
+        for slot in self._slots:
+            if not slot.alive or slot.current is not None:
+                continue
+            item = self._take_for(slot)
+            if item is None:
+                continue
+            task, attempt = item
+            try:
+                send_frame(slot.sock,
+                           ("task", task.task_id, task.index,
+                            task.payload, attempt))
+            except TransportError:
+                # The node died before taking the task: put it back on
+                # this shard (recovery reassigns it if the shard is
+                # abandoned), surface any final frames the node flushed
+                # before the link dropped, then recover the node.
+                self._queues[slot.node_id].appendleft((task, attempt))
+                self._drain_final(slot)
+                self._recover_node(slot)
+                continue
+            slot.current = (task, attempt, now + task.timeout_s)
+
+    def _take_for(self, slot: _NodeSlot) -> tuple | None:
+        """Own queue head, else steal the richest backlog's tail."""
+        own = self._queues[slot.node_id]
+        if own:
+            return own.popleft()
+        victim = None
+        richest = 0
+        for other in self._slots:
+            backlog = len(self._queues[other.node_id])
+            if other.node_id != slot.node_id and backlog > richest:
+                victim, richest = other, backlog
+        if victim is None:
+            return None
+        task, attempt = self._queues[victim.node_id].pop()
+        self._home[task.task_id] = slot.node_id
+        self._steals.append(
+            StealEvent(slot.node_id, victim.node_id, task.index)
+        )
+        return task, attempt
+
+    def _drain_final(self, slot: _NodeSlot) -> None:
+        """Read frames a dead node flushed before its link dropped.
+
+        A node that failed initialization sends one ``init-error``
+        frame and exits; that frame sits in the socket buffer and must
+        surface (as :class:`~repro.errors.ResilienceError`) rather than
+        vanish when recovery closes the socket.
+        """
+        if slot.sock is None:
+            return
+        while True:
+            try:
+                message = recv_frame(slot.sock, 0.05)
+            except TransportError:
+                return
+            if message is None:
+                return
+            self._handle_message(slot, message)
+
+    def _wait_budget(self) -> float:
+        now = time.monotonic()
+        budget = self.poll_interval_s
+        for slot in self._slots:
+            if slot.current is not None:
+                budget = min(budget, slot.current[2] - now)
+        if self._retry_heap:
+            budget = min(budget, self._retry_heap[0][0] - now)
+        return max(budget, 0.005)
+
+    def _poll(self, timeout_s: float) -> None:
+        """Wait for node frames for up to ``timeout_s``; handle them."""
+        events = self._selector.select(max(timeout_s, 0.0))
+        for key, _mask in events:
+            node_id = key.data
+            slot = self._slots[node_id]
+            if not slot.alive or slot.sock is not key.fileobj:
+                continue  # a slot recovered earlier in this same pass
+            try:
+                message = recv_frame(slot.sock, self.frame_timeout_s)
+            except TransportError as exc:
+                self._on_transport_failure(slot, exc)
+                continue
+            if message is not None:
+                self._handle_message(slot, message)
+
+    def _handle_message(self, slot: _NodeSlot, message: tuple) -> None:
+        if message[0] == "init-error":
+            raise ResilienceError(
+                f"node initialization failed: {message[1]}"
+            )
+        _tag, task_id, status, value = message
+        if slot.current is None or slot.current[0].task_id != task_id:
+            return  # stale result from an assignment already retried
+        task, attempt, _deadline = slot.current
+        slot.current = None
+        if status == "ok":
+            error = self.validate(value) if self.validate else None
+            if error is None:
+                self.ledger.record_success(task.index)
+                self._outcomes[task.task_id] = ("ok", value)
+            else:
+                self._record_failure(task, attempt, "corrupt-result", error)
+        else:
+            self._record_failure(task, attempt, "error", value)
+
+    def _on_transport_failure(
+        self, slot: _NodeSlot, exc: TransportError
+    ) -> None:
+        """Classify a broken link, book the in-flight task, recover.
+
+        The failure *kind* prefers the node's exit code — chaos faults
+        die with distinctive codes — and falls back to the transport
+        error's shape: a truncated frame is a mid-message death
+        (``node-lost``), a boundary EOF is a severed link
+        (``shard-partition``).
+        """
+        exitcode = self._exitcode(slot)
+        if exitcode == CHAOS_NODE_LOST_EXIT:
+            kind = "node-lost"
+        elif exitcode == CHAOS_PARTITION_EXIT:
+            kind = "shard-partition"
+        elif isinstance(exc, (TruncatedFrameError, MalformedFrameError)):
+            kind = "node-lost"
+        else:
+            kind = "shard-partition"
+        cause = f"{type(exc).__name__}: {exc}"
+        if exitcode is not None:
+            cause += f" (node exit code {exitcode})"
+        task_info, slot.current = slot.current, None
+        self._recover_node(slot)
+        if task_info is not None:
+            task, attempt, _deadline = task_info
+            self._record_failure(task, attempt, kind, cause)
+
+    def _record_failure(self, task: SupervisedTask, attempt: int,
+                        kind: str, cause: str) -> None:
+        retry = self.ledger.record_failure(
+            task.index, task.identity, attempt, kind, cause
+        )
+        if retry:
+            delay = self.policy.delay_s(task.index, attempt + 1)
+            self._retry_seq += 1
+            heapq.heappush(
+                self._retry_heap,
+                (time.monotonic() + delay, self._retry_seq, task,
+                 attempt + 1),
+            )
+            return
+        self._outcomes[task.task_id] = ("poison", None)
+        if self.fail_fast:
+            raise PoisonBatchError(
+                f"batch {task.index} quarantined after {attempt + 1} "
+                f"failed attempt(s) (last: {kind}: {cause}) under "
+                "fail_policy='raise'"
+            )
+
+    def _enforce_deadlines(self) -> None:
+        now = time.monotonic()
+        for slot in self._slots:
+            if slot.current is None or slot.current[2] > now:
+                continue
+            task, attempt, _deadline = slot.current
+            slot.current = None
+            self._recover_node(slot)  # kills the hung node first
+            self._record_failure(
+                task, attempt, "timeout",
+                f"exceeded the {task.timeout_s:.1f}s batch deadline",
+            )
+
+    # -- interruption support -------------------------------------------
+    def completed_unyielded(self) -> list[tuple[int, object]]:
+        """Landed-but-unconsumed ``(task_id, value)`` pairs."""
+        return [
+            (task_id, value)
+            for task_id, (status, value) in sorted(self._outcomes.items())
+            if status == "ok"
+        ]
+
+    def shard_report(self) -> ShardReport:
+        """Operational steal/reassign diagnostics for the last stream."""
+        return ShardReport(
+            n_shards=self.n_nodes,
+            assignments=tuple(self._home),
+            steals=tuple(self._steals),
+            reassignments=tuple(self._reassigns),
+            node_respawns=self.worker_respawns,
+        )
+
+    def close(self) -> None:
+        """Stop every node; idempotent, safe mid-stream."""
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self._slots:
+            if (slot.alive and slot.sock is not None
+                    and slot.current is None):
+                try:
+                    send_frame(slot.sock, ("stop",))
+                except TransportError:
+                    pass
+        deadline = time.monotonic() + 1.0
+        for slot in self._slots:
+            if slot.process is not None:
+                slot.process.join(max(0.0, deadline - time.monotonic()))
+        for slot in self._slots:
+            self._kill(slot)
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None

@@ -7,7 +7,7 @@ the same :class:`~repro.resilience.report.FailureReport`, which is what
 the chaos determinism tests and the ``resilience-degrade-parity``
 differential check rely on.
 
-Five fault kinds:
+Seven fault kinds:
 
 - ``crash`` — the worker process dies mid-batch (``os._exit``),
 - ``hang`` — the worker sleeps past its deadline; the supervisor must
@@ -18,7 +18,14 @@ Five fault kinds:
   write (a simulated power cut mid-``rename``-less write),
 - ``cache-bit-flip`` — one byte of the entry is flipped on disk (media
   corruption); both cache faults must be detected by the cache's content
-  checksum on the next read and quarantined to ``<key>.corrupt``.
+  checksum on the next read and quarantined to ``<key>.corrupt``,
+- ``node-lost`` — a node of the nodes backend dies *mid-message*: it
+  sends half a result frame and exits, so the parent sees a
+  :class:`~repro.errors.TruncatedFrameError` and must respawn or
+  reassign the node's shard (the pool backend degrades this to a plain
+  worker crash; the serial path simulates it),
+- ``shard-partition`` — a node's link is severed between messages
+  (abrupt socket close), the frame-boundary flavor of node loss.
 
 Worker faults default to attempt 0 only, so a retry succeeds; a fault
 with ``attempts=None`` applies to *every* attempt, which is how a poison
@@ -37,26 +44,38 @@ from repro.errors import ConfigError
 
 __all__ = [
     "WORKER_FAULT_KINDS",
+    "NODE_FAULT_KINDS",
     "CACHE_FAULT_KINDS",
     "FAULT_KINDS",
     "CHAOS_CRASH_EXIT",
+    "CHAOS_NODE_LOST_EXIT",
+    "CHAOS_PARTITION_EXIT",
     "HANG_SLEEP_S",
     "CORRUPT_MARKER",
     "ChaosFault",
     "ChaosPlan",
     "install_chaos",
     "installed_worker_fault",
+    "installed_node_fault",
     "trigger_worker_fault",
+    "trigger_node_fault",
+    "enter_node_context",
+    "in_node_context",
     "corrupted_payload",
     "apply_cache_fault",
 ]
 
 WORKER_FAULT_KINDS = ("crash", "hang", "corrupt-result")
+NODE_FAULT_KINDS = ("node-lost", "shard-partition")
 CACHE_FAULT_KINDS = ("cache-torn-write", "cache-bit-flip")
-FAULT_KINDS = WORKER_FAULT_KINDS + CACHE_FAULT_KINDS
+FAULT_KINDS = WORKER_FAULT_KINDS + NODE_FAULT_KINDS + CACHE_FAULT_KINDS
 
 #: Exit code a chaos-crashed worker dies with (shows up in the report).
 CHAOS_CRASH_EXIT = 13
+#: Exit code of a node that died mid-message (``node-lost`` fault).
+CHAOS_NODE_LOST_EXIT = 23
+#: Exit code of a node severed between messages (``shard-partition``).
+CHAOS_PARTITION_EXIT = 24
 #: How long a chaos hang sleeps — far past any sane batch deadline.
 HANG_SLEEP_S = 3600.0
 #: Sentinel in a chaos-corrupted worker payload.
@@ -116,6 +135,8 @@ class ChaosPlan:
         corrupt_results: int = 0,
         cache_faults: int = 1,
         poison: int = 0,
+        node_lost: int = 0,
+        shard_partitions: int = 0,
     ) -> "ChaosPlan":
         """Draw a plan with the given fault counts on distinct batches.
 
@@ -130,6 +151,8 @@ class ChaosPlan:
             "corrupt_results": corrupt_results,
             "cache_faults": cache_faults,
             "poison": poison,
+            "node_lost": node_lost,
+            "shard_partitions": shard_partitions,
         }
         for name, count in counts.items():
             if count < 0:
@@ -156,6 +179,10 @@ class ChaosPlan:
             )
         for _ in range(poison):
             faults.append(ChaosFault("crash", next(indices), attempts=None))
+        for _ in range(node_lost):
+            faults.append(ChaosFault("node-lost", next(indices)))
+        for _ in range(shard_partitions):
+            faults.append(ChaosFault("shard-partition", next(indices)))
         ordered = tuple(
             sorted(faults, key=lambda f: (f.batch_index, f.kind))
         )
@@ -165,6 +192,15 @@ class ChaosPlan:
         """The worker-side fault kind to inject for this attempt, if any."""
         for fault in self.faults:
             if (fault.kind in WORKER_FAULT_KINDS
+                    and fault.batch_index == batch_index
+                    and fault.applies(attempt)):
+                return fault.kind
+        return None
+
+    def node_fault(self, batch_index: int, attempt: int) -> str | None:
+        """The node-level fault kind to inject for this attempt, if any."""
+        for fault in self.faults:
+            if (fault.kind in NODE_FAULT_KINDS
                     and fault.batch_index == batch_index
                     and fault.applies(attempt)):
                 return fault.kind
@@ -209,12 +245,29 @@ class ChaosPlan:
 # ----------------------------------------------------------------------
 #: The plan installed in this process (workers install it at init).
 _INSTALLED: ChaosPlan | None = None
+#: Whether this process is a *node* of the nodes backend.  Node faults
+#: fire at the transport layer inside a node (half-frame, abrupt
+#: close); in a plain pool worker — which has no transport — they
+#: degrade to a process death so every backend still exercises the
+#: fault (see ``_supervised_run_batch``).
+_NODE_CONTEXT = False
 
 
 def install_chaos(plan: ChaosPlan | None) -> None:
     """Install (or clear) the chaos plan for this process's workers."""
     global _INSTALLED
     _INSTALLED = plan
+
+
+def enter_node_context() -> None:
+    """Mark this process as a nodes-backend node (set at node startup)."""
+    global _NODE_CONTEXT
+    _NODE_CONTEXT = True
+
+
+def in_node_context() -> bool:
+    """Whether this process is a nodes-backend node."""
+    return _NODE_CONTEXT
 
 
 def installed_worker_fault(batch_index: int, attempt: int) -> str | None:
@@ -224,12 +277,35 @@ def installed_worker_fault(batch_index: int, attempt: int) -> str | None:
     return _INSTALLED.worker_fault(batch_index, attempt)
 
 
+def installed_node_fault(batch_index: int, attempt: int) -> str | None:
+    """The installed plan's node fault for this attempt, if any."""
+    if _INSTALLED is None:
+        return None
+    return _INSTALLED.node_fault(batch_index, attempt)
+
+
 def trigger_worker_fault(kind: str) -> None:
     """Execute a worker-side fault *inside the worker process*."""
     if kind == "crash":
         os._exit(CHAOS_CRASH_EXIT)
     if kind == "hang":
         time.sleep(HANG_SLEEP_S)
+
+
+def trigger_node_fault(kind: str) -> None:
+    """Die the way the given node fault dies (process-death flavor).
+
+    Used by pool workers — which have no socket transport — to degrade
+    a node fault to a plain process death with the fault's distinctive
+    exit code.  Inside a real node, ``_node_main`` injects the fault at
+    the transport layer instead (half-frame or abrupt close) *before*
+    exiting with the same code.
+    """
+    if kind == "node-lost":
+        os._exit(CHAOS_NODE_LOST_EXIT)
+    if kind == "shard-partition":
+        os._exit(CHAOS_PARTITION_EXIT)
+    raise ConfigError(f"unknown node fault kind {kind!r}")
 
 
 def corrupted_payload(batch_index: int) -> list:

@@ -26,8 +26,13 @@ __all__ = [
     "FailureLedger",
 ]
 
-#: How one attempt of one batch can fail.
-FAILURE_KINDS = ("crash", "timeout", "error", "corrupt-result")
+#: How one attempt of one batch can fail.  ``node-lost`` and
+#: ``shard-partition`` are nodes-backend kinds: the node carrying the
+#: batch died mid-message / was severed between messages.
+FAILURE_KINDS = (
+    "crash", "timeout", "error", "corrupt-result",
+    "node-lost", "shard-partition",
+)
 
 
 @dataclass(frozen=True)

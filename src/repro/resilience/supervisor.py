@@ -159,7 +159,16 @@ class Supervisor:
     ``validate``, if given, is called on every successful result and
     returns an error string (the attempt is treated as failed with kind
     ``corrupt-result``) or None.
+
+    The supervisor is the *pool* implementation of the
+    :class:`~repro.resilience.backends.ExecutorBackend` protocol
+    (registered as a virtual subclass there); ``dispatch_order`` is the
+    seam the sharded sweep uses to interleave the batch stream across
+    shards without changing yield order.
     """
+
+    #: Backend name under the ExecutorBackend protocol.
+    name = "pool"
 
     def __init__(
         self,
@@ -184,6 +193,11 @@ class Supervisor:
         self.max_worker_respawns = max_worker_respawns
         self.ledger: FailureLedger | None = None
         self.worker_respawns = 0
+        #: Optional callable ``tasks -> ordered tasks`` applied before
+        #: dispatch (e.g. ShardPlanner.interleave).  Results still
+        #: yield in task_id order, so this only shapes *execution*
+        #: order, never the record stream.
+        self.dispatch_order: Callable | None = None
         self._workers: list[_WorkerSlot] = []
         self._spool_dir: str | None = None
         self._pending: deque = deque()
@@ -249,7 +263,9 @@ class Supervisor:
             self.policy, "raise" if self.fail_fast else "degrade"
         )
         self._spool_dir = tempfile.mkdtemp(prefix="repro-supervisor-")
-        self._pending = deque((task, 0) for task in tasks)
+        ordered = (list(self.dispatch_order(tasks))
+                   if self.dispatch_order is not None else tasks)
+        self._pending = deque((task, 0) for task in ordered)
         self._retry_heap = []
         self._outcomes = {}
         self._yielded = 0

@@ -123,3 +123,56 @@ class TestStats:
         apply_cache_fault(cache.path_for("k"), "cache-bit-flip")
         cache.get("k")
         assert "1 corrupt" in repr(cache)
+
+
+class TestPrefixPartitions:
+    def _key(self, i):
+        return f"{i:08x}" + "0" * 56
+
+    def test_partition_count_validated(self, tmp_path):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            SweepCache(tmp_path, n_partitions=0)
+
+    def test_partition_for_agrees_with_the_shard_planner(self, tmp_path):
+        from repro.resilience.sharding import partition_for_key
+
+        cache = SweepCache(tmp_path, n_partitions=8)
+        for i in range(32):
+            assert cache.partition_for(self._key(i)) \
+                == partition_for_key(self._key(i), 8)
+
+    def test_non_hex_key_still_partitions(self, tmp_path):
+        # Arbitrary keys (the tests use "k") hash into a partition
+        # instead of erroring; the assignment is stable.
+        cache = SweepCache(tmp_path, n_partitions=8)
+        p = cache.partition_for("k")
+        assert 0 <= p < 8
+        assert cache.partition_for("k") == p
+
+    def test_stats_break_entries_down_by_partition(self, tmp_path,
+                                                   records):
+        cache = SweepCache(tmp_path, n_partitions=4)
+        keys = [self._key(i) for i in range(6)]
+        for key in keys:
+            cache.put(key, records)
+        stats = cache.stats
+        per_part = {row["partition"]: row["entries"]
+                    for row in stats["partitions"]}
+        assert sum(per_part.values()) == stats["entries"] == 6
+        for key in keys:
+            assert per_part[cache.partition_for(key)] >= 1
+
+    def test_corruption_charged_to_the_owning_partition(self, tmp_path,
+                                                        records):
+        cache = SweepCache(tmp_path, n_partitions=4)
+        good, bad = self._key(0), self._key(1)
+        cache.put(good, records)
+        cache.put(bad, records)
+        apply_cache_fault(cache.path_for(bad), "cache-torn-write")
+        cache.get(bad)
+        rows = {row["partition"]: row for row in cache.stats["partitions"]}
+        assert rows[cache.partition_for(bad)]["corrupt"] == 1
+        assert rows[cache.partition_for(good)]["corrupt"] == 0
+        assert sum(r["corrupt"] for r in rows.values()) == 1

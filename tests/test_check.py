@@ -32,6 +32,7 @@ from repro.check import (
     run_all,
     run_check,
     run_suite,
+    sharded_execution_parity,
 )
 from repro.check.runner import SUITES, format_results, write_report
 from repro.cli import main
@@ -351,6 +352,18 @@ class TestColumnarPipelineParity:
         assert out["n_records"] > 0 and out["n_groups"] > 0
         assert out["block_nbytes"] > 0
 
+    @pytest.mark.parametrize("backend", ["pool", "nodes"])
+    def test_columnar_parity_on_ipc_backends(self, backend):
+        # The same guarantees when the blocks arrive through the pool
+        # spool or across the nodes backend's socket frames.
+        out = columnar_pipeline_parity(backend=backend)
+        assert "bit-identical" in out["details"]
+        assert out["n_records"] > 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(CheckFailure, match="unknown backend"):
+            columnar_pipeline_parity(backend="mainframe")
+
     def test_lossy_unpack_is_caught(self, monkeypatch):
         """A decoder that drops a record must fail the round-trip leg."""
         import repro.core.sweep as sweep_mod
@@ -406,11 +419,17 @@ class TestResilienceDegradeParity:
             name for name, _ in SUITES["differential"]
         ]
 
-    def test_quick_degrade_parity(self):
-        out = resilience_degrade_parity()
+    @pytest.mark.parametrize("backend", ["serial", "pool", "nodes"])
+    def test_quick_degrade_parity_per_backend(self, backend):
+        out = resilience_degrade_parity(backend=backend)
         assert "bit-identical" in out["details"]
+        assert out["backend"] == backend
         assert out["n_quarantined"] >= 1
         assert out["n_recovered"] >= 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(CheckFailure, match="unknown backend"):
+            resilience_degrade_parity(backend="mainframe")
 
     def test_silent_corruption_swallow_is_caught(self, monkeypatch):
         """Regress the cache to its old behavior — corruption read as a
@@ -428,3 +447,45 @@ class TestResilienceDegradeParity:
         monkeypatch.setattr(SweepCache, "get", swallowing)
         with pytest.raises(CheckFailure, match="corrupt"):
             resilience_degrade_parity()
+
+
+# ----------------------------------------------------------------------
+# Sharded multi-backend execution parity
+# ----------------------------------------------------------------------
+class TestShardedExecutionParity:
+    def test_registered_in_differential_suite(self):
+        assert "sharded-execution-parity" in [
+            name for name, _ in SUITES["differential"]
+        ]
+
+    def test_quick_sharded_parity(self):
+        out = sharded_execution_parity()
+        assert out["n_records"] > 0
+        # Every backend appears at shard counts 1, 2 and 4.
+        assert len(out["combinations"]) == 9
+        for backend in ("serial", "pool", "nodes"):
+            for shards in (1, 2, 4):
+                assert f"{backend}x{shards}" in out["combinations"]
+        # The chaos leg observed both node fault kinds and quarantined.
+        assert out["chaos_fault_kinds"] == ["node-lost",
+                                            "shard-partition"]
+        assert out["n_quarantined"] >= 1
+
+    def test_order_sensitive_backend_is_caught(self, monkeypatch):
+        """A backend that yields outcomes out of submission order must
+        fail the parity sweep.  (Regressing the serial reference would
+        be invisible — both sides would shuffle alike — so the fault
+        goes into the nodes backend.)"""
+        from repro.resilience.backends import NodesBackend
+
+        real = NodesBackend.stream
+
+        def completion_order(self, tasks, ledger=None):
+            outcomes = list(real(self, tasks, ledger))
+            mid = len(outcomes) // 2
+            return iter(outcomes[mid:] + outcomes[:mid])
+
+        monkeypatch.setattr(NodesBackend, "stream", completion_order)
+        with pytest.raises(CheckFailure,
+                           match="nodes.*diverged|diverged from"):
+            sharded_execution_parity()

@@ -285,3 +285,71 @@ class TestResilienceCLI:
         assert payload["chaos"]["cache_faults_detected"] == 1
         assert payload["failure_report"]["n_quarantined"] == 1
         assert len(payload["chaos"]["chaos_plan"]["faults"]) == 5
+
+
+class TestShardedBackendCLI:
+    """The backend/shard axis on the sweep and chaos subcommands."""
+
+    pytestmark = pytest.mark.chaos
+
+    def test_backend_flags_parsed_with_defaults(self):
+        args = build_parser().parse_args(
+            ["sweep", "--arch", "milan", "-o", "x.csv"]
+        )
+        assert args.backend == "auto" and args.shards == 1
+        args = build_parser().parse_args(
+            ["sweep", "--arch", "milan", "-o", "x.csv",
+             "--backend", "nodes", "--shards", "4"]
+        )
+        assert args.backend == "nodes" and args.shards == 4
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--arch", "milan", "-o", "x.csv",
+                 "--backend", "mainframe"]
+            )
+
+    def test_chaos_node_fault_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["chaos", "--backend", "nodes", "--shards", "3",
+             "--node-lost", "1", "--shard-partitions", "1"]
+        )
+        assert args.backend == "nodes" and args.shards == 3
+        assert args.node_lost == 1 and args.shard_partitions == 1
+        defaults = build_parser().parse_args(["chaos"])
+        assert defaults.backend == "auto" and defaults.shards == 1
+        assert defaults.node_lost == 0 and defaults.shard_partitions == 0
+
+    def test_sharded_sweep_matches_serial_csv(self, tmp_path, capsys):
+        base = ["sweep", "--arch", "milan", "--workloads", "nqueens",
+                "--scale", "small", "--repetitions", "1"]
+        assert main(base + ["-o", str(tmp_path / "serial.csv")]) == 0
+        assert main(base + ["--backend", "nodes", "--shards", "2",
+                            "--processes", "2",
+                            "-o", str(tmp_path / "nodes.csv")]) == 0
+        out = capsys.readouterr().out
+        assert "2 lane(s) on the nodes backend" in out
+        assert ((tmp_path / "nodes.csv").read_text()
+                == (tmp_path / "serial.csv").read_text())
+
+    def test_nodes_chaos_scenario_end_to_end(self, tmp_path, capsys):
+        """The CI nodes rehearsal: node loss + shard partition in, exit
+        0 and a shard report out."""
+        report = tmp_path / "chaos_nodes.json"
+        assert main(["chaos", "--backend", "nodes", "--shards", "3",
+                     "--seed", "0", "--node-lost", "1",
+                     "--shard-partitions", "1",
+                     "--workloads", "cg", "ep", "nqueens", "xsbench",
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "resume parity vs fault-free sweep: IDENTICAL" in out
+        assert "shards: 3 lane(s)" in out
+        payload = json.loads(report.read_text())
+        assert payload["chaos"]["backend"] == "nodes"
+        assert payload["chaos"]["n_shards"] == 3
+        assert payload["chaos"]["resume_parity"] is True
+        assert payload["chaos"]["shard_report"]["n_shards"] == 3
+        kinds = {f["kind"]
+                 for f in payload["chaos"]["chaos_plan"]["faults"]}
+        assert {"node-lost", "shard-partition"} <= kinds
