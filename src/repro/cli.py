@@ -220,9 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("--self", action="store_true", dest="self_lint",
                         help="run the determinism self-lint over src/repro")
+    p_lint.add_argument("--flow", action="store_true",
+                        help="run the interprocedural effect-analysis plane "
+                             "(FLOW001-FLOW003) over src/repro")
     p_lint.add_argument("--src", default=None,
-                        help="source root for --self (default: the installed "
-                             "repro package)")
+                        help="source root for --self/--flow (default: the "
+                             "installed repro package)")
     p_lint.add_argument("--arch", nargs="*", default=None,
                         choices=machine_names(),
                         help="lint the benchmark manifests on these machines")
@@ -694,9 +697,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
     from repro.reporting import render_report
 
-    # Default invocation (no plane selected): self-lint + all manifests —
-    # what CI runs.
-    run_all = not (args.self_lint or args.arch or args.env or args.stats)
+    # Default invocation (no plane selected): self-lint + flow lint +
+    # all manifests — what CI runs.
+    run_all = not (
+        args.self_lint or args.flow or args.arch or args.env or args.stats
+    )
     archs = args.arch if args.arch else (machine_names() if run_all else [])
 
     findings = []
@@ -705,6 +710,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         planes.append("self")
         kwargs = {"src_root": args.src} if args.src else {}
         findings.extend(lint_repository(**kwargs))
+    if args.flow or run_all:
+        from repro.lint.flow import flow_lint
+
+        planes.append("flow")
+        kwargs = {"src_root": args.src} if args.src else {}
+        findings.extend(flow_lint(**kwargs))
     for arch in archs:
         planes.append(f"manifests:{arch}")
         findings.extend(

@@ -1,7 +1,7 @@
 """repro.lint — static analysis of configurations, programs, and the
 simulator itself.
 
-Three planes (see ``docs/LINTING.md`` for the rule catalog):
+Four planes (see ``docs/LINTING.md`` for the rule catalog):
 
 1. **Configuration & program lint** (``config_rules``, ``program_rules``):
    dead parameters, shadowed defaults, oversubscription, per-arch domain
@@ -15,6 +15,12 @@ Three planes (see ``docs/LINTING.md`` for the rule catalog):
    the simulator core, no set-order-dependent iteration, frozen model
    dataclasses, no float equality in verification code), with an
    explicit waivers file.
+4. **Flow lint** (``flow``): interprocedural effect analysis — a
+   project-wide call graph with per-function effect summaries propagated
+   to a fixpoint, catching transitive nondeterminism on result-bearing
+   paths (FLOW001), leaked sockets/processes/spool files on exception
+   paths (FLOW002), and frame-protocol drift between sender and receiver
+   (FLOW003).
 """
 
 from repro.lint.config_rules import CONFIG_RULES, lint_config
@@ -41,6 +47,12 @@ from repro.lint.runner import (
     lint_manifests,
     lint_repository,
 )
+from repro.lint.flow import (
+    DEFAULT_RESULT_ROOTS,
+    build_callgraph,
+    compute_summaries,
+    flow_lint,
+)
 from repro.lint.selflint import (
     SELF_RULES,
     Waiver,
@@ -49,6 +61,7 @@ from repro.lint.selflint import (
     self_lint,
     self_lint_source,
     self_lint_tree,
+    unused_waiver_findings,
 )
 
 __all__ = [
@@ -75,6 +88,11 @@ __all__ = [
     "self_lint_source",
     "self_lint_tree",
     "self_lint",
+    "unused_waiver_findings",
+    "DEFAULT_RESULT_ROOTS",
+    "build_callgraph",
+    "compute_summaries",
+    "flow_lint",
     "dedupe_findings",
     "lint_environment",
     "lint_manifests",

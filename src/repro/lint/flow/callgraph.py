@@ -1,0 +1,414 @@
+"""Project-wide call graph over ``src/repro`` (stdlib ``ast`` only).
+
+The per-file self-lint (``repro.lint.selflint``) matches call sites
+locally, so an effect laundered through one helper function — a wall
+clock read wrapped in ``def now()``, an unseeded draw behind
+``def jitter()`` — is invisible to it.  This module builds the structure
+the flow plane needs to see through that: every function and method in
+the package, and the statically-resolvable edges between them.
+
+Resolution handles:
+
+- module functions through ``import``/``from-import`` chains, including
+  aliases (``from repro.resilience.transport import send_frame as sf``)
+  and relative imports (``from .transport import send_frame``),
+- methods through ``self.``/``cls.`` inside a class body, walking the
+  statically-known project-class MRO,
+- methods through *local type inference*: a variable assigned from a
+  project-class constructor (``cache = SweepCache(...)``) or annotated
+  with a project class (``def f(cache: SweepCache)``) resolves
+  ``cache.put(...)``,
+- constructor calls (``RecordBlock(schema)`` edges to ``__init__`` and,
+  for dataclasses, ``__post_init__``),
+- nested functions by name within their enclosing definition.
+
+Everything else — ``self.fn(...)`` callbacks, values from containers,
+``functools.partial`` — stays an *unresolved* call site.  Unresolved
+calls whose dotted spelling canonicalizes to a known external module
+(``time.monotonic``, ``np.random.default_rng``) keep that canonical
+name, which is exactly what the effect summaries match on; the rest
+contribute no edge and no effect, a deliberately optimistic choice the
+rule catalog documents (``docs/LINTING.md``, plane 4).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "CallSite",
+    "FunctionRecord",
+    "ClassRecord",
+    "CallGraph",
+    "build_callgraph",
+]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body.
+
+    ``callee`` is the resolved project-function qualname (None if the
+    target is not a project function); ``external`` is the canonical
+    dotted spelling for unresolved calls whose head was importable
+    (``time.monotonic``), None when nothing canonical is known.
+    ``node`` keeps the AST call for argument-sensitive effect checks
+    (``default_rng()`` with vs. without a seed).
+    """
+
+    callee: str | None
+    external: str | None
+    lineno: int
+    node: ast.Call = field(compare=False, repr=False, default=None)
+
+
+@dataclass
+class FunctionRecord:
+    """One function or method definition in the package."""
+
+    qualname: str
+    module: str
+    rel_path: str
+    lineno: int
+    node: ast.AST
+    cls: str | None = None
+
+
+@dataclass
+class ClassRecord:
+    """One class definition: its methods and statically-known bases."""
+
+    qualname: str
+    module: str
+    bases: tuple[str, ...] = ()
+    methods: dict[str, str] = field(default_factory=dict)
+    is_dataclass: bool = False
+
+
+class _ModuleIndex:
+    """Per-module symbol and import tables (pass 1)."""
+
+    def __init__(self, module: str, rel_path: str, tree: ast.Module,
+                 is_package: bool = False):
+        self.module = module
+        self.rel_path = rel_path
+        self.tree = tree
+        self.is_package = is_package
+        #: local name -> canonical dotted prefix ("np" -> "numpy",
+        #: "send_frame" -> "repro.resilience.transport.send_frame").
+        self.aliases: dict[str, str] = {}
+
+    def canonical(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        head = self.aliases.get(head, head)
+        return f"{head}.{rest}" if rest else head
+
+
+def _module_name(rel_path: str, package: str) -> str:
+    parts = rel_path[: -len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join([package, *parts]) if parts else package
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class CallGraph:
+    """Functions, classes, and resolved call edges for one source tree."""
+
+    def __init__(self, src_root: Path, package: str):
+        self.src_root = src_root
+        self.package = package
+        self.functions: dict[str, FunctionRecord] = {}
+        self.classes: dict[str, ClassRecord] = {}
+        #: caller qualname -> call sites in source order.
+        self.calls: dict[str, list[CallSite]] = {}
+        self._modules: dict[str, _ModuleIndex] = {}
+        self._callers: dict[str, list[tuple[str, int]]] | None = None
+
+    # -- queries ---------------------------------------------------------
+    def callers(self) -> dict[str, list[tuple[str, int]]]:
+        """Reverse adjacency: callee -> [(caller, call lineno), ...]."""
+        if self._callers is None:
+            rev: dict[str, list[tuple[str, int]]] = {}
+            for caller, sites in self.calls.items():
+                for site in sites:
+                    if site.callee is not None:
+                        rev.setdefault(site.callee, []).append(
+                            (caller, site.lineno)
+                        )
+            self._callers = rev
+        return self._callers
+
+    def resolve_method(self, cls_qualname: str, name: str) -> str | None:
+        """Look ``name`` up in the class, then its project-class MRO."""
+        seen: set[str] = set()
+        stack = [cls_qualname]
+        while stack:
+            cls = stack.pop(0)
+            if cls in seen:
+                continue
+            seen.add(cls)
+            record = self.classes.get(cls)
+            if record is None:
+                continue
+            if name in record.methods:
+                return record.methods[name]
+            stack.extend(record.bases)
+        return None
+
+    def module_of(self, qualname: str) -> _ModuleIndex | None:
+        record = self.functions.get(qualname)
+        return self._modules.get(record.module) if record else None
+
+
+# ----------------------------------------------------------------------
+# Pass 1: symbols and imports
+# ----------------------------------------------------------------------
+def _index_module(graph: CallGraph, index: _ModuleIndex) -> None:
+    for node in ast.walk(index.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                target = alias.name if alias.asname else local
+                index.aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parents = index.module.split(".")
+                # Level 1 = the containing package: the module's parent
+                # for plain modules, the module itself for __init__.
+                drop = node.level - 1 if index.is_package else node.level
+                parents = parents[: len(parents) - drop]
+                base = ".".join(parents + ([base] if base else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                index.aliases[alias.asname or alias.name] = (
+                    f"{base}.{alias.name}" if base else alias.name
+                )
+
+    def register(node: ast.AST, scope: list[str], cls: str | None) -> None:
+        in_class_body = isinstance(node, ast.ClassDef)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = ".".join([index.module, *scope, child.name])
+                graph.functions[qual] = FunctionRecord(
+                    qual, index.module, index.rel_path, child.lineno,
+                    child, cls,
+                )
+                if cls is not None and in_class_body:
+                    graph.classes[cls].methods.setdefault(child.name, qual)
+                register(child, scope + [child.name], cls)
+            elif isinstance(child, ast.ClassDef):
+                qual = ".".join([index.module, *scope, child.name])
+                bases = tuple(
+                    index.canonical(d)
+                    for d in (_dotted(b) for b in child.bases)
+                    if d is not None
+                )
+                is_dc = any(
+                    (_dotted(d.func if isinstance(d, ast.Call) else d)
+                     or "").split(".")[-1] == "dataclass"
+                    for d in child.decorator_list
+                )
+                graph.classes[qual] = ClassRecord(
+                    qual, index.module, bases, is_dataclass=is_dc,
+                )
+                register(child, scope + [child.name], qual)
+
+    register(index.tree, [], None)
+
+
+# ----------------------------------------------------------------------
+# Pass 2: call-site resolution
+# ----------------------------------------------------------------------
+class _Resolver:
+    """Resolves dotted call targets inside one function body."""
+
+    def __init__(self, graph: CallGraph, index: _ModuleIndex,
+                 record: FunctionRecord):
+        self.graph = graph
+        self.index = index
+        self.record = record
+        #: local variable -> project-class qualname (flow-insensitive).
+        self.var_types: dict[str, str] = {}
+        #: locally-defined nested function name -> qualname.
+        self.local_defs: dict[str, str] = {}
+
+    def _class_of(self, dotted: str) -> str | None:
+        """The project class ``dotted`` names, if any."""
+        full = self.index.canonical(dotted)
+        if full in self.graph.classes:
+            return full
+        local = f"{self.index.module}.{dotted}"
+        if local in self.graph.classes:
+            return local
+        return None
+
+    def infer_types(self) -> None:
+        node = self.record.node
+        for child in ast.walk(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if child is not node:
+                    self.local_defs[child.name] = (
+                        f"{self.record.qualname}.{child.name}"
+                    )
+        args = getattr(node, "args", None)
+        if args is not None:
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                d = _dotted(arg.annotation) if arg.annotation else None
+                cls = self._class_of(d) if d else None
+                if cls is not None:
+                    self.var_types[arg.arg] = cls
+        for child in ast.walk(node):
+            target = None
+            value = None
+            if isinstance(child, ast.Assign) and len(child.targets) == 1:
+                target, value = child.targets[0], child.value
+            elif isinstance(child, ast.AnnAssign):
+                target, value = child.target, child.value
+                d = _dotted(child.annotation)
+                cls = self._class_of(d) if d else None
+                if cls is not None and isinstance(target, ast.Name):
+                    self.var_types[target.id] = cls
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(value, ast.Call)
+            ):
+                d = _dotted(value.func)
+                cls = self._class_of(d) if d else None
+                if cls is not None:
+                    self.var_types[target.id] = cls
+
+    def _constructor_targets(self, cls: str) -> list[str]:
+        out = []
+        for dunder in ("__init__", "__post_init__"):
+            target = self.graph.resolve_method(cls, dunder)
+            if target is not None:
+                out.append(target)
+        return out
+
+    def resolve(self, call: ast.Call) -> list[CallSite]:
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return [CallSite(None, None, call.lineno, call)]
+        parts = dotted.split(".")
+        head = parts[0]
+        cls = self.record.cls
+
+        # self.method() / cls.method() inside a class body.
+        if head in ("self", "cls") and cls is not None and len(parts) == 2:
+            target = self.graph.resolve_method(cls, parts[1])
+            return [CallSite(target, None, call.lineno, call)]
+
+        # var.method() through inferred local types.
+        if head in self.var_types and len(parts) == 2:
+            target = self.graph.resolve_method(
+                self.var_types[head], parts[1]
+            )
+            return [CallSite(target, None, call.lineno, call)]
+
+        if len(parts) == 1:
+            # Nested function in this definition chain.
+            if head in self.local_defs:
+                return [CallSite(self.local_defs[head], None,
+                                 call.lineno, call)]
+            # Module-level function in this module.
+            local = f"{self.index.module}.{head}"
+            if local in self.graph.functions:
+                return [CallSite(local, None, call.lineno, call)]
+            # Class constructor (local or imported).
+            ctor_cls = self._class_of(head)
+            if ctor_cls is not None:
+                targets = self._constructor_targets(ctor_cls)
+                if targets:
+                    return [CallSite(t, None, call.lineno, call)
+                            for t in targets]
+                return [CallSite(None, None, call.lineno, call)]
+            # Imported function, else an external (builtins included).
+            full = self.index.canonical(head)
+            if full in self.graph.functions:
+                return [CallSite(full, None, call.lineno, call)]
+            return [CallSite(None, full, call.lineno, call)]
+
+        full = self.index.canonical(dotted)
+        if full in self.graph.functions:
+            return [CallSite(full, None, call.lineno, call)]
+        # Class-qualified method or constructor attribute.
+        prefix, _, method = full.rpartition(".")
+        if prefix in self.graph.classes:
+            target = self.graph.resolve_method(prefix, method)
+            return [CallSite(target, None, call.lineno, call)]
+        ctor_cls = self._class_of(dotted)
+        if ctor_cls is not None:
+            targets = self._constructor_targets(ctor_cls)
+            if targets:
+                return [CallSite(t, None, call.lineno, call)
+                        for t in targets]
+        return [CallSite(None, full, call.lineno, call)]
+
+
+def _extract_calls(graph: CallGraph, index: _ModuleIndex,
+                   record: FunctionRecord) -> list[CallSite]:
+    resolver = _Resolver(graph, index, record)
+    resolver.infer_types()
+    sites: list[CallSite] = []
+    # Nested functions are separate graph nodes with their own call
+    # lists; an inner call must not be double-counted on the outer
+    # function (the edge outer -> inner carries the effects across).
+    nested_calls = {
+        id(inner)
+        for child in ast.walk(record.node)
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and child is not record.node
+        for inner in ast.walk(child)
+        if isinstance(inner, ast.Call)
+    }
+    for node in ast.walk(record.node):
+        if isinstance(node, ast.Call) and id(node) not in nested_calls:
+            sites.extend(resolver.resolve(node))
+    return sites
+
+
+def build_callgraph(
+    src_root: str | Path, package: str | None = None
+) -> CallGraph:
+    """Parse every ``*.py`` under ``src_root`` and resolve call edges.
+
+    ``package`` is the dotted prefix modules are registered under; it
+    defaults to the root directory's name (``repro`` for the shipped
+    tree), so qualnames look like ``repro.core.cache.SweepCache.put``.
+    """
+    root = Path(src_root)
+    graph = CallGraph(root, package or root.name)
+    indexes: list[_ModuleIndex] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=rel)
+        index = _ModuleIndex(
+            _module_name(rel, graph.package), rel, tree,
+            is_package=rel.endswith("__init__.py"),
+        )
+        graph._modules[index.module] = index
+        indexes.append(index)
+    for index in indexes:
+        _index_module(graph, index)
+    for index in indexes:
+        for record in list(graph.functions.values()):
+            if record.module == index.module:
+                graph.calls[record.qualname] = _extract_calls(
+                    graph, index, record
+                )
+    return graph

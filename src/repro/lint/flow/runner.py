@@ -1,0 +1,63 @@
+"""Plane 4 orchestration: build the graph, run the passes, apply waivers.
+
+``flow_lint`` is the plane entry point the CLI and tests call.  It
+shares the waiver file with the self-lint plane — FLOW entries belong
+here, SIM entries there — and each plane reports its own unused entries
+as SIM000 so the file cannot rot from either side.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.findings import Finding
+from repro.lint.flow.callgraph import CallGraph, build_callgraph
+from repro.lint.flow.passes import (
+    DEFAULT_RESULT_ROOTS,
+    check_frame_protocol,
+    check_resource_safety,
+    check_transitive_nondeterminism,
+)
+from repro.lint.flow.summaries import SummaryTable, compute_summaries
+from repro.lint.selflint import (
+    DEFAULT_SRC_ROOT,
+    DEFAULT_WAIVERS,
+    apply_waivers,
+    load_waivers,
+    unused_waiver_findings,
+)
+
+__all__ = ["flow_lint", "flow_lint_graph"]
+
+
+def flow_lint_graph(
+    graph: CallGraph,
+    summaries: SummaryTable | None = None,
+    roots: tuple[str, ...] = DEFAULT_RESULT_ROOTS,
+    resource_scopes: tuple[str, ...] = ("resilience/",),
+) -> list[Finding]:
+    """Run the three FLOW passes over an already-built call graph."""
+    if summaries is None:
+        summaries = compute_summaries(graph)
+    findings: list[Finding] = []
+    findings.extend(check_transitive_nondeterminism(graph, summaries, roots))
+    findings.extend(check_resource_safety(graph, resource_scopes))
+    findings.extend(check_frame_protocol(graph))
+    return findings
+
+
+def flow_lint(
+    src_root: str | Path = DEFAULT_SRC_ROOT,
+    waivers_path: str | Path = DEFAULT_WAIVERS,
+    roots: tuple[str, ...] = DEFAULT_RESULT_ROOTS,
+    resource_scopes: tuple[str, ...] = ("resilience/",),
+) -> list[Finding]:
+    """Full plane: graph + summaries + passes + FLOW waivers + SIM000."""
+    graph = build_callgraph(src_root)
+    raw = flow_lint_graph(graph, roots=roots, resource_scopes=resource_scopes)
+    waivers = [
+        w for w in load_waivers(waivers_path) if w.rule.startswith("FLOW")
+    ]
+    findings, unused = apply_waivers(raw, waivers)
+    findings.extend(unused_waiver_findings(unused))
+    return findings

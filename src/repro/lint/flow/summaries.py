@@ -1,0 +1,200 @@
+"""Per-function effect summaries and their transitive fixpoint.
+
+Every function in the call graph gets a *direct* summary — the effects
+its own body performs — and a *transitive* one: the union of its direct
+effects and everything reachable through resolved call edges.  The
+propagation runs one breadth-first wave per effect kind, starting from
+the functions with a direct site, so each transitive entry also records
+the shortest *witness*: either the direct site, or the first call edge
+on a shortest path to one.  :meth:`SummaryTable.witness_chain` replays
+those pointers into the human-readable ``a -> b -> c -> time.monotonic``
+trail the FLOW001 findings print.
+
+Tracked effect kinds:
+
+- ``wall-clock`` — host-time reads (``time.time``/``monotonic``/
+  ``perf_counter`` family, ``datetime.now``/``utcnow``/``today``),
+- ``unseeded-rng`` — process-global ``random.*`` draws, legacy
+  ``numpy.random.*`` state, ``default_rng()`` or ``random.Random()``
+  with no seed argument,
+- ``env-read`` — ``os.environ`` access or ``os.getenv``,
+- ``raises`` — an explicit ``raise`` statement (exception-path
+  reachability; the resource pass and reports consume it).
+
+The matching reuses the canonical dotted spellings the call graph
+computes, so ``from time import monotonic as mono; mono()`` and
+``np.random.default_rng()`` are both seen through their aliases.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.flow.callgraph import CallGraph, _dotted
+from repro.lint.selflint import (
+    _DATETIME_NOW,
+    _NP_RANDOM_LEGACY,
+    _RANDOM_GLOBALS,
+    _WALL_CLOCK_ATTRS,
+)
+
+__all__ = [
+    "EFFECT_KINDS",
+    "EffectSite",
+    "SummaryTable",
+    "compute_summaries",
+]
+
+#: Every effect kind a summary can carry.
+EFFECT_KINDS = ("wall-clock", "unseeded-rng", "env-read", "raises")
+
+_ENV_READ_CALLS = frozenset({"os.getenv", "os.environ.get"})
+
+
+@dataclass(frozen=True)
+class EffectSite:
+    """One direct effect occurrence: what fired, and where."""
+
+    kind: str
+    what: str
+    rel_path: str
+    lineno: int
+
+
+def _call_effect(canonical: str, node: ast.Call) -> tuple[str, str] | None:
+    """(kind, what) if calling ``canonical`` is a direct effect."""
+    if canonical.startswith("time.") and canonical[5:] in _WALL_CLOCK_ATTRS:
+        return "wall-clock", canonical
+    if canonical in _WALL_CLOCK_ATTRS:
+        # `from time import monotonic` canonicalizes to "time.monotonic";
+        # this arm only catches a stray bare spelling.
+        return "wall-clock", f"time.{canonical}"
+    if (
+        canonical.startswith(("datetime.", "datetime.datetime."))
+        and canonical.rsplit(".", 1)[-1] in _DATETIME_NOW
+    ):
+        return "wall-clock", canonical
+    if canonical.startswith("random.") and canonical[7:] in _RANDOM_GLOBALS:
+        return "unseeded-rng", canonical
+    if canonical == "random.Random" and not node.args and not node.keywords:
+        return "unseeded-rng", "random.Random()"
+    if canonical.startswith("numpy.random."):
+        tail = canonical[len("numpy.random."):]
+        if tail == "default_rng" and not node.args and not node.keywords:
+            return "unseeded-rng", "numpy.random.default_rng()"
+        if tail in _NP_RANDOM_LEGACY:
+            return "unseeded-rng", canonical
+    if canonical in _ENV_READ_CALLS:
+        return "env-read", canonical
+    return None
+
+
+def direct_effects(graph: CallGraph, qualname: str) -> list[EffectSite]:
+    """The effects ``qualname``'s own body performs (no propagation)."""
+    record = graph.functions[qualname]
+    index = graph.module_of(qualname)
+    sites: list[EffectSite] = []
+    for site in graph.calls.get(qualname, ()):
+        if site.external is None:
+            continue
+        hit = _call_effect(site.external, site.node)
+        if hit is not None:
+            sites.append(
+                EffectSite(hit[0], hit[1], record.rel_path, site.lineno)
+            )
+    # Non-call effects: os.environ subscripts / membership / iteration,
+    # and explicit raise statements.  Nested defs are separate nodes.
+    nested = {
+        id(inner)
+        for child in ast.walk(record.node)
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and child is not record.node
+        for inner in ast.walk(child)
+    }
+    for node in ast.walk(record.node):
+        if id(node) in nested:
+            continue
+        if isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            if dotted is not None and index is not None:
+                if index.canonical(dotted) == "os.environ":
+                    sites.append(EffectSite(
+                        "env-read", "os.environ",
+                        record.rel_path, node.lineno,
+                    ))
+        elif isinstance(node, ast.Raise):
+            sites.append(EffectSite(
+                "raises", "raise", record.rel_path, node.lineno,
+            ))
+    sites.sort(key=lambda s: (s.lineno, s.kind, s.what))
+    return sites
+
+
+class SummaryTable:
+    """Direct and transitive effect summaries for one call graph."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        self.direct: dict[str, list[EffectSite]] = {}
+        #: qualname -> kind -> witness: ("site", EffectSite) for a direct
+        #: occurrence, ("call", callee, call lineno) for one hop toward it.
+        self._via: dict[str, dict[str, tuple]] = {}
+
+    def effects(self, qualname: str) -> frozenset[str]:
+        """The transitive effect kinds of ``qualname``."""
+        return frozenset(self._via.get(qualname, ()))
+
+    def witness_chain(self, qualname: str, kind: str) -> list[str]:
+        """Shortest call trail from ``qualname`` to a direct ``kind`` site.
+
+        Each entry is ``qualname (path:line)``; the last entry names the
+        offending external call itself.
+        """
+        trail: list[str] = []
+        current = qualname
+        seen: set[str] = set()
+        while current not in seen:
+            seen.add(current)
+            via = self._via.get(current, {}).get(kind)
+            if via is None:
+                break
+            if via[0] == "site":
+                site = via[1]
+                trail.append(
+                    f"{current} -> {site.what} "
+                    f"({site.rel_path}:{site.lineno})"
+                )
+                break
+            _, callee, lineno = via
+            record = self.graph.functions[current]
+            trail.append(f"{current} ({record.rel_path}:{lineno})")
+            current = callee
+        return trail
+
+
+def compute_summaries(graph: CallGraph) -> SummaryTable:
+    """Direct effects for every function, propagated to a fixpoint."""
+    table = SummaryTable(graph)
+    for qualname in graph.functions:
+        table.direct[qualname] = direct_effects(graph, qualname)
+    callers = graph.callers()
+    for kind in EFFECT_KINDS:
+        queue: list[str] = []
+        for qualname, sites in table.direct.items():
+            first = next((s for s in sites if s.kind == kind), None)
+            if first is not None:
+                table._via.setdefault(qualname, {})[kind] = ("site", first)
+                queue.append(qualname)
+        # Breadth-first wave backwards over call edges: the first time a
+        # caller is reached, the edge used lies on a shortest path.
+        head = 0
+        while head < len(queue):
+            current = queue[head]
+            head += 1
+            for caller, lineno in callers.get(current, ()):
+                via = table._via.setdefault(caller, {})
+                if kind not in via:
+                    via[kind] = ("call", current, lineno)
+                    queue.append(caller)
+    return table

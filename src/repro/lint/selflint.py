@@ -5,8 +5,9 @@ bit-identical records on every run, interpreter, and machine.  These
 rules mechanically enforce the determinism contract on ``src/repro``:
 
 - **SIM001** — no wall-clock reads in the simulator core (``desim/``,
-  ``runtime/``): simulated time must come from the event loop, never the
-  host clock.
+  ``runtime/``) or the record frame layer (``frame/``): simulated time
+  must come from the event loop, never the host clock, and frame
+  payloads must never absorb host timestamps.
 - **SIM002** — no unseeded randomness in model code (``desim/``,
   ``runtime/``, ``arch/``, ``resilience/``): module-global ``random.*`` /
   legacy ``numpy.random.*`` state, or ``default_rng()`` without a seed.
@@ -16,8 +17,10 @@ rules mechanically enforce the determinism contract on ``src/repro``:
   set order is hash-randomized across processes, so any record or report
   derived from it would be irreproducible.
 - **SIM004** — model-layer dataclasses (``runtime/``, ``arch/``,
-  ``workloads/``, ``desim/``) must be ``frozen=True``: shared mutable
-  model state is how cross-run contamination starts.
+  ``workloads/``, ``desim/``, ``resilience/``) must be ``frozen=True``:
+  shared mutable model state is how cross-run contamination starts.
+  Resilience bookkeeping that is mutable by design carries a reasoned
+  waiver instead of a scope carve-out.
 - **SIM005** — no float ``==``/``!=`` against float literals in
   ``check/``: verification must use explicit exact-vs-tolerant helpers.
 
@@ -47,6 +50,7 @@ __all__ = [
     "Waiver",
     "load_waivers",
     "apply_waivers",
+    "unused_waiver_findings",
     "self_lint_source",
     "self_lint_tree",
     "self_lint",
@@ -61,10 +65,10 @@ DEFAULT_WAIVERS = Path(__file__).resolve().parent / "waivers.toml"
 
 #: rule id -> path-prefix scopes (relative to the linted root, "" = all).
 SELF_RULES: dict[str, tuple[str, ...]] = {
-    "SIM001": ("desim/", "runtime/"),
+    "SIM001": ("desim/", "runtime/", "frame/"),
     "SIM002": ("desim/", "runtime/", "arch/", "resilience/"),
     "SIM003": ("",),
-    "SIM004": ("runtime/", "arch/", "workloads/", "desim/"),
+    "SIM004": ("runtime/", "arch/", "workloads/", "desim/", "resilience/"),
     "SIM005": ("check/",),
 }
 
@@ -366,12 +370,18 @@ def self_lint_tree(src_root: str | Path = DEFAULT_SRC_ROOT) -> list[Finding]:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class Waiver:
-    """One intentional exception: rule + path suffix (+ optional symbol)."""
+    """One intentional exception: rule + path suffix (+ optional symbol).
+
+    ``line`` is the ``[[waiver]]`` header's line in ``waivers.toml`` —
+    carried so a stale-waiver finding (SIM000) points at the exact entry
+    to delete rather than at the file as a whole.
+    """
 
     rule: str
     path: str
     reason: str
     symbol: str = ""
+    line: int = 0
 
     def matches(self, finding: Finding) -> bool:
         """Whether this waiver covers ``finding``."""
@@ -428,8 +438,15 @@ def load_waivers(path: str | Path = DEFAULT_WAIVERS) -> list[Waiver]:
         data = tomllib.loads(text)
     else:  # pragma: no cover - exercised only on Python 3.10
         data = _parse_toml_minimal(text)
+    # Neither parser reports entry positions, but entries appear in
+    # document order, so the Nth [[waiver]] header line is the Nth entry.
+    header_lines = [
+        lineno
+        for lineno, raw in enumerate(text.splitlines(), start=1)
+        if raw.strip() == "[[waiver]]"
+    ]
     waivers = []
-    for entry in data.get("waiver", []):
+    for i, entry in enumerate(data.get("waiver", [])):
         try:
             waivers.append(
                 Waiver(
@@ -437,6 +454,7 @@ def load_waivers(path: str | Path = DEFAULT_WAIVERS) -> list[Waiver]:
                     path=entry["path"],
                     reason=entry["reason"],
                     symbol=entry.get("symbol", ""),
+                    line=header_lines[i] if i < len(header_lines) else 0,
                 )
             )
         except KeyError as exc:
@@ -463,26 +481,39 @@ def apply_waivers(
     return out, unused
 
 
+def unused_waiver_findings(unused: Sequence[Waiver]) -> list[Finding]:
+    """SIM000 findings for waivers that matched nothing (shared by the
+    self-lint and flow planes — each plane rots independently)."""
+    return [
+        Finding(
+            rule="SIM000",
+            severity=Severity.WARNING,
+            subject=waiver.describe(),
+            message=(
+                f"unused waiver {waiver.describe()} ({waiver.reason!r}): "
+                "the violation it covered is gone — delete the entry"
+            ),
+            fixit="remove the stale entry from lint/waivers.toml",
+            path="lint/waivers.toml",
+            line=waiver.line,
+        )
+        for waiver in unused
+    ]
+
+
 def self_lint(
     src_root: str | Path = DEFAULT_SRC_ROOT,
     waivers_path: str | Path = DEFAULT_WAIVERS,
 ) -> list[Finding]:
-    """Full pipeline: lint the tree, apply waivers, flag unused waivers."""
-    findings, unused = apply_waivers(
-        self_lint_tree(src_root), load_waivers(waivers_path)
-    )
-    for waiver in unused:
-        findings.append(
-            Finding(
-                rule="SIM000",
-                severity=Severity.WARNING,
-                subject=waiver.describe(),
-                message=(
-                    f"unused waiver {waiver.describe()} ({waiver.reason!r}): "
-                    "the violation it covered is gone — delete the entry"
-                ),
-                fixit="remove the stale entry from lint/waivers.toml",
-                path="lint/waivers.toml",
-            )
-        )
+    """Full pipeline: lint the tree, apply waivers, flag unused waivers.
+
+    FLOW waivers in the shared file belong to the flow plane and are
+    excluded here so each plane only rot-checks its own entries.
+    """
+    waivers = [
+        w for w in load_waivers(waivers_path)
+        if not w.rule.startswith("FLOW")
+    ]
+    findings, unused = apply_waivers(self_lint_tree(src_root), waivers)
+    findings.extend(unused_waiver_findings(unused))
     return findings

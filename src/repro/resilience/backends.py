@@ -277,8 +277,13 @@ def _node_main(node_id, fn, initializer, initargs, sock):
                 message = recv_frame(sock)
             except TransportError:
                 return  # parent went away; nothing left to serve
-            if message is None or message[0] == "stop":
+            if message is None:
                 return
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind != "task":
+                continue  # unknown kind: skip rather than misinterpret
             _tag, task_id, index, payload, attempt = message
             fault = installed_node_fault(index, attempt)
             if fault == "node-lost":
@@ -603,10 +608,13 @@ class NodesBackend(ExecutorBackend):
                 self._handle_message(slot, message)
 
     def _handle_message(self, slot: _NodeSlot, message: tuple) -> None:
-        if message[0] == "init-error":
+        kind = message[0]
+        if kind == "init-error":
             raise ResilienceError(
                 f"node initialization failed: {message[1]}"
             )
+        if kind != "result":
+            return  # unknown kind: drop rather than misinterpret
         _tag, task_id, status, value = message
         if slot.current is None or slot.current[0].task_id != task_id:
             return  # stale result from an assignment already retried

@@ -2,9 +2,14 @@
 --report artifacts, and the default all-planes invocation CI runs."""
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 
 pytestmark = pytest.mark.lint
@@ -92,6 +97,79 @@ class TestEnvPlane:
         assert "power of two" in capsys.readouterr().err
 
 
+def plant_violations(tmp_path):
+    """A fake source tree with violations in several files and rules."""
+    tree = tmp_path / "bad_src"
+    for rel, source in {
+        "runtime/a.py": "import random\nX = random.random()\n",
+        "desim/b.py": "import time\n\ndef now():\n    return time.time()\n",
+        "core/c.py": "for x in set([3, 1, 2]):\n    print(x)\n",
+    }.items():
+        path = tree / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return tree
+
+
+class TestJsonFormat:
+    def test_schema_and_report_round_trip(self, tmp_path, capsys):
+        tree = plant_violations(tmp_path)
+        report = tmp_path / "lint.json"
+        rc = main(["lint", "--self", "--src", str(tree),
+                   "--format", "json", "--report", str(report)])
+        assert rc == 1
+        stdout_payload = json.loads(capsys.readouterr().out)
+        report_payload = json.loads(report.read_text(encoding="utf-8"))
+        # The artifact and stdout carry the same findings.
+        assert stdout_payload["findings"] == report_payload["findings"]
+        # The three planted violations, plus SIM000s for the shipped
+        # waivers that match nothing in this fake tree.
+        planted = [f for f in stdout_payload["findings"]
+                   if f["rule"] != "SIM000"]
+        assert sorted(f["rule"] for f in planted) == [
+            "SIM001", "SIM002", "SIM003",
+        ]
+        for f in stdout_payload["findings"]:
+            assert {"rule", "severity", "subject", "message", "path",
+                    "line"} <= f.keys()
+            assert f["severity"] in ("error", "warning", "info")
+
+    def test_exit_code_contract(self, tmp_path, capsys):
+        # Error-severity findings -> nonzero; a clean tree -> zero.
+        tree = plant_violations(tmp_path)
+        assert main(["lint", "--self", "--src", str(tree),
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert any(f["severity"] == "error" for f in payload["findings"])
+
+        # The shipped tree is clean -> zero (all waivers used, so no
+        # SIM000 noise either).
+        assert main(["lint", "--self", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_unwaived_failures"] == 0
+
+    def test_ordering_stable_across_hash_seeds(self, tmp_path):
+        # Finding order must not depend on interpreter hash
+        # randomization: identical JSON under different PYTHONHASHSEED.
+        tree = plant_violations(tmp_path)
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+
+        def run(seed):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [src_dir, env.get("PYTHONPATH", "")]
+            ).rstrip(os.pathsep)
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "lint", "--self",
+                 "--src", str(tree), "--format", "json"],
+                capture_output=True, text=True, env=env,
+            )
+            assert proc.returncode == 1, proc.stderr
+            return proc.stdout
+
+        assert run("0") == run("1")
+
+
 class TestStatsAndReport:
     def test_stats_prints_reduction_lines(self, capsys):
         assert main(["lint", "--arch", "milan", "--stats",
@@ -114,11 +192,12 @@ class TestStatsAndReport:
             assert {"rule", "severity", "subject", "message"} <= f.keys()
 
     def test_default_invocation_runs_all_planes(self, tmp_path, capsys):
-        # Bare `repro-omp lint` = what the CI job relies on: self plane
-        # plus every arch's manifests.
+        # Bare `repro-omp lint` = what the CI job relies on: self plane,
+        # flow plane, plus every arch's manifests.
         report = tmp_path / "all.json"
         assert main(["lint", "--report", str(report)]) == 0
         payload = json.loads(report.read_text(encoding="utf-8"))
         assert set(payload["planes"]) == {
-            "self", "manifests:a64fx", "manifests:skylake", "manifests:milan",
+            "self", "flow",
+            "manifests:a64fx", "manifests:skylake", "manifests:milan",
         }

@@ -67,6 +67,18 @@ class TestSim001WallClock:
         )
         assert not by_rule(findings, "SIM001")
 
+    def test_frame_layer_is_in_scope(self):
+        # Frame payloads must never absorb host timestamps.
+        findings = lint(
+            """
+            import time
+            def stamp():
+                return time.time()
+            """,
+            path="frame/columns.py",
+        )
+        assert by_rule(findings, "SIM001")
+
     def test_non_clock_time_attr_is_silent(self):
         findings = lint(
             """
@@ -209,6 +221,20 @@ class TestSim004FrozenDataclasses:
         )
         assert not by_rule(findings, "SIM004")
 
+    def test_resilience_layer_is_in_scope(self):
+        # Resilience bookkeeping needs a reasoned waiver, not a
+        # scope carve-out.
+        findings = lint(
+            """
+            from dataclasses import dataclass
+            @dataclass
+            class Slot:
+                busy: bool = False
+            """,
+            path="resilience/mod.py",
+        )
+        assert by_rule(findings, "SIM004")
+
 
 class TestSim005FloatEquality:
     def test_fires_in_check_layer(self):
@@ -273,6 +299,58 @@ class TestWaivers:
 
     def test_missing_waivers_file_means_none(self, tmp_path):
         assert load_waivers(tmp_path / "absent.toml") == []
+
+    WAIVER_TEXT = (
+        "# a comment above the first entry\n"
+        "\n"
+        "[[waiver]]\n"                       # line 3
+        'rule = "SIM001"\npath = "a.py"\nreason = "r1"\n'
+        "\n"
+        "[[waiver]]\n"                       # line 8
+        'rule = "SIM004"\npath = "b.py"\nreason = "r2"\n'
+    )
+
+    def test_loaded_waivers_carry_entry_lines(self, tmp_path):
+        f = tmp_path / "w.toml"
+        f.write_text(self.WAIVER_TEXT, encoding="utf-8")
+        assert [w.line for w in load_waivers(f)] == [3, 8]
+
+    def test_fallback_parser_path_also_carries_lines(
+        self, tmp_path, monkeypatch
+    ):
+        # Python 3.10 has no tomllib; the minimal parser must produce
+        # identically-positioned waivers.
+        import repro.lint.selflint as selflint
+
+        monkeypatch.setattr(selflint, "tomllib", None)
+        f = tmp_path / "w.toml"
+        f.write_text(self.WAIVER_TEXT, encoding="utf-8")
+        waivers = load_waivers(f)
+        assert [w.line for w in waivers] == [3, 8]
+        assert [w.rule for w in waivers] == ["SIM001", "SIM004"]
+
+    def test_sim000_points_at_the_stale_entry_line(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        f = tmp_path / "w.toml"
+        f.write_text(self.WAIVER_TEXT, encoding="utf-8")
+        findings = self_lint(src_root=src, waivers_path=f)
+        assert [(x.rule, x.line) for x in findings] == [
+            ("SIM000", 3), ("SIM000", 8),
+        ]
+        assert all(x.path == "lint/waivers.toml" for x in findings)
+
+    def test_flow_waivers_belong_to_the_other_plane(self, tmp_path):
+        # A FLOW entry in the shared file must not be reported as rot
+        # by the self-lint plane.
+        src = tmp_path / "src"
+        src.mkdir()
+        f = tmp_path / "w.toml"
+        f.write_text(
+            '[[waiver]]\nrule = "FLOW001"\npath = "a.py"\nreason = "r"\n',
+            encoding="utf-8",
+        )
+        assert self_lint(src_root=src, waivers_path=f) == []
 
     def test_malformed_waiver_entry_rejected(self, tmp_path):
         bad = tmp_path / "w.toml"
