@@ -223,9 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--flow", action="store_true",
                         help="run the interprocedural effect-analysis plane "
                              "(FLOW001-FLOW003) over src/repro")
+    p_lint.add_argument("--deps", action="store_true",
+                        help="run the signature-soundness dependency plane "
+                             "(KEY001-KEY004) over src/repro")
     p_lint.add_argument("--src", default=None,
-                        help="source root for --self/--flow (default: the "
-                             "installed repro package)")
+                        help="source root for --self/--flow/--deps (default: "
+                             "the installed repro package)")
     p_lint.add_argument("--arch", nargs="*", default=None,
                         choices=machine_names(),
                         help="lint the benchmark manifests on these machines")
@@ -698,9 +701,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.reporting import render_report
 
     # Default invocation (no plane selected): self-lint + flow lint +
-    # all manifests — what CI runs.
+    # deps lint + all manifests — what CI runs.
     run_all = not (
-        args.self_lint or args.flow or args.arch or args.env or args.stats
+        args.self_lint or args.flow or args.deps or args.arch
+        or args.env or args.stats
     )
     archs = args.arch if args.arch else (machine_names() if run_all else [])
 
@@ -716,6 +720,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         planes.append("flow")
         kwargs = {"src_root": args.src} if args.src else {}
         findings.extend(flow_lint(**kwargs))
+    if args.deps or run_all:
+        from repro.lint.deps import deps_lint
+
+        planes.append("deps")
+        kwargs = {"src_root": args.src} if args.src else {}
+        findings.extend(deps_lint(**kwargs))
     for arch in archs:
         planes.append(f"manifests:{arch}")
         findings.extend(

@@ -73,8 +73,9 @@ from repro.resilience.sharding import partition_for_key
 from repro.runtime.costs import get_costs
 from repro.runtime.icv import EnvConfig
 
-__all__ = ["CACHE_FORMAT_VERSION", "SweepCache", "batch_key",
-           "grid_fingerprint", "machine_fingerprint"]
+__all__ = ["CACHE_FORMAT_VERSION", "CACHE_KEY_FIELDS",
+           "CACHE_KEY_EXCLUDED", "SweepCache", "batch_key",
+           "grid_fingerprint", "key_material", "machine_fingerprint"]
 
 #: Bump when the on-disk payload layout or key scheme changes; old entries
 #: become misses.  v2: batch keys gained the machine fingerprint.
@@ -87,6 +88,47 @@ __all__ = ["CACHE_FORMAT_VERSION", "SweepCache", "batch_key",
 #: per-record dict list; the checksum now covers the canonical frame
 #: serialization.  v4 entries read as plain misses.
 CACHE_FORMAT_VERSION = 5
+
+#: The named slots of a batch key's identity tuple, in hash order.
+#: ``plan.*`` names are :class:`~repro.core.sweep.SweepPlan` fields,
+#: ``batch.*`` names are :class:`~repro.core.sweep.BatchSpec` fields; the
+#: two fingerprints digest the configuration grid and the machine model
+#: (see the module docstring).  :func:`key_material` builds the tuple by
+#: these names and the dependency lint plane (KEY003) proves every
+#: result-altering sweep input lands in one of the slots.
+CACHE_KEY_FIELDS = (
+    "format_version",
+    "plan.arch",
+    "plan.scale",
+    "plan.repetitions",
+    "plan.seed",
+    "plan.fidelity",
+    "grid_fingerprint",
+    "machine_fingerprint",
+    "batch.app",
+    "batch.suite",
+    "batch.input_size",
+    "batch.nthreads",
+)
+
+#: Plan fields deliberately *outside* the key, with the reason — the
+#: KEY003 pass accepts reads of these without a key slot, so every
+#: exclusion is a reviewed decision rather than an oversight.
+CACHE_KEY_EXCLUDED = {
+    "plan.workload_names": (
+        "selects which batches run, not what any batch contains; a "
+        "subset sweep warms the cache for the full one"
+    ),
+    "plan.inputs_limit": (
+        "caps batch selection only; batch contents are keyed by the "
+        "batch identity itself"
+    ),
+    "plan.prune": (
+        "equivalence pruning is proven record-identical to exhaustive "
+        "execution (equivalence-pruning-parity), so pruned and unpruned "
+        "sweeps share entries"
+    ),
+}
 
 _CONFIG_FIELDS = (
     "num_threads",
@@ -132,10 +174,16 @@ def machine_fingerprint(machine: MachineTopology) -> str:
     return h.hexdigest()
 
 
-def batch_key(
+def key_material(
     plan: SweepPlan, grid_fp: str, machine_fp: str, batch: BatchSpec
-) -> str:
-    """The content address of one batch (see the module docstring)."""
+) -> dict[str, object]:
+    """The full key material of one batch, by slot name.
+
+    Maps :data:`CACHE_KEY_FIELDS` onto the values :func:`batch_key`
+    hashes, in hash order (``dict`` preserves insertion order).  The
+    introspection the dependency lint plane and
+    :meth:`SweepCache.key_fields` rest on.
+    """
     identity = (
         CACHE_FORMAT_VERSION,
         plan.arch,
@@ -150,6 +198,14 @@ def batch_key(
         batch.input_size,
         batch.nthreads,
     )
+    return dict(zip(CACHE_KEY_FIELDS, identity, strict=True))
+
+
+def batch_key(
+    plan: SweepPlan, grid_fp: str, machine_fp: str, batch: BatchSpec
+) -> str:
+    """The content address of one batch (see the module docstring)."""
+    identity = tuple(key_material(plan, grid_fp, machine_fp, batch).values())
     return hashlib.sha256(repr(identity).encode("utf-8")).hexdigest()
 
 
@@ -213,6 +269,12 @@ class SweepCache:
     grid_fingerprint = staticmethod(grid_fingerprint)
     machine_fingerprint = staticmethod(machine_fingerprint)
     batch_key = staticmethod(batch_key)
+    key_material = staticmethod(key_material)
+
+    @staticmethod
+    def key_fields() -> tuple[str, ...]:
+        """The named slots of the key-material tuple, in hash order."""
+        return CACHE_KEY_FIELDS
 
     def __init__(
         self,

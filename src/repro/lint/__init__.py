@@ -1,7 +1,7 @@
 """repro.lint — static analysis of configurations, programs, and the
 simulator itself.
 
-Four planes (see ``docs/LINTING.md`` for the rule catalog):
+Five planes (see ``docs/LINTING.md`` for the rule catalog):
 
 1. **Configuration & program lint** (``config_rules``, ``program_rules``):
    dead parameters, shadowed defaults, oversubscription, per-arch domain
@@ -21,6 +21,12 @@ Four planes (see ``docs/LINTING.md`` for the rule catalog):
    paths (FLOW001), leaked sockets/processes/spool files on exception
    paths (FLOW002), and frame-protocol drift between sender and receiver
    (FLOW003).
+5. **Dependency lint** (``deps``): field-level dependency analysis over
+   the flow call graph — the attributes the model-evaluation cone reads,
+   guard conditions included, compared against the declared key
+   material: signature completeness (KEY001), signature aliveness
+   (KEY002), cache-key completeness (KEY003), and dead-field
+   normalization drift (KEY004).
 """
 
 from repro.lint.config_rules import CONFIG_RULES, lint_config
@@ -47,6 +53,7 @@ from repro.lint.runner import (
     lint_manifests,
     lint_repository,
 )
+from repro.lint.deps import deps_lint
 from repro.lint.flow import (
     DEFAULT_RESULT_ROOTS,
     build_callgraph,
@@ -92,6 +99,7 @@ __all__ = [
     "DEFAULT_RESULT_ROOTS",
     "build_callgraph",
     "compute_summaries",
+    "deps_lint",
     "flow_lint",
     "dedupe_findings",
     "lint_environment",

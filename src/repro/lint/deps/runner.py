@@ -1,0 +1,48 @@
+"""Plane 5 orchestration: build the graph, run the passes, apply waivers.
+
+``deps_lint`` is the plane entry point the CLI and tests call.  It
+shares the waiver file with the other planes — KEY entries belong here,
+FLOW entries to the flow plane, SIM entries to the self-lint — and each
+plane reports its own unused entries as SIM000 so the file cannot rot
+from any side.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.deps.passes import run_deps_passes
+from repro.lint.findings import Finding
+from repro.lint.flow.callgraph import CallGraph, build_callgraph
+from repro.lint.selflint import (
+    DEFAULT_SRC_ROOT,
+    DEFAULT_WAIVERS,
+    apply_waivers,
+    load_waivers,
+    unused_waiver_findings,
+)
+
+__all__ = ["deps_lint", "deps_lint_graph"]
+
+
+def deps_lint_graph(
+    graph: CallGraph, roots: tuple[str, ...] | None = None
+) -> list[Finding]:
+    """Run the four KEY passes over an already-built call graph."""
+    return run_deps_passes(graph, roots=roots)
+
+
+def deps_lint(
+    src_root: str | Path = DEFAULT_SRC_ROOT,
+    waivers_path: str | Path = DEFAULT_WAIVERS,
+    roots: tuple[str, ...] | None = None,
+) -> list[Finding]:
+    """Full plane: graph + cone + passes + KEY waivers + SIM000."""
+    graph = build_callgraph(src_root)
+    raw = deps_lint_graph(graph, roots=roots)
+    waivers = [
+        w for w in load_waivers(waivers_path) if w.rule.startswith("KEY")
+    ]
+    findings, unused = apply_waivers(raw, waivers)
+    findings.extend(unused_waiver_findings(unused))
+    return findings

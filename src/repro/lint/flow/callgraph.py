@@ -15,12 +15,23 @@ Resolution handles:
 - methods through ``self.``/``cls.`` inside a class body, walking the
   statically-known project-class MRO,
 - methods through *local type inference*: a variable assigned from a
-  project-class constructor (``cache = SweepCache(...)``) or annotated
-  with a project class (``def f(cache: SweepCache)``) resolves
-  ``cache.put(...)``,
+  project-class constructor (``cache = SweepCache(...)``), annotated
+  with a project class (``def f(cache: SweepCache)``), or assigned from
+  a project function whose return annotation names a project class
+  (``machine = get_machine(arch)``) resolves ``cache.put(...)``,
+- methods through *instance-attribute types*: ``self.engine.price(...)``
+  resolves when ``engine`` has a statically-known class — from a
+  dataclass field annotation, an annotated ``self.x: T = ...`` in
+  ``__init__``, an assignment from a class-annotated parameter, or an
+  assignment from a project-class constructor,
 - constructor calls (``RecordBlock(schema)`` edges to ``__init__`` and,
   for dataclasses, ``__post_init__``),
 - nested functions by name within their enclosing definition.
+
+:class:`TypedScope` exposes the same inference as a reusable expression
+typer — given any AST expression inside a function, the project class it
+evaluates to, if statically known.  The dependency plane
+(``repro.lint.deps``) builds its attribute-read extraction on it.
 
 Everything else — ``self.fn(...)`` callbacks, values from containers,
 ``functools.partial`` — stays an *unresolved* call site.  Unresolved
@@ -42,6 +53,7 @@ __all__ = [
     "FunctionRecord",
     "ClassRecord",
     "CallGraph",
+    "TypedScope",
     "build_callgraph",
 ]
 
@@ -66,7 +78,13 @@ class CallSite:
 
 @dataclass
 class FunctionRecord:
-    """One function or method definition in the package."""
+    """One function or method definition in the package.
+
+    ``returns`` keeps the raw dotted spelling of the return annotation
+    (string annotations included) so callers can be typed through
+    project-function calls; it is resolved lazily by
+    :meth:`CallGraph.return_class_of`.
+    """
 
     qualname: str
     module: str
@@ -74,17 +92,27 @@ class FunctionRecord:
     lineno: int
     node: ast.AST
     cls: str | None = None
+    returns: str | None = None
 
 
 @dataclass
 class ClassRecord:
-    """One class definition: its methods and statically-known bases."""
+    """One class definition: its methods and statically-known bases.
+
+    ``attr_types`` maps instance-attribute names to project-class
+    qualnames where one is statically known — from class-body field
+    annotations (dataclass fields) or constructor ``self.x`` assignments
+    (annotated, from a class-annotated parameter, or from a project-class
+    constructor call).
+    """
 
     qualname: str
     module: str
     bases: tuple[str, ...] = ()
     methods: dict[str, str] = field(default_factory=dict)
     is_dataclass: bool = False
+    node: ast.ClassDef | None = field(default=None, repr=False)
+    attr_types: dict[str, str] = field(default_factory=dict)
 
 
 class _ModuleIndex:
@@ -122,6 +150,18 @@ def _dotted(node: ast.AST) -> str | None:
         parts.append(node.id)
         return ".".join(reversed(parts))
     return None
+
+
+def _annotation_dotted(node: ast.AST | None) -> str | None:
+    """Dotted spelling of an annotation, unwrapping string forms."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        if all(p.isidentifier() for p in text.split(".")):
+            return text
+        return None
+    return _dotted(node)
 
 
 class CallGraph:
@@ -172,6 +212,34 @@ class CallGraph:
         record = self.functions.get(qualname)
         return self._modules.get(record.module) if record else None
 
+    def module_tree(self, module: str) -> ast.Module | None:
+        """The parsed AST of one module, by dotted name."""
+        index = self._modules.get(module)
+        return index.tree if index else None
+
+    def return_class_of(self, qualname: str) -> str | None:
+        """The project class ``qualname``'s return annotation names."""
+        record = self.functions.get(qualname)
+        if record is None or record.returns is None:
+            return None
+        index = self._modules.get(record.module)
+        if index is None:
+            return None
+        return _class_lookup(self, index, record.returns)
+
+
+def _class_lookup(
+    graph: CallGraph, index: _ModuleIndex, dotted: str
+) -> str | None:
+    """The project class ``dotted`` names in ``index``'s namespace."""
+    full = index.canonical(dotted)
+    if full in graph.classes:
+        return full
+    local = f"{index.module}.{dotted}"
+    if local in graph.classes:
+        return local
+    return None
+
 
 # ----------------------------------------------------------------------
 # Pass 1: symbols and imports
@@ -207,6 +275,7 @@ def _index_module(graph: CallGraph, index: _ModuleIndex) -> None:
                 graph.functions[qual] = FunctionRecord(
                     qual, index.module, index.rel_path, child.lineno,
                     child, cls,
+                    returns=_annotation_dotted(child.returns),
                 )
                 if cls is not None and in_class_body:
                     graph.classes[cls].methods.setdefault(child.name, qual)
@@ -225,10 +294,76 @@ def _index_module(graph: CallGraph, index: _ModuleIndex) -> None:
                 )
                 graph.classes[qual] = ClassRecord(
                     qual, index.module, bases, is_dataclass=is_dc,
+                    node=child,
                 )
                 register(child, scope + [child.name], qual)
 
     register(index.tree, [], None)
+
+
+# ----------------------------------------------------------------------
+# Pass 1b: instance-attribute types
+# ----------------------------------------------------------------------
+def _infer_class_attr_types(graph: CallGraph) -> None:
+    """Populate ``ClassRecord.attr_types`` for every indexed class.
+
+    Runs after all modules are indexed (so cross-module class lookups
+    resolve) and before call extraction (so ``self.attr.method()``
+    dispatches through it).
+    """
+    for cls in graph.classes.values():
+        index = graph._modules.get(cls.module)
+        if index is None or cls.node is None:
+            continue
+        # Class-body annotated fields (dataclass fields, plain decls).
+        # Subscripted annotations (ClassVar[...], tuple[...]) have no
+        # dotted spelling and are naturally skipped.
+        for stmt in cls.node.body:
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            ):
+                d = _annotation_dotted(stmt.annotation)
+                typed = _class_lookup(graph, index, d) if d else None
+                if typed is not None:
+                    cls.attr_types.setdefault(stmt.target.id, typed)
+        # self.x assignments in the constructors.
+        for ctor_name in ("__init__", "__post_init__"):
+            record = graph.functions.get(cls.methods.get(ctor_name, ""))
+            if record is None:
+                continue
+            params: dict[str, str] = {}
+            args = record.node.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                d = _annotation_dotted(arg.annotation)
+                typed = _class_lookup(graph, index, d) if d else None
+                if typed is not None:
+                    params[arg.arg] = typed
+            for stmt in ast.walk(record.node):
+                target = value = annotation = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target = stmt.target
+                    value = stmt.value
+                    annotation = stmt.annotation
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                typed = None
+                if annotation is not None:
+                    d = _annotation_dotted(annotation)
+                    typed = _class_lookup(graph, index, d) if d else None
+                if typed is None and isinstance(value, ast.Name):
+                    typed = params.get(value.id)
+                if typed is None and isinstance(value, ast.Call):
+                    d = _dotted(value.func)
+                    typed = _class_lookup(graph, index, d) if d else None
+                if typed is not None:
+                    cls.attr_types.setdefault(target.attr, typed)
 
 
 # ----------------------------------------------------------------------
@@ -249,11 +384,22 @@ class _Resolver:
 
     def _class_of(self, dotted: str) -> str | None:
         """The project class ``dotted`` names, if any."""
+        return _class_lookup(self.graph, self.index, dotted)
+
+    def _function_target(self, dotted: str) -> str | None:
+        """The project function a dotted call spelling resolves to."""
+        parts = dotted.split(".")
+        if (
+            parts[0] in ("self", "cls")
+            and self.record.cls is not None
+            and len(parts) == 2
+        ):
+            return self.graph.resolve_method(self.record.cls, parts[1])
         full = self.index.canonical(dotted)
-        if full in self.graph.classes:
+        if full in self.graph.functions:
             return full
         local = f"{self.index.module}.{dotted}"
-        if local in self.graph.classes:
+        if local in self.graph.functions:
             return local
         return None
 
@@ -289,6 +435,12 @@ class _Resolver:
             ):
                 d = _dotted(value.func)
                 cls = self._class_of(d) if d else None
+                if cls is None and d is not None:
+                    # Project-function call with a class-valued return
+                    # annotation (machine = get_machine(arch)).
+                    callee = self._function_target(d)
+                    if callee is not None:
+                        cls = self.graph.return_class_of(callee)
                 if cls is not None:
                     self.var_types[target.id] = cls
 
@@ -319,6 +471,24 @@ class _Resolver:
                 self.var_types[head], parts[1]
             )
             return [CallSite(target, None, call.lineno, call)]
+
+        # self.attr.method() / var.attr.method() through instance-
+        # attribute types (self.engine.loop_region_seconds(...)).
+        if len(parts) == 3:
+            base = None
+            if head in ("self", "cls") and cls is not None:
+                base = cls
+            elif head in self.var_types:
+                base = self.var_types[head]
+            if base is not None:
+                record = self.graph.classes.get(base)
+                attr_cls = (
+                    record.attr_types.get(parts[1]) if record else None
+                )
+                if attr_cls is not None:
+                    target = self.graph.resolve_method(attr_cls, parts[2])
+                    return [CallSite(target, None, call.lineno, call)]
+                return [CallSite(None, None, call.lineno, call)]
 
         if len(parts) == 1:
             # Nested function in this definition chain.
@@ -358,6 +528,86 @@ class _Resolver:
                 return [CallSite(t, None, call.lineno, call)
                         for t in targets]
         return [CallSite(None, full, call.lineno, call)]
+
+
+class TypedScope:
+    """Expression typer for one function body.
+
+    Wraps the resolver's flow-insensitive local type inference and
+    extends it recursively over expressions: ``type_of`` answers "what
+    project class does this AST expression evaluate to, if statically
+    known" for names, attribute chains (through
+    ``ClassRecord.attr_types``), and calls (constructors, project
+    functions with class-valued return annotations, and chained method
+    calls such as ``get_workload(app).program(size)``).
+    """
+
+    def __init__(self, graph: CallGraph, qualname: str):
+        self.graph = graph
+        self.record = graph.functions[qualname]
+        self.index = graph.module_of(qualname)
+        self.var_types: dict[str, str] = {}
+        if self.index is None:
+            return
+        resolver = _Resolver(graph, self.index, self.record)
+        resolver.infer_types()
+        self.var_types = dict(resolver.var_types)
+        # Extra passes pick up chained-call assignments the resolver's
+        # single dotted-name pass cannot type.
+        for _ in range(2):
+            changed = False
+            for node in ast.walk(self.record.node):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id not in self.var_types
+                ):
+                    typed = self.type_of(node.value)
+                    if typed is not None:
+                        self.var_types[node.targets[0].id] = typed
+                        changed = True
+            if not changed:
+                break
+
+    def type_of(self, node: ast.AST) -> str | None:
+        if isinstance(node, ast.Name):
+            if node.id in ("self", "cls"):
+                return self.record.cls
+            return self.var_types.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.type_of(node.value)
+            if base is not None:
+                record = self.graph.classes.get(base)
+                if record is not None:
+                    return record.attr_types.get(node.attr)
+            return None
+        if isinstance(node, ast.Call):
+            return self._call_type(node)
+        return None
+
+    def _call_type(self, call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            base = self.type_of(func.value)
+            if base is not None:
+                target = self.graph.resolve_method(base, func.attr)
+                if target is not None:
+                    return self.graph.return_class_of(target)
+                return None
+        dotted = _dotted(func)
+        if dotted is None or self.index is None:
+            return None
+        cls = _class_lookup(self.graph, self.index, dotted)
+        if cls is not None:
+            return cls
+        full = self.index.canonical(dotted)
+        if full in self.graph.functions:
+            return self.graph.return_class_of(full)
+        local = f"{self.index.module}.{dotted}"
+        if local in self.graph.functions:
+            return self.graph.return_class_of(local)
+        return None
 
 
 def _extract_calls(graph: CallGraph, index: _ModuleIndex,
@@ -405,6 +655,7 @@ def build_callgraph(
         indexes.append(index)
     for index in indexes:
         _index_module(graph, index)
+    _infer_class_attr_types(graph)
     for index in indexes:
         for record in list(graph.functions.values()):
             if record.module == index.module:

@@ -1,9 +1,10 @@
 """Plane 4 orchestration: build the graph, run the passes, apply waivers.
 
 ``flow_lint`` is the plane entry point the CLI and tests call.  It
-shares the waiver file with the self-lint plane — FLOW entries belong
-here, SIM entries there — and each plane reports its own unused entries
-as SIM000 so the file cannot rot from either side.
+shares the waiver file with the other planes — FLOW entries belong
+here, SIM entries to the self-lint, KEY entries to the dependency
+plane — and each plane reports its own unused entries as SIM000 so the
+file cannot rot from any side.
 """
 
 from __future__ import annotations

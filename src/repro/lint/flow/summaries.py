@@ -31,7 +31,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 
-from repro.lint.flow.callgraph import CallGraph, _dotted
+from repro.lint.flow.callgraph import CallGraph, TypedScope, _dotted
 from repro.lint.selflint import (
     _DATETIME_NOW,
     _NP_RANDOM_LEGACY,
@@ -41,9 +41,11 @@ from repro.lint.selflint import (
 
 __all__ = [
     "EFFECT_KINDS",
+    "AttrRead",
     "EffectSite",
     "SummaryTable",
     "compute_summaries",
+    "direct_attribute_reads",
 ]
 
 #: Every effect kind a summary can carry.
@@ -129,6 +131,189 @@ def direct_effects(graph: CallGraph, qualname: str) -> list[EffectSite]:
             ))
     sites.sort(key=lambda s: (s.lineno, s.kind, s.what))
     return sites
+
+
+@dataclass(frozen=True)
+class AttrRead:
+    """One attribute read from a tracked project class.
+
+    ``guards`` lists the ``(class, attr)`` pairs that appear in the
+    conditions dominating the read site — an ``if`` test the read sits
+    under, the test of a preceding early-exit ``if`` (a body ending in
+    ``return``/``raise``/``continue``/``break``), a ternary or boolean
+    short-circuit condition, or a comprehension filter.  A read with
+    ``("repro...ResolvedICVs", "wait_policy")`` in its guards is what the
+    dependency plane calls *guarded by the wait policy*.
+    """
+
+    cls: str
+    attr: str
+    qualname: str
+    rel_path: str
+    lineno: int
+    guards: tuple[tuple[str, str], ...] = ()
+
+
+_TERMINATORS = (ast.Return, ast.Raise, ast.Continue, ast.Break)
+
+
+def direct_attribute_reads(
+    graph: CallGraph, qualname: str, tracked: frozenset[str]
+) -> list[AttrRead]:
+    """Attribute reads of tracked classes in ``qualname``'s own body.
+
+    A read is attributed to a class through the same local type
+    inference the call graph uses (:class:`TypedScope`), so
+    ``icvs.blocktime_ms``, ``self.icvs.blocktime_ms``, and
+    ``executor.icvs.blocktime_ms`` all register against
+    ``ResolvedICVs``.  Guard conditions are tracked through direct
+    attribute tests, local aliases (``bind = icvs.bind; if bind is ...``),
+    early-exit prefixes, ternaries, short-circuit ``and``/``or``, and
+    comprehension filters; see :class:`AttrRead`.  Nested function
+    definitions are separate graph nodes and are skipped here.
+    """
+    record = graph.functions.get(qualname)
+    if record is None:
+        return []
+    scope = TypedScope(graph, qualname)
+    reads: list[AttrRead] = []
+
+    nested_ids = {
+        id(inner)
+        for child in ast.walk(record.node)
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and child is not record.node
+        for inner in ast.walk(child)
+    }
+
+    # Local aliases of tracked attributes: the assignment itself records
+    # the read; later *tests* of the alias contribute the guard.
+    aliases: dict[str, tuple[str, str]] = {}
+    for stmt in ast.walk(record.node):
+        if id(stmt) in nested_ids:
+            continue
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Attribute)
+        ):
+            base = scope.type_of(stmt.value.value)
+            if base in tracked:
+                aliases[stmt.targets[0].id] = (base, stmt.value.attr)
+
+    def test_attrs(expr: ast.AST) -> frozenset[tuple[str, str]]:
+        out: set[tuple[str, str]] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute):
+                base = scope.type_of(node.value)
+                if base in tracked:
+                    out.add((base, node.attr))
+            elif isinstance(node, ast.Name) and node.id in aliases:
+                out.add(aliases[node.id])
+        return frozenset(out)
+
+    def record_expr(expr, guards: frozenset) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.IfExp):
+            record_expr(expr.test, guards)
+            inner = guards | test_attrs(expr.test)
+            record_expr(expr.body, inner)
+            record_expr(expr.orelse, inner)
+            return
+        if isinstance(expr, ast.BoolOp):
+            acc = guards
+            for value in expr.values:
+                record_expr(value, acc)
+                acc = acc | test_attrs(value)
+            return
+        if isinstance(
+            expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            inner = guards
+            for comp in expr.generators:
+                record_expr(comp.iter, inner)
+                for cond in comp.ifs:
+                    record_expr(cond, inner)
+                    inner = inner | test_attrs(cond)
+            if isinstance(expr, ast.DictComp):
+                record_expr(expr.key, inner)
+                record_expr(expr.value, inner)
+            else:
+                record_expr(expr.elt, inner)
+            return
+        if isinstance(expr, ast.Attribute):
+            base = scope.type_of(expr.value)
+            if base in tracked and isinstance(expr.ctx, ast.Load):
+                reads.append(AttrRead(
+                    base, expr.attr, qualname, record.rel_path,
+                    expr.lineno, tuple(sorted(guards)),
+                ))
+            record_expr(expr.value, guards)
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                record_expr(child, guards)
+            elif isinstance(child, ast.keyword):
+                record_expr(child.value, guards)
+
+    def terminates(stmts: list) -> bool:
+        return bool(stmts) and isinstance(stmts[-1], _TERMINATORS)
+
+    def visit_block(stmts: list, guards: frozenset) -> None:
+        ambient = guards
+        for stmt in stmts:
+            visit_stmt(stmt, ambient)
+            # An early-exit prefix guards everything after it: code
+            # past `if icvs.wait_policy is ACTIVE: return ...` only
+            # runs conditionally on the wait policy.
+            if isinstance(stmt, ast.If) and (
+                terminates(stmt.body)
+                or (stmt.orelse and terminates(stmt.orelse))
+            ):
+                ambient = ambient | test_attrs(stmt.test)
+
+    def visit_stmt(stmt, guards: frozenset) -> None:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return
+        if isinstance(stmt, ast.If):
+            record_expr(stmt.test, guards)
+            inner = guards | test_attrs(stmt.test)
+            visit_block(stmt.body, inner)
+            visit_block(stmt.orelse, inner)
+            return
+        if isinstance(stmt, ast.While):
+            record_expr(stmt.test, guards)
+            visit_block(stmt.body, guards | test_attrs(stmt.test))
+            visit_block(stmt.orelse, guards)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            record_expr(stmt.iter, guards)
+            visit_block(stmt.body, guards)
+            visit_block(stmt.orelse, guards)
+            return
+        if isinstance(stmt, ast.Try):
+            visit_block(stmt.body, guards)
+            for handler in stmt.handlers:
+                visit_block(handler.body, guards)
+            visit_block(stmt.orelse, guards)
+            visit_block(stmt.finalbody, guards)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                record_expr(item.context_expr, guards)
+            visit_block(stmt.body, guards)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                record_expr(child, guards)
+
+    visit_block(record.node.body, frozenset())
+    reads.sort(key=lambda r: (r.lineno, r.cls, r.attr))
+    return reads
 
 
 class SummaryTable:

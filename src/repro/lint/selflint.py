@@ -507,12 +507,13 @@ def self_lint(
 ) -> list[Finding]:
     """Full pipeline: lint the tree, apply waivers, flag unused waivers.
 
-    FLOW waivers in the shared file belong to the flow plane and are
-    excluded here so each plane only rot-checks its own entries.
+    FLOW and KEY waivers in the shared file belong to the flow and
+    dependency planes and are excluded here so each plane only
+    rot-checks its own entries.
     """
     waivers = [
         w for w in load_waivers(waivers_path)
-        if not w.rule.startswith("FLOW")
+        if not w.rule.startswith(("FLOW", "KEY"))
     ]
     findings, unused = apply_waivers(self_lint_tree(src_root), waivers)
     findings.extend(unused_waiver_findings(unused))

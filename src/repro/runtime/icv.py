@@ -26,6 +26,7 @@ import enum
 import math
 from collections.abc import Mapping
 from dataclasses import dataclass, replace
+from typing import ClassVar
 
 from repro.arch.topology import MachineTopology, PlaceKind
 from repro.errors import InvalidEnvValue, UnknownVariable
@@ -317,6 +318,55 @@ class ResolvedICVs:
     align_alloc: int
     cache_line: int
 
+    #: The named slots of :meth:`execution_signature`, in tuple order.
+    #: ``wait_policy`` is the derived property; the other names are
+    #: fields.  The dependency lint plane (KEY002) checks every slot is
+    #: read by reachable model code, and this tuple's arity is pinned
+    #: against the returned tuple's.
+    SIGNATURE_COMPONENTS: ClassVar[tuple[str, ...]] = (
+        "nthreads",
+        "places",
+        "bind",
+        "schedule",
+        "schedule_chunk",
+        "wait_policy",
+        "blocktime_ms",
+        "reduction",
+        "align_alloc",
+        "cache_line",
+    )
+
+    #: The dead-field normalization table: field -> (guard, reason).
+    #: A field listed here is *not* independently folded into
+    #: :meth:`execution_signature`.  ``guard`` names the attribute whose
+    #: value makes the field irrelevant: model code may read the field
+    #: only at sites conditioned on that attribute (``None`` = the field
+    #: must not be read by the evaluation cone at all).  The dependency
+    #: lint plane (KEY004) enforces exactly this, so the table cannot
+    #: drift from the code; ``docs/LINTING.md`` renders it.
+    SIGNATURE_DEAD_FIELDS: ClassVar[dict[str, tuple[str | None, str]]] = {
+        "library": (
+            None,
+            "acts only through the derived wait policy (serial's thread "
+            "forcing is applied at resolution)",
+        ),
+        "places_explicit": (
+            None,
+            "only shifts the bind default, which resolution already "
+            "applied",
+        ),
+        "blocktime_ms": (
+            "wait_policy",
+            "read only under PASSIVE waiting (sleep threshold, wake "
+            "fractions); canonicalized out under ACTIVE",
+        ),
+        "places": (
+            "bind",
+            "consulted only when threads are bound; a bound team with "
+            "unset places canonicalizes to cores",
+        ),
+    }
+
     @property
     def wait_policy(self) -> WaitPolicy:
         """``OMP_WAIT_POLICY`` as libomp derives it.
@@ -349,21 +399,17 @@ class ResolvedICVs:
         ``equivalence-pruning-parity`` differential check verifies the
         claim against unpruned execution.
 
-        Dead fields are normalized away:
-
-        - ``KMP_LIBRARY`` acts only through the derived wait policy (and
-          ``serial``'s thread forcing, applied at resolution), so the
-          signature carries ``wait_policy`` instead of the library mode —
-          ``turnaround`` and ``throughput``+infinite blocktime coincide,
-        - ``blocktime_ms`` is read only under PASSIVE waiting (sleep
-          threshold, wake fractions); under ACTIVE it is canonicalized out,
-        - ``places`` is consulted only when threads are bound; unbound
-          teams ignore it.  A bound team with unset places synthesizes
-          per-core places, so unset canonicalizes to ``cores`` there,
-        - ``true`` binding distributes identically to ``spread`` (libomp
-          groups them too — the paper's Table VII "spread/true" rows),
-        - ``places_explicit`` only shifts the *bind default*, which
-          resolution already applied.
+        The tuple's slots are named by :data:`SIGNATURE_COMPONENTS`.
+        Dead fields are normalized away per the machine-readable table
+        :data:`SIGNATURE_DEAD_FIELDS` (field -> guard making it
+        irrelevant), which the dependency lint plane enforces against
+        the code (KEY004) — so the canonicalizations below (``blocktime``
+        dropped under ACTIVE waiting, ``places`` dropped when unbound,
+        ``library`` and ``places_explicit`` carried only through their
+        derived values) are proven, not just documented.  One value
+        normalization rides along: ``true`` binding distributes
+        identically to ``spread`` (libomp groups them too — the paper's
+        Table VII "spread/true" rows).
         """
         bind = BindPolicy.SPREAD if self.bind is BindPolicy.TRUE else self.bind
         if bind is BindPolicy.FALSE:

@@ -8,9 +8,12 @@ import repro.core.sweep as sweep_mod
 from repro.arch.machines import get_machine
 from repro.core.cache import (
     CACHE_FORMAT_VERSION,
+    CACHE_KEY_EXCLUDED,
+    CACHE_KEY_FIELDS,
     SweepCache,
     batch_key,
     grid_fingerprint,
+    key_material,
     machine_fingerprint,
 )
 from repro.core.envspace import EnvSpace, chunked_schedule_variables
@@ -148,6 +151,63 @@ class TestBatchKey:
         assert batch_key(plan, grid_fp, machine_fp, batch) == batch_key(
             widened, grid_fp, machine_fp, batch
         )
+
+
+class TestKeyMaterial:
+    """The machine-readable key declaration the dependency lint (plane
+    5, KEY003) checks the evaluation cone's read-set against."""
+
+    def test_key_fields_declares_every_identity_slot(self):
+        assert SweepCache.key_fields() == CACHE_KEY_FIELDS
+        assert CACHE_KEY_FIELDS[0] == "format_version"
+        assert {"grid_fingerprint", "machine_fingerprint"} <= set(
+            CACHE_KEY_FIELDS
+        )
+
+    def test_excluded_fields_carry_reasons_and_do_not_overlap(self):
+        assert all(CACHE_KEY_EXCLUDED.values())
+        assert not set(CACHE_KEY_EXCLUDED) & set(CACHE_KEY_FIELDS)
+
+    def test_key_material_names_exactly_what_batch_key_hashes(
+        self, plan, grid_fp, machine_fp
+    ):
+        import hashlib
+
+        batch = BatchSpec("cg", "NPB", "A", 96)
+        material = key_material(plan, grid_fp, machine_fp, batch)
+        assert tuple(material) == CACHE_KEY_FIELDS
+        identity = tuple(material.values())
+        digest = hashlib.sha256(repr(identity).encode("utf-8")).hexdigest()
+        assert digest == batch_key(plan, grid_fp, machine_fp, batch)
+
+    @pytest.mark.parametrize("change,slot", [
+        (dict(fidelity="des"), "plan.fidelity"),
+        (dict(seed=3), "plan.seed"),
+        (dict(arch="skylake"), "plan.arch"),
+    ])
+    def test_plan_change_lands_in_its_named_slot(self, plan, grid_fp,
+                                                 machine_fp, change, slot):
+        from dataclasses import replace
+
+        batch = BatchSpec("cg", "NPB", "A", 96)
+        base = key_material(plan, grid_fp, machine_fp, batch)
+        other = key_material(replace(plan, **change), grid_fp, machine_fp,
+                             batch)
+        assert [k for k in CACHE_KEY_FIELDS if base[k] != other[k]] == [slot]
+        assert batch_key(plan, grid_fp, machine_fp, batch) != batch_key(
+            replace(plan, **change), grid_fp, machine_fp, batch
+        )
+
+    def test_fingerprints_land_in_their_named_slots(self, plan, grid_fp,
+                                                    machine_fp):
+        batch = BatchSpec("cg", "NPB", "A", 96)
+        base = key_material(plan, grid_fp, machine_fp, batch)
+        regrid = key_material(plan, "0" * 64, machine_fp, batch)
+        assert [k for k in CACHE_KEY_FIELDS
+                if base[k] != regrid[k]] == ["grid_fingerprint"]
+        remachine = key_material(plan, grid_fp, "1" * 64, batch)
+        assert [k for k in CACHE_KEY_FIELDS
+                if base[k] != remachine[k]] == ["machine_fingerprint"]
 
 
 class TestSweepCacheStore:

@@ -193,11 +193,11 @@ class TestStatsAndReport:
 
     def test_default_invocation_runs_all_planes(self, tmp_path, capsys):
         # Bare `repro-omp lint` = what the CI job relies on: self plane,
-        # flow plane, plus every arch's manifests.
+        # flow plane, deps plane, plus every arch's manifests.
         report = tmp_path / "all.json"
         assert main(["lint", "--report", str(report)]) == 0
         payload = json.loads(report.read_text(encoding="utf-8"))
         assert set(payload["planes"]) == {
-            "self", "flow",
+            "self", "flow", "deps",
             "manifests:a64fx", "manifests:skylake", "manifests:milan",
         }
