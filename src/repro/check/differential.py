@@ -39,6 +39,7 @@ __all__ = [
     "resilience_degrade_parity",
     "columnar_pipeline_parity",
     "sharded_execution_parity",
+    "service_degrade_parity",
     "golden_trace_check",
     "verify_bless_stability",
     "bless_golden_traces",
@@ -496,6 +497,177 @@ def sharded_execution_parity(plan: SweepPlan | None = None) -> dict:
         "chaos_fault_kinds": sorted(kinds),
         "n_failed_batches": report.n_failed_batches,
         "n_quarantined": report.n_quarantined,
+    }
+
+
+def service_degrade_parity(plan: SweepPlan | None = None) -> dict:
+    """Daemon-served sweeps must be record-identical to direct ones —
+    through backend death *and* a kill-during-drain restart cycle.
+
+    Ground truth is a fault-free direct :func:`run_sweep`.  Two served
+    legs must reproduce it byte-for-byte via
+    :func:`repro.serve.render.records_payload`:
+
+    1. **degradation leg** — an all-attempt crash fault rides the pool
+       backend; the circuit breaker must trip, the job must finish
+       ``degraded`` on a fallback rung, and the failure report must be
+       non-empty (vacuity guard: the fault really fired),
+    2. **drain/restart leg** — a throttled sweep is interrupted by a
+       graceful drain after its first batch lands, journaled, and
+       resumed by a *new* daemon over the same cache and state
+       directory.  The resumed run must mix cached (pre-drain) and
+       computed (post-restart) batches — both counts nonzero, or the
+       interruption was vacuous — and still match the ground truth.
+
+    Together they pin the serving layer's core promise: no degradation
+    or restart path may silently alter the dataset.
+    """
+    from repro.serve.app import DaemonConfig
+    from repro.serve.harness import DaemonHandle
+    from repro.serve.render import records_payload
+
+    plan = plan or _quick_plan()
+    plan_payload = {
+        "arch": plan.arch,
+        "workloads": (list(plan.workload_names)
+                      if plan.workload_names else None),
+        "scale": plan.scale,
+        "repetitions": plan.repetitions,
+        "inputs_limit": plan.inputs_limit,
+        "seed": plan.seed,
+    }
+    direct = run_sweep(plan)
+    if not direct.records:
+        raise CheckFailure("service-parity plan produced no records")
+    truth = records_payload(direct.records)
+
+    with tempfile.TemporaryDirectory(prefix="repro-check-serve-") as tmp:
+        # Leg 1: backend death mid-request -> breaker -> degraded rung.
+        handle = DaemonHandle(DaemonConfig(
+            cache_dir=f"{tmp}/cache-degrade",
+            state_dir=f"{tmp}/state-degrade",
+            backend="pool", deadline_s=600.0, breaker_threshold=1,
+        ))
+        try:
+            status, resp = handle.request("POST", "/sweep", body={
+                "plan": plan_payload, "client": "check", "backend": "pool",
+                "chaos": {"seed": 7, "faults": [
+                    {"kind": "crash", "batch_index": 0, "attempts": "all"},
+                ]},
+            })
+            if status != 202:
+                raise CheckFailure(
+                    f"degradation-leg submit refused: {status} {resp}"
+                )
+            final = handle.wait_for_state(
+                resp["job_id"], ("done", "failed"), timeout_s=600.0
+            )
+            if final["state"] != "done":
+                raise CheckFailure(
+                    f"degradation-leg job ended {final['state']}: "
+                    f"{final.get('error', '')}"
+                )
+            if not final["degraded"]:
+                raise CheckFailure(
+                    "degradation leg finished undegraded — the injected "
+                    "backend death never fired, so the check is vacuous"
+                )
+            degrade_events = [
+                e for e in handle.stream_events(resp["job_id"])
+                if "degrade" in e
+            ]
+            if not degrade_events:
+                raise CheckFailure(
+                    "no degrade event was streamed for the dying backend"
+                )
+            status, served = handle.request(
+                "GET", f"/jobs/{resp['job_id']}/records"
+            )
+            if served != truth:
+                raise CheckFailure(
+                    "degradation-leg records diverged from the direct "
+                    f"sweep ({served.get('n_records')} vs "
+                    f"{truth['n_records']})"
+                )
+            backend_used = final["backend_used"]
+        finally:
+            handle.drain()
+
+        # Leg 2: drain mid-sweep, journal, restart, resume.
+        drain_cfg = DaemonConfig(
+            cache_dir=f"{tmp}/cache-drain",
+            state_dir=f"{tmp}/state-drain",
+            backend="serial", deadline_s=600.0, drain_grace_s=0.2,
+        )
+        handle = DaemonHandle(drain_cfg)
+        interrupted: list[str] = []
+        try:
+            status, resp = handle.request("POST", "/sweep", body={
+                "plan": plan_payload, "client": "check",
+                "backend": "serial", "throttle_s": 0.25,
+            })
+            if status != 202:
+                raise CheckFailure(
+                    f"drain-leg submit refused: {status} {resp}"
+                )
+            job_id = resp["job_id"]
+            handle.wait_for_events(job_id, 1, timeout_s=600.0)
+        finally:
+            interrupted = handle.drain().get("interrupted", [])
+        if job_id not in interrupted:
+            raise CheckFailure(
+                f"drain did not interrupt the in-flight job {job_id} "
+                f"(interrupted: {interrupted})"
+            )
+        revived = DaemonHandle(drain_cfg)
+        try:
+            if revived.daemon.resumed_job_ids != [job_id]:
+                raise CheckFailure(
+                    "restart resumed "
+                    f"{revived.daemon.resumed_job_ids} instead of "
+                    f"[{job_id!r}]"
+                )
+            final = revived.wait_for_state(
+                job_id, ("done", "failed"), timeout_s=600.0
+            )
+            if final["state"] != "done":
+                raise CheckFailure(
+                    f"resumed job ended {final['state']}: "
+                    f"{final.get('error', '')}"
+                )
+            summary = final.get("summary") or {}
+            cached = summary.get("n_cached_batches", 0)
+            computed = summary.get("n_computed_batches", 0)
+            if cached == 0 or computed == 0:
+                raise CheckFailure(
+                    "resume was vacuous: "
+                    f"{cached} cached / {computed} computed batch(es); "
+                    "the drain must interrupt mid-sweep so the resumed "
+                    "run mixes pre-drain cache hits with fresh work"
+                )
+            status, served = revived.request(
+                "GET", f"/jobs/{job_id}/records"
+            )
+            if served != truth:
+                raise CheckFailure(
+                    "resumed records diverged from the direct sweep "
+                    f"({served.get('n_records')} vs {truth['n_records']})"
+                )
+        finally:
+            revived.drain()
+
+    return {
+        "details": (
+            f"{truth['n_records']} records identical through backend "
+            f"death (degraded to {backend_used} after "
+            f"{len(degrade_events)} rung failure(s)) and a "
+            f"drain/restart cycle ({cached} cached + {computed} "
+            "computed batch(es) on resume)"
+        ),
+        "n_records": truth["n_records"],
+        "degraded_backend": backend_used,
+        "resume_cached_batches": cached,
+        "resume_computed_batches": computed,
     }
 
 

@@ -48,6 +48,8 @@ SUITES: dict[str, tuple] = {
          differential.columnar_pipeline_parity),
         ("sharded-execution-parity",
          differential.sharded_execution_parity),
+        ("service-degrade-parity",
+         differential.service_degrade_parity),
         ("golden-traces", differential.golden_trace_check),
     ),
 }
@@ -76,7 +78,8 @@ def run_suite(
             name in ("execution-path-parity", "equivalence-pruning-parity",
                      "resilience-degrade-parity",
                      "columnar-pipeline-parity",
-                     "sharded-execution-parity")
+                     "sharded-execution-parity",
+                     "service-degrade-parity")
             and not quick
         ):
             body = lambda fn=fn: fn(plan=differential.full_plan())

@@ -323,6 +323,64 @@ def build_parser() -> argparse.ArgumentParser:
                       help="stdout format (default: text)")
     p_ch.add_argument("--report", default=None,
                       help="write the JSON failure report here")
+    p_ch.add_argument("--serve", action="store_true",
+                      help="drive the serving daemon through the service "
+                           "fault kinds (slow-client, backend-death-mid-"
+                           "request, kill-during-drain) instead of a "
+                           "direct sweep")
+    p_ch.add_argument("--serve-requests", type=int, default=6,
+                      help="scenario request count (--serve)")
+    p_ch.add_argument("--slow-clients", type=int, default=1,
+                      help="stalled-client faults to inject (--serve)")
+    p_ch.add_argument("--backend-deaths", type=int, default=1,
+                      help="mid-request backend deaths to inject (--serve)")
+    p_ch.add_argument("--drain-kills", type=int, default=1,
+                      help="SIGKILLs landed inside the drain window "
+                           "(--serve)")
+    p_ch.add_argument("--artifact-dir", default=None,
+                      help="copy drain journals here for inspection "
+                           "(--serve)")
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="run the tuning-as-a-service daemon (docs/SERVING.md)",
+    )
+    p_sv.add_argument("--host", default="127.0.0.1")
+    p_sv.add_argument("--port", type=int, default=8077,
+                      help="listen port (0 = ephemeral; see --port-file)")
+    p_sv.add_argument("--backend", default="serial",
+                      choices=("auto", "serial", "pool", "nodes"),
+                      help="default executor backend for served sweeps "
+                           "(top of the degradation ladder)")
+    p_sv.add_argument("--shards", type=int, default=1)
+    p_sv.add_argument("--max-inflight", type=int, default=2,
+                      help="sweeps running concurrently (worker threads)")
+    p_sv.add_argument("--max-queued", type=int, default=16,
+                      help="admission bound; beyond it, 429 Retry-After")
+    p_sv.add_argument("--deadline-s", type=float, default=60.0,
+                      help="default per-request deadline")
+    p_sv.add_argument("--drain-grace-s", type=float, default=5.0,
+                      help="grace a SIGTERM drain waits before cancelling")
+    p_sv.add_argument("--header-timeout-s", type=float, default=5.0,
+                      help="per-read timeout; slower clients get 408")
+    p_sv.add_argument("--rate", type=float, default=50.0,
+                      help="token-bucket refill per client key, per second")
+    p_sv.add_argument("--burst", type=int, default=100,
+                      help="token-bucket capacity per client key")
+    p_sv.add_argument("--cache-dir", default=None,
+                      help="sweep cache shared with the CLI (recommended)")
+    p_sv.add_argument("--state-dir", default=None,
+                      help="drain-journal directory; enables resume "
+                           "across restarts")
+    p_sv.add_argument("--breaker-threshold", type=int, default=3,
+                      help="consecutive backend failures that open the "
+                           "circuit breaker")
+    p_sv.add_argument("--breaker-cooldown-s", type=float, default=30.0,
+                      help="open-state cooldown before half-open probes")
+    p_sv.add_argument("--port-file", default=None,
+                      help="write the bound port here once listening")
+    p_sv.add_argument("--fsync", action="store_true",
+                      help="fsync journal and cache writes (durability)")
 
     p_tr = sub.add_parser("trace", help="phase timeline of one run")
     p_tr.add_argument("--arch", required=True, choices=machine_names())
@@ -812,9 +870,103 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import threading
+
+    from repro.serve.app import DaemonConfig, TuningDaemon
+
+    config = DaemonConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        n_shards=args.shards,
+        max_inflight=args.max_inflight,
+        max_queued=args.max_queued,
+        deadline_s=args.deadline_s,
+        drain_grace_s=args.drain_grace_s,
+        header_timeout_s=args.header_timeout_s,
+        rate_per_s=args.rate,
+        burst=args.burst,
+        cache_dir=args.cache_dir,
+        state_dir=args.state_dir,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        port_file=args.port_file,
+        fsync=args.fsync,
+    )
+    daemon = TuningDaemon(config)
+    started = threading.Event()
+
+    def banner() -> None:
+        started.wait()
+        print(f"repro-omp serve: listening on "
+              f"{config.host}:{daemon.port}", flush=True)
+        if daemon.resumed_job_ids:
+            print(f"repro-omp serve: resumed "
+                  f"{len(daemon.resumed_job_ids)} journaled job(s): "
+                  f"{', '.join(daemon.resumed_job_ids)}", flush=True)
+
+    threading.Thread(target=banner, daemon=True).start()
+    summary = asyncio.run(daemon.serve(started=started))
+    interrupted = summary.get("interrupted", [])
+    print(f"repro-omp serve: drained; {len(interrupted)} job(s) "
+          f"journaled for resume", flush=True)
+    return 0
+
+
+def _cmd_chaos_serve(args: argparse.Namespace) -> int:
+    import contextlib
+    import tempfile
+
+    from repro.reporting import render_report, write_report_file
+    from repro.serve.scenario import run_service_scenario
+
+    with contextlib.ExitStack() as stack:
+        work_dir = args.cache_dir or stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-serve-chaos-")
+        )
+        verdict = run_service_scenario(
+            arch=args.arch,
+            workloads=tuple(args.workloads) if args.workloads else (),
+            scale=args.scale,
+            repetitions=args.repetitions,
+            inputs_limit=args.inputs_limit,
+            seed=args.seed,
+            n_requests=args.serve_requests,
+            slow_clients=args.slow_clients,
+            backend_deaths=args.backend_deaths,
+            drain_kills=args.drain_kills,
+            work_dir=work_dir,
+            artifact_dir=args.artifact_dir,
+        )
+    if args.fmt == "json":
+        print(render_report("json", service_chaos=verdict))
+    else:
+        faults = verdict["service_chaos_plan"]["faults"]
+        print(f"injecting {len(faults)} service fault(s) across "
+              f"{verdict['n_requests']} request(s) "
+              f"(seed {verdict['seed']}):")
+        for fault in faults:
+            print(f"  {fault['kind']}@request {fault['request_index']}")
+        for outcome in verdict["outcomes"]:
+            mark = "ok " if outcome["ok"] else "FAIL"
+            print(f"  [{mark}] {outcome['kind']}: {outcome['detail']}")
+        print("service chaos verdict: "
+              + ("PASS" if verdict["ok"] else "FAIL"))
+    if args.report:
+        write_report_file(args.report, service_chaos=verdict)
+        if args.fmt == "text":
+            print(f"report -> {args.report}")
+    return 0 if verdict["ok"] else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import contextlib
     import tempfile
+
+    if args.serve:
+        return _cmd_chaos_serve(args)
 
     from repro.core.cache import SweepCache
     from repro.core.sweep import plan_batches
@@ -946,6 +1098,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sanitize(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "workloads":

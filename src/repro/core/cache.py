@@ -299,6 +299,11 @@ class SweepCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: Writes that found another process's entry already in place
+        #: (the daemon and the CLI share one cache dir); the loser's
+        #: rename lands identical content, so losing the race is
+        #: harmless — but it should be *visible*, not silent.
+        self.lost_races = 0
         #: Keys quarantined this session, in discovery order.
         self.corrupt_keys: list[str] = []
 
@@ -348,6 +353,7 @@ class SweepCache:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "lost_races": self.lost_races,
             "corrupt": len(self.corrupt_keys),
             "corrupt_keys": tuple(self.corrupt_keys),
             "partitions": tuple(
@@ -449,16 +455,33 @@ class SweepCache:
             "frame": frame_payload,
         }
         path = self._path(key)
+        # The tmp name is salted with the pid so two processes put()-ing
+        # the same key never interleave on one tmp file; each composes
+        # its entry privately and the two renames serialize at the
+        # filesystem.  Whoever renames last wins — with identical
+        # content, since the key is a content address — and the loser is
+        # counted in ``lost_races``.
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")
         data = json.dumps(payload)
-        if self.fsync:
-            with open(tmp, "w", encoding="utf-8") as handle:
-                handle.write(data)
-                handle.flush()
-                os.fsync(handle.fileno())
-        else:
-            tmp.write_text(data, encoding="utf-8")
-        os.replace(tmp, path)
+        try:
+            if self.fsync:
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            else:
+                tmp.write_text(data, encoding="utf-8")
+            raced = path.exists()
+            os.replace(tmp, path)
+        except BaseException:
+            # Never leave a stray tmp behind an interrupted write.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if raced:
+            self.lost_races += 1
         if self.fsync:
             dir_fd = os.open(self.root, os.O_RDONLY)
             try:

@@ -42,7 +42,7 @@ from pathlib import Path
 from repro.arch.machines import get_machine
 from repro.arch.topology import MachineTopology
 from repro.core.envspace import EnvSpace
-from repro.errors import ConfigError, PoisonBatchError
+from repro.errors import ConfigError, PoisonBatchError, SweepCancelledError
 from repro.resilience.backends import (
     BACKEND_NAMES,
     ExecutorBackend,
@@ -630,6 +630,7 @@ def run_sweep(
     batch_timeout_s: float | None = None,
     backend: str = "auto",
     n_shards: int = 1,
+    cancel: "object | None" = None,
 ) -> SweepResult:
     """Execute a sweep plan; deterministic for a given plan.
 
@@ -671,6 +672,14 @@ def run_sweep(
     nodes backend runs one process per shard with work stealing.
     Records are bit-identical across every ``backend`` × ``n_shards``
     combination (the ``sharded-execution-parity`` check pins it).
+
+    ``cancel``, if given, is a cooperative-cancellation handle (anything
+    with ``is_set()``, typically a ``threading.Event``) checked between
+    batches — never mid-batch.  Once set, the sweep flushes every landed
+    batch to the cache and raises
+    :class:`~repro.errors.SweepCancelledError`, so a cancelled sweep is
+    always resumable from where it stopped.  This is the hook the
+    serving daemon uses for request deadlines and graceful drain.
     """
     if fail_policy not in ("raise", "degrade"):
         raise ConfigError(
@@ -741,6 +750,12 @@ def run_sweep(
         for done, (i, batch, records, was_cached) in enumerate(
             in_order(miss_stream), 1
         ):
+            # Checked here as well as inside the backends so a fully
+            # cached sweep (no backend at all) still honors its handle.
+            if cancel is not None and cancel.is_set():
+                raise SweepCancelledError(
+                    f"sweep cancelled after {done - 1} of {total} batches"
+                )
             # Multiprocess misses land as packed column blocks; keep the
             # block for the cache write (stored as-is under format v5)
             # and unpack once for the in-memory result.
@@ -869,6 +884,7 @@ def run_sweep(
                     validate=_validate_batch_records,
                     fail_fast=(fail_policy == "raise"),
                 )
+            exec_backend.cancel_event = cancel
             consume(exec_backend.stream(tasks, ledger))
     except BaseException as exc:
         # Flush batches that completed before the failure so landed work

@@ -26,6 +26,8 @@ __all__ = [
     "WorkerCrashError",
     "BatchTimeoutError",
     "PoisonBatchError",
+    "SweepCancelledError",
+    "ServeError",
     "TransportError",
     "MalformedFrameError",
     "TruncatedFrameError",
@@ -141,6 +143,13 @@ class PoisonBatchError(ResilienceError):
         self.report = report
 
 
+class SweepCancelledError(ResilienceError):
+    """The sweep was cancelled cooperatively (a served request's deadline
+    expired, the client went away, or the daemon began draining).  Raised
+    between batches — never mid-batch — after landed batches have been
+    flushed to the cache, so a cancelled sweep is always resumable."""
+
+
 class TransportError(ResilienceError):
     """The node socket transport failed.  Every failure mode is typed
     (see subclasses) so the nodes backend can map it to the right
@@ -162,6 +171,16 @@ class TruncatedFrameError(TransportError):
 class NodeLostError(TransportError):
     """The connection dropped at a frame boundary: the node process died
     or the link was severed between messages."""
+
+
+# --------------------------------------------------------------------------
+# Serving (tuning-as-a-service daemon)
+# --------------------------------------------------------------------------
+class ServeError(ReproError):
+    """The serving layer is misconfigured or an endpoint request is
+    malformed (unknown job, bad parameter, oversized body).  Transport-
+    level failures map to HTTP status codes in :mod:`repro.serve.app`;
+    this class covers errors raised through the Python API."""
 
 
 # --------------------------------------------------------------------------

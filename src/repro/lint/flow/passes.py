@@ -56,6 +56,11 @@ DEFAULT_RESULT_ROOTS = (
     "repro.frame.columns.RecordBlock.from_payload",
     "repro.reporting.report_payload",
     "repro.reporting.render_report",
+    "repro.serve.render.record_payload",
+    "repro.serve.render.records_payload",
+    "repro.serve.render.sweep_summary_payload",
+    "repro.serve.render.job_payload",
+    "repro.serve.render.recommend_payload",
 )
 
 _NONDETERMINISM = ("wall-clock", "unseeded-rng")

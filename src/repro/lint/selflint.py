@@ -65,8 +65,8 @@ DEFAULT_WAIVERS = Path(__file__).resolve().parent / "waivers.toml"
 
 #: rule id -> path-prefix scopes (relative to the linted root, "" = all).
 SELF_RULES: dict[str, tuple[str, ...]] = {
-    "SIM001": ("desim/", "runtime/", "frame/"),
-    "SIM002": ("desim/", "runtime/", "arch/", "resilience/"),
+    "SIM001": ("desim/", "runtime/", "frame/", "serve/"),
+    "SIM002": ("desim/", "runtime/", "arch/", "resilience/", "serve/"),
     "SIM003": ("",),
     "SIM004": ("runtime/", "arch/", "workloads/", "desim/", "resilience/"),
     "SIM005": ("check/",),

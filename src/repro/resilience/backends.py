@@ -106,10 +106,56 @@ __all__ = [
     "SerialBackend",
     "SerialChaosFault",
     "NodesBackend",
+    "probe_backend",
 ]
 
 #: The backend axis the parity checks and the CLI iterate over.
 BACKEND_NAMES = ("serial", "pool", "nodes")
+
+
+def _probe_task(payload, attempt):
+    """Echo task used by :func:`probe_backend` — any result proves the
+    substrate can round-trip a dispatch."""
+    return payload
+
+
+def probe_backend(name: str, timeout_s: float = 5.0) -> bool:
+    """Health-probe one execution substrate with a single echo task.
+
+    Used by the serving layer's circuit breaker in half-open state: a
+    cheap end-to-end dispatch (spawn, send, execute, receive) proves the
+    backend can currently do work, without committing a real batch to a
+    possibly-broken fleet.  Returns True when the echo round-trips
+    within ``timeout_s``; False on any error or mismatch.  ``serial``
+    always probes healthy — it is the floor of the degradation ladder.
+    """
+    if name not in BACKEND_NAMES:
+        raise ResilienceError(
+            f"unknown backend {name!r} (expected one of {BACKEND_NAMES})"
+        )
+    if name == "serial":
+        return True
+    task = SupervisedTask(
+        task_id=0, index=0, payload="probe", identity="probe:0",
+        timeout_s=timeout_s,
+    )
+    policy = RetryPolicy(max_retries=0, base_delay_s=0.0)
+    if name == "pool":
+        backend: ExecutorBackend = Supervisor(
+            _probe_task, n_workers=1, policy=policy, fail_fast=False,
+        )
+    else:
+        backend = NodesBackend(
+            _probe_task, n_nodes=1, policy=policy, fail_fast=False,
+            frame_timeout_s=timeout_s,
+        )
+    try:
+        outcomes = list(backend.stream([task]))
+    except (ResilienceError, OSError):
+        return False
+    finally:
+        backend.close()
+    return outcomes == ["probe"]
 
 
 class ExecutorBackend(abc.ABC):
@@ -124,6 +170,24 @@ class ExecutorBackend(abc.ABC):
     name = "backend"
     #: Worker/node respawns performed so far (failure-report field).
     worker_respawns = 0
+    #: Optional cooperative-cancellation handle (anything with
+    #: ``is_set()``, typically a ``threading.Event``).  When set, the
+    #: backend raises :class:`~repro.errors.SweepCancelledError` at the
+    #: next safe point — between attempts, never mid-batch — so the
+    #: sweep layer can flush landed batches before unwinding.  This is
+    #: how a served request's deadline reaches all the way down to the
+    #: worker fleet.
+    cancel_event = None
+
+    def _check_cancelled(self) -> None:
+        """Raise if the installed cancel handle has been set."""
+        from repro.errors import SweepCancelledError
+
+        if self.cancel_event is not None and self.cancel_event.is_set():
+            raise SweepCancelledError(
+                f"sweep cancelled while streaming on the {self.name} "
+                "backend"
+            )
 
     @abc.abstractmethod
     def stream(
@@ -201,6 +265,7 @@ class SerialBackend(ExecutorBackend):
         self._outcomes = {}
         self._yielded = 0
         for task in tasks:
+            self._check_cancelled()
             attempt = 0
             while True:
                 kind = cause = None
@@ -261,6 +326,9 @@ def _node_main(node_id, fn, initializer, initargs, sock):
     """
     import os as _os
 
+    from repro.resilience.supervisor import _detach_inherited_signals
+
+    _detach_inherited_signals()
     enter_node_context()
     try:
         if initializer is not None:
@@ -504,6 +572,7 @@ class NodesBackend(ExecutorBackend):
         self._closed = False
         try:
             while self._yielded < len(tasks):
+                self._check_cancelled()
                 self._dispatch()
                 self._poll(self._wait_budget())
                 self._enforce_deadlines()

@@ -30,6 +30,26 @@ Seven fault kinds:
 Worker faults default to attempt 0 only, so a retry succeeds; a fault
 with ``attempts=None`` applies to *every* attempt, which is how a poison
 batch (quarantined after the retry budget) is modeled.
+
+Service faults
+--------------
+The serving daemon (``repro-omp serve``) adds a second fault surface —
+the request path rather than the batch path — modeled by
+:class:`ServiceChaosPlan` with three kinds:
+
+- ``slow-client`` — the client trickles its request (or stalls reading
+  the response) past the daemon's header/body deadline; the daemon must
+  shed it with ``408`` instead of pinning a connection slot,
+- ``backend-death-mid-request`` — the executor backend dies while a
+  served sweep is in flight (injected as a worker ``crash`` fault on a
+  seeded batch); the breaker must count it and the job must still land
+  correct records via retry or the degradation ladder,
+- ``kill-during-drain`` — SIGTERM arrives mid-sweep and the process is
+  killed again *during* the drain window; the journal must make the
+  queued work resumable on restart.
+
+Like batch chaos, service plans are seeded and fully explicit, so the
+``service-degrade-parity`` check and the CLI scenario replay exactly.
 """
 
 from __future__ import annotations
@@ -47,6 +67,9 @@ __all__ = [
     "NODE_FAULT_KINDS",
     "CACHE_FAULT_KINDS",
     "FAULT_KINDS",
+    "SERVICE_FAULT_KINDS",
+    "ServiceFault",
+    "ServiceChaosPlan",
     "CHAOS_CRASH_EXIT",
     "CHAOS_NODE_LOST_EXIT",
     "CHAOS_PARTITION_EXIT",
@@ -69,6 +92,12 @@ WORKER_FAULT_KINDS = ("crash", "hang", "corrupt-result")
 NODE_FAULT_KINDS = ("node-lost", "shard-partition")
 CACHE_FAULT_KINDS = ("cache-torn-write", "cache-bit-flip")
 FAULT_KINDS = WORKER_FAULT_KINDS + NODE_FAULT_KINDS + CACHE_FAULT_KINDS
+#: Request-path fault kinds of the serving daemon (see module docstring).
+SERVICE_FAULT_KINDS = (
+    "slow-client",
+    "backend-death-mid-request",
+    "kill-during-drain",
+)
 
 #: Exit code a chaos-crashed worker dies with (shows up in the report).
 CHAOS_CRASH_EXIT = 13
@@ -311,6 +340,144 @@ def trigger_node_fault(kind: str) -> None:
 def corrupted_payload(batch_index: int) -> list:
     """What a chaos-corrupted worker returns instead of records."""
     return [CORRUPT_MARKER, batch_index]
+
+
+# ----------------------------------------------------------------------
+# Service-layer chaos (request path of the serving daemon)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServiceFault:
+    """One planned request-path fault.
+
+    ``request_index`` is the 0-based position in the scenario's request
+    sequence the fault attaches to; ``batch_index`` (only meaningful for
+    ``backend-death-mid-request``) is the sweep batch the injected
+    worker crash targets.
+    """
+
+    kind: str
+    request_index: int
+    batch_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVICE_FAULT_KINDS:
+            raise ConfigError(
+                f"unknown service fault kind {self.kind!r}; "
+                f"have {SERVICE_FAULT_KINDS}"
+            )
+        if self.request_index < 0:
+            raise ConfigError("request_index must be >= 0")
+        if self.batch_index < 0:
+            raise ConfigError("batch_index must be >= 0")
+
+    def describe(self) -> dict:
+        """JSON-ready form of this fault."""
+        return {
+            "kind": self.kind,
+            "request_index": self.request_index,
+            "batch_index": self.batch_index,
+        }
+
+
+@dataclass(frozen=True)
+class ServiceChaosPlan:
+    """A seeded, replayable set of request-path faults for one scenario.
+
+    The daemon never consults this plan itself — the *client* side of
+    the chaos scenario (``repro-omp chaos --serve`` and the CI scenario
+    script) drives it: a ``slow-client`` fault makes the scripted client
+    trickle bytes, a ``backend-death-mid-request`` fault rides in as a
+    worker :class:`ChaosPlan` on the request's sweep, and a
+    ``kill-during-drain`` fault SIGTERMs then SIGKILLs the daemon
+    process.  Keeping the plan client-side means the daemon under test
+    is the exact production code path, with zero test hooks.
+    """
+
+    seed: int = 0
+    faults: tuple[ServiceFault, ...] = ()
+
+    @classmethod
+    def generate(
+        cls,
+        n_requests: int,
+        n_batches: int,
+        seed: int = 0,
+        slow_clients: int = 1,
+        backend_deaths: int = 1,
+        drain_kills: int = 1,
+    ) -> "ServiceChaosPlan":
+        """Draw a plan with the given fault counts on distinct requests.
+
+        Deterministic for a given ``(seed, n_requests, n_batches,
+        counts)``: targets come from ``random.Random(f"svc:{seed}")``,
+        never from global RNG state — same discipline as
+        :meth:`ChaosPlan.generate`.
+        """
+        counts = {
+            "slow_clients": slow_clients,
+            "backend_deaths": backend_deaths,
+            "drain_kills": drain_kills,
+        }
+        for name, count in counts.items():
+            if count < 0:
+                raise ConfigError(f"{name} must be >= 0")
+        needed = sum(counts.values())
+        if needed > n_requests:
+            raise ConfigError(
+                f"plan needs {needed} distinct requests but the "
+                f"scenario has only {n_requests}"
+            )
+        if n_batches < 1:
+            raise ConfigError("n_batches must be >= 1")
+        rng = random.Random(f"svc:{seed}")
+        indices = iter(rng.sample(range(n_requests), needed))
+        faults = []
+        for _ in range(slow_clients):
+            faults.append(ServiceFault("slow-client", next(indices)))
+        for _ in range(backend_deaths):
+            faults.append(ServiceFault(
+                "backend-death-mid-request", next(indices),
+                batch_index=rng.randrange(n_batches),
+            ))
+        for _ in range(drain_kills):
+            faults.append(ServiceFault("kill-during-drain", next(indices)))
+        ordered = tuple(
+            sorted(faults, key=lambda f: (f.request_index, f.kind))
+        )
+        return cls(seed=seed, faults=ordered)
+
+    def fault_at(self, request_index: int) -> ServiceFault | None:
+        """The fault attached to one scenario request, if any."""
+        for fault in self.faults:
+            if fault.request_index == request_index:
+                return fault
+        return None
+
+    def describe(self) -> list[dict]:
+        """JSON-ready fault list (the scenario report's section)."""
+        return [f.describe() for f in self.faults]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; invert with :meth:`from_dict`."""
+        return {"seed": self.seed, "faults": self.describe()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServiceChaosPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        try:
+            faults = tuple(
+                ServiceFault(
+                    kind=f["kind"],
+                    request_index=f["request_index"],
+                    batch_index=f.get("batch_index", 0),
+                )
+                for f in payload["faults"]
+            )
+            return cls(seed=payload["seed"], faults=faults)
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(
+                f"malformed service chaos plan: {exc}"
+            ) from exc
 
 
 def apply_cache_fault(path: str | os.PathLike, kind: str) -> None:

@@ -103,9 +103,35 @@ def _spool_result(spool_dir: str, worker_id: int, result: object) -> str:
     return final
 
 
+def _detach_inherited_signals() -> None:
+    """Restore default signal handling in a forked child process.
+
+    A parent embedding this fleet in an asyncio loop (the serving
+    daemon) registers SIGTERM/SIGINT handlers backed by a wakeup-fd
+    self-pipe.  A forked worker inherits both the handler and the pipe,
+    so a ``terminate()`` aimed at the worker would write into the pipe
+    *shared with the parent's loop* — the parent then observes a
+    phantom SIGTERM and begins draining itself.  Detaching the wakeup
+    fd and restoring ``SIG_DFL`` makes child kills land on the child
+    alone (and lets plain ``terminate()`` actually kill it).
+    """
+    import signal
+
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):
+        pass  # not the main thread of the child, or already detached
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):
+            pass
+
+
 def _worker_main(worker_id, fn, initializer, initargs, inbox, outbox,
                  spool_dir):
     """Worker process body: initialize once, then serve assignments."""
+    _detach_inherited_signals()
     try:
         if initializer is not None:
             initializer(*initargs)
@@ -169,6 +195,12 @@ class Supervisor:
 
     #: Backend name under the ExecutorBackend protocol.
     name = "pool"
+    #: Optional cooperative-cancellation handle (anything with
+    #: ``is_set()``).  Checked at the top of every stream tick — between
+    #: batches, never mid-batch — so a served request's deadline or a
+    #: daemon drain can stop the fleet while landed results stay
+    #: flushable through :meth:`completed_unyielded`.
+    cancel_event = None
 
     def __init__(
         self,
@@ -277,6 +309,14 @@ class Supervisor:
         self._closed = False
         try:
             while self._yielded < len(tasks):
+                if (self.cancel_event is not None
+                        and self.cancel_event.is_set()):
+                    from repro.errors import SweepCancelledError
+
+                    raise SweepCancelledError(
+                        "sweep cancelled while streaming on the pool "
+                        "backend"
+                    )
                 self._dispatch()
                 self._drain(self._wait_budget())
                 self._reap_dead_workers()

@@ -1,0 +1,123 @@
+"""Request coalescing: identical in-flight grid requests share one sweep.
+
+A multi-tenant tuner sees bursts of the *same* question — a CI fleet
+asking for the milan/NQueens recommendation fans out as N identical
+requests within a second.  Running N identical sweeps would multiply
+load by N for zero information; coalescing folds them onto one in-flight
+job and hands every requester the same job id (and therefore the same
+records).
+
+"Identical" is decided by :func:`sweep_request_key`, which reuses the
+sweep cache's key discipline: the key digests every batch's
+``SweepCache.key_material`` (plan identity, grid fingerprint, machine
+fingerprint, batch identity) plus the execution knobs that shape the
+response (backend, shards, fail policy).  Two requests with equal keys
+are record-identical *by construction* — the same property the cache's
+content addressing rests on — so sharing a job is safe, never a guess.
+
+Only **in-flight** (queued or running) jobs coalesce.  A finished job's
+results live in the sweep cache; re-running the plan is then a pure
+cache read, so folding onto completed jobs would only add staleness
+questions for no savings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections.abc import Callable
+
+from repro.core.envspace import EnvSpace
+from repro.core.sweep import SweepPlan, plan_batches
+
+__all__ = ["Coalescer", "sweep_request_key"]
+
+
+def sweep_request_key(
+    plan: SweepPlan,
+    space: EnvSpace | None = None,
+    backend: str = "auto",
+    n_shards: int = 1,
+    fail_policy: str = "degrade",
+) -> str:
+    """The coalescing key of one sweep request (64-hex digest).
+
+    Built from the cache's own ``key_material`` for every batch the
+    plan expands to, so it inherits the cache key scheme's completeness
+    guarantees (the KEY lint plane proves every result-altering input
+    lands in a slot); the execution knobs are appended because they
+    shape the response body (degraded markers, failure report) even
+    though they never change the records.
+    """
+    from repro.arch.machines import get_machine
+    from repro.core.cache import SweepCache
+
+    space = space or EnvSpace()
+    machine = get_machine(plan.arch)
+    configs = space.grid(machine, plan.scale, seed=plan.seed)
+    grid_fp = SweepCache.grid_fingerprint(configs)
+    machine_fp = SweepCache.machine_fingerprint(machine)
+    h = hashlib.sha256()
+    for batch in plan_batches(plan):
+        material = SweepCache.key_material(plan, grid_fp, machine_fp, batch)
+        h.update(repr(tuple(material.values())).encode("utf-8"))
+    h.update(repr((backend, n_shards, fail_policy)).encode("utf-8"))
+    return h.hexdigest()
+
+
+class Coalescer:
+    """In-flight request folding, keyed by :func:`sweep_request_key`.
+
+    Thread-safe.  The factory runs *under the lock*, which is what
+    makes the guarantee airtight: between "no job for this key" and
+    "this job owns the key" no other thread can observe the gap, so N
+    racing identical requests produce exactly one factory call.
+    Factories must therefore be cheap (create-and-enqueue, never run).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[str, object] = {}
+        #: Requests folded onto an existing job, total.
+        self.coalesced = 0
+        #: Jobs created (factory calls), total.
+        self.created = 0
+
+    def get_or_create(
+        self, key: str, factory: Callable[[], object]
+    ) -> tuple[object, bool]:
+        """The in-flight job for ``key``, creating it if absent.
+
+        Returns ``(job, created)``; ``created`` is True for the one
+        caller whose factory ran, False for every coalesced follower.
+        """
+        with self._lock:
+            job = self._inflight.get(key)
+            if job is not None:
+                self.coalesced += 1
+                return job, False
+            job = factory()
+            self._inflight[key] = job
+            self.created += 1
+            return job, True
+
+    def release(self, key: str, job: object) -> None:
+        """Drop ``key`` once ``job`` is terminal (idempotent; a newer
+        job under the same key is left alone)."""
+        with self._lock:
+            if self._inflight.get(key) is job:
+                del self._inflight[key]
+
+    def inflight(self) -> int:
+        """Number of keys currently folded onto in-flight jobs."""
+        with self._lock:
+            return len(self._inflight)
+
+    def describe(self) -> dict:
+        """JSON-ready coalescer snapshot (health endpoint)."""
+        with self._lock:
+            return {
+                "inflight_keys": len(self._inflight),
+                "coalesced": self.coalesced,
+                "created": self.created,
+            }

@@ -1,0 +1,153 @@
+"""The drain journal: queued jobs survive SIGTERM — and SIGKILL.
+
+When the daemon is told to drain it stops admitting, flushes landed
+batches to the sweep cache, and records every non-terminal job here so
+a restarted daemon resumes them.  The journal must therefore survive
+the *worst* shutdown, not the polite one: the ``kill-during-drain``
+chaos fault SIGKILLs the process midway through the drain window, so
+the format is designed around torn tails:
+
+- **append-only JSONL** — one JSON object per line, two op kinds::
+
+      {"op": "submit", "id": "j000001", "params": {...},
+       "coalesce_key": "...", "client": "ci"}
+      {"op": "state", "id": "j000001", "state": "running"}
+
+  A job's journal view is its ``submit`` op folded with its latest
+  ``state`` op.  Appends are flushed line-at-a-time, so a kill can tear
+  at most the final line,
+- **torn-tail tolerance** — replay parses line by line and *silently
+  drops* a trailing line that does not parse (the torn write); a
+  malformed line in the interior is dropped too, but counted, because
+  that is corruption rather than a tear,
+- **no clocks, no RNG** — job ids are a persistent counter
+  (``j%06d``), continued from the replayed maximum, so a restart never
+  reuses or reorders ids and the journal is byte-reproducible for a
+  given request sequence.
+
+Jobs whose latest state is **terminal** (``done``, ``failed``,
+``cancelled``, ``expired``) are not resumed.  Anything else — still
+``queued``, caught ``running``, or explicitly marked ``interrupted``
+by the drain — comes back.  Resumed sweeps rerun against the same
+cache, so work that landed before the kill is a cache hit and only the
+genuinely unfinished tail recomputes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["TERMINAL_STATES", "JobJournal"]
+
+#: Job states that a restart must NOT resume.
+TERMINAL_STATES = ("done", "failed", "cancelled", "expired")
+
+
+class JobJournal:
+    """Append-only JSONL journal rooted at one file.
+
+    Not thread-safe by itself — the job queue serializes appends under
+    its own lock (one writer), which also keeps line order equal to
+    event order.
+    """
+
+    def __init__(self, path: str | os.PathLike, fsync: bool = False):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        #: Interior lines dropped as corrupt during the last replay.
+        self.corrupt_lines = 0
+
+    def append(self, op: dict) -> None:
+        """Append one op, flushed so a later kill tears at most a tail."""
+        line = json.dumps(op, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    def submit(self, job_id: str, params: dict, coalesce_key: str = "",
+               client: str = "") -> None:
+        """Record a job's admission (its parameters travel here)."""
+        self.append({
+            "op": "submit",
+            "id": job_id,
+            "params": params,
+            "coalesce_key": coalesce_key,
+            "client": client,
+        })
+
+    def state(self, job_id: str, state: str, detail: str = "") -> None:
+        """Record a job's state transition."""
+        op = {"op": "state", "id": job_id, "state": state}
+        if detail:
+            op["detail"] = detail
+        self.append(op)
+
+    def replay(self) -> dict[str, dict]:
+        """Fold the journal into ``{job_id: view}`` in submit order.
+
+        Each view is the submit op's fields plus ``state`` (latest;
+        ``"queued"`` if only the submit landed).  A missing journal
+        file is an empty history.  The torn tail and interior
+        corruption are handled per the module docstring.
+        """
+        self.corrupt_lines = 0
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return {}
+        # A well-formed journal ends with a newline; a kill mid-append
+        # leaves a final line with no terminator, which either still
+        # parses (the tear hit between the bytes and the newline — keep
+        # it) or does not (drop it silently below).
+        lines = [line for line in raw.split("\n") if line]
+        views: dict[str, dict] = {}
+        last = len(lines) - 1
+        for n, line in enumerate(lines):
+            try:
+                op = json.loads(line)
+                kind = op["op"]
+            except (json.JSONDecodeError, TypeError, KeyError):
+                if n == last:
+                    continue  # torn tail (kill mid-append): expected
+                self.corrupt_lines += 1
+                continue
+            if kind == "submit":
+                views[op["id"]] = {
+                    "id": op["id"],
+                    "params": op.get("params", {}),
+                    "coalesce_key": op.get("coalesce_key", ""),
+                    "client": op.get("client", ""),
+                    "state": "queued",
+                }
+            elif kind == "state":
+                view = views.get(op.get("id"))
+                if view is not None:
+                    view["state"] = op.get("state", view["state"])
+                    if op.get("detail"):
+                        view["detail"] = op["detail"]
+        return views
+
+    def unfinished(self) -> list[dict]:
+        """Replayed views needing resume, in original submit order."""
+        return [
+            view for view in self.replay().values()
+            if view["state"] not in TERMINAL_STATES
+        ]
+
+    def next_job_number(self) -> int:
+        """One past the highest job number ever journaled (1 if none).
+
+        Keeps ids unique across restarts without a clock or RNG.
+        """
+        highest = 0
+        for job_id in self.replay():
+            try:
+                highest = max(highest, int(job_id.lstrip("j")))
+            except ValueError:
+                continue
+        return highest + 1

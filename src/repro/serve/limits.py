@@ -1,0 +1,110 @@
+"""Admission limits: per-client token buckets, and the serve clock.
+
+This module owns the serving package's **only** wall-clock read,
+:func:`wall_clock`.  Every other serve module takes a ``clock``
+callable (defaulting to it), so deadline and rate-limit logic is unit
+testable with a fake clock and the SIM001 determinism lint has exactly
+one reasoned waiver to point at.  Nothing read from this clock may ever
+flow into records — it gates *admission and deadlines*, never results
+(the FLOW001 result roots in :mod:`repro.serve.render` pin that).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from repro.errors import ConfigError
+
+__all__ = ["TokenBucket", "wall_clock"]
+
+
+def wall_clock() -> float:
+    """Monotonic seconds — the single host-clock read of the package."""
+    return time.monotonic()
+
+
+class TokenBucket:
+    """Per-client-key token buckets: ``rate`` tokens/s, ``burst`` deep.
+
+    A client key (header, body field, or peer address — the app layer
+    decides) gets its own bucket lazily; a request costs one token.
+    :meth:`try_acquire` returns ``0.0`` when admitted, else the seconds
+    until a token will be available — the app maps that straight onto a
+    ``429`` with ``Retry-After``.  Thread-safe: the HTTP layer and the
+    queue's workers may consult it concurrently.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = wall_clock,
+        max_clients: int = 1024,
+    ):
+        if rate <= 0:
+            raise ConfigError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ConfigError(f"burst must be >= 1, got {burst}")
+        if max_clients < 1:
+            raise ConfigError(f"max_clients must be >= 1, got {max_clients}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.clock = clock
+        self.max_clients = max_clients
+        #: key -> [tokens, last_refill] (insertion order = admission
+        #: order, which is what the eviction below relies on).
+        self._buckets: dict[str, list[float]] = {}
+        self._lock = threading.Lock()
+        #: Requests rejected for rate, total (health endpoint counter).
+        self.rejected = 0
+
+    def _refill(self, bucket: list[float], now: float) -> None:
+        tokens, last = bucket
+        tokens = min(self.burst, tokens + (now - last) * self.rate)
+        bucket[0] = tokens
+        bucket[1] = now
+
+    def try_acquire(self, key: str) -> float:
+        """Admit one request for ``key``: 0.0, or seconds to retry after."""
+        now = self.clock()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                if len(self._buckets) >= self.max_clients:
+                    # Evict the longest-untouched bucket: an abandoned
+                    # client must not pin memory forever.  Buckets
+                    # re-created later start full, which only ever errs
+                    # in the client's favor.
+                    oldest = min(self._buckets,
+                                 key=lambda k: self._buckets[k][1])
+                    del self._buckets[oldest]
+                bucket = [float(self.burst), now]
+                self._buckets[key] = bucket
+            self._refill(bucket, now)
+            if bucket[0] >= 1.0:
+                bucket[0] -= 1.0
+                return 0.0
+            self.rejected += 1
+            return max((1.0 - bucket[0]) / self.rate, 0.001)
+
+    def tokens(self, key: str) -> float:
+        """Current token balance for ``key`` (full burst if unseen)."""
+        now = self.clock()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                return float(self.burst)
+            self._refill(bucket, now)
+            return bucket[0]
+
+    def describe(self) -> dict:
+        """JSON-ready limiter snapshot (health endpoint)."""
+        with self._lock:
+            return {
+                "rate_per_s": self.rate,
+                "burst": self.burst,
+                "clients": len(self._buckets),
+                "rejected": self.rejected,
+            }

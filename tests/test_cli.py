@@ -260,6 +260,23 @@ class TestResilienceCLI:
         assert args.crashes == args.hangs == args.poison == 1
         assert args.cache_faults == 1 and args.fmt == "text"
 
+    def test_chaos_serve_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["chaos", "--serve", "--serve-requests", "8",
+             "--slow-clients", "2", "--backend-deaths", "0",
+             "--drain-kills", "2", "--artifact-dir", "arts"]
+        )
+        assert args.serve and args.serve_requests == 8
+        assert args.slow_clients == 2 and args.backend_deaths == 0
+        assert args.drain_kills == 2 and args.artifact_dir == "arts"
+
+    def test_chaos_serve_defaults_off(self):
+        args = build_parser().parse_args(["chaos"])
+        assert not args.serve
+        assert args.serve_requests == 6
+        assert args.slow_clients == args.backend_deaths == 1
+        assert args.drain_kills == 1 and args.artifact_dir is None
+
     def test_sweep_failure_report_written(self, tmp_path, capsys):
         report = tmp_path / "rep.json"
         assert main(["sweep", "--arch", "milan", "--workloads", "nqueens",
@@ -353,3 +370,45 @@ class TestShardedBackendCLI:
         kinds = {f["kind"]
                  for f in payload["chaos"]["chaos_plan"]["faults"]}
         assert {"node-lost", "shard-partition"} <= kinds
+
+
+class TestServeCLI:
+    """The ``serve`` subcommand parser (daemon behavior lives in
+    tests/test_serve_http.py; process-level scenarios in ``chaos
+    --serve``)."""
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1" and args.port == 8077
+        assert args.backend == "serial" and args.shards == 1
+        assert args.max_inflight == 2 and args.max_queued == 16
+        assert args.deadline_s == 60.0 and args.drain_grace_s == 5.0
+        assert args.header_timeout_s == 5.0
+        assert args.rate == 50.0 and args.burst == 100
+        assert args.cache_dir is None and args.state_dir is None
+        assert args.breaker_threshold == 3
+        assert args.breaker_cooldown_s == 30.0
+        assert args.port_file is None and not args.fsync
+
+    def test_serve_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--backend", "pool",
+             "--max-inflight", "4", "--max-queued", "2",
+             "--deadline-s", "1.5", "--drain-grace-s", "0.2",
+             "--rate", "10", "--burst", "5", "--cache-dir", "c",
+             "--state-dir", "s", "--breaker-threshold", "1",
+             "--port-file", "p.txt", "--fsync"]
+        )
+        assert args.port == 0 and args.backend == "pool"
+        assert args.max_inflight == 4 and args.max_queued == 2
+        assert args.deadline_s == 1.5 and args.drain_grace_s == 0.2
+        assert args.rate == 10.0 and args.burst == 5
+        assert args.cache_dir == "c" and args.state_dir == "s"
+        assert args.breaker_threshold == 1 and args.port_file == "p.txt"
+        assert args.fsync
+
+    def test_serve_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "fax"])
+        capsys.readouterr()

@@ -255,6 +255,30 @@ class TestSweepCacheStore:
         assert len(cache) == 1
         assert cache.stats["entries"] == 1
 
+    def test_overwrite_of_live_entry_counts_as_lost_race(self, tmp_path,
+                                                         plan):
+        """Two writers racing on one content address both rename into
+        place; whoever lands second is the race loser.  The entry stays
+        intact (identical content either way) but the loser is visible
+        in ``stats['lost_races']`` so concurrent shard overlap can be
+        quantified."""
+        cache = SweepCache(tmp_path)
+        records = run_sweep(plan).records[:1]
+        cache.put("3" * 64, records)
+        assert cache.stats["lost_races"] == 0
+        cache.put("3" * 64, records)
+        assert cache.stats["lost_races"] == 1
+        assert cache.get("3" * 64) == records
+        assert len(cache) == 1 and cache.writes == 2
+
+    def test_distinct_keys_never_count_as_races(self, tmp_path, plan):
+        cache = SweepCache(tmp_path)
+        records = run_sweep(plan).records[:1]
+        cache.put("4" * 64, records)
+        cache.put("5" * 64, records)
+        assert cache.stats["lost_races"] == 0
+        assert cache.stats["writes"] == 2
+
 
 class TestRunSweepResume:
     def test_second_run_resimulates_zero_batches(self, tmp_path, plan,

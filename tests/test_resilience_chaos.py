@@ -151,3 +151,87 @@ class TestFaultEffects:
 
     def test_kind_partition(self):
         assert not set(WORKER_FAULT_KINDS) & set(CACHE_FAULT_KINDS)
+
+
+class TestServiceFault:
+    """Request-path faults of the serving daemon's chaos scenario."""
+
+    def test_known_kinds(self):
+        from repro.resilience.chaos import SERVICE_FAULT_KINDS
+
+        assert SERVICE_FAULT_KINDS == (
+            "slow-client", "backend-death-mid-request", "kill-during-drain",
+        )
+
+    def test_unknown_kind_rejected(self):
+        from repro.resilience.chaos import ServiceFault
+
+        with pytest.raises(ConfigError, match="unknown service fault"):
+            ServiceFault("coffee-spill", 0)
+
+    def test_negative_indices_rejected(self):
+        from repro.resilience.chaos import ServiceFault
+
+        with pytest.raises(ConfigError):
+            ServiceFault("slow-client", -1)
+        with pytest.raises(ConfigError):
+            ServiceFault("backend-death-mid-request", 0, batch_index=-2)
+
+    def test_service_kinds_disjoint_from_sweep_kinds(self):
+        from repro.resilience.chaos import FAULT_KINDS, SERVICE_FAULT_KINDS
+
+        assert not set(SERVICE_FAULT_KINDS) & set(FAULT_KINDS)
+
+
+class TestServiceChaosPlan:
+    def test_same_seed_same_plan(self):
+        from repro.resilience.chaos import ServiceChaosPlan
+
+        a = ServiceChaosPlan.generate(8, 4, seed=3)
+        b = ServiceChaosPlan.generate(8, 4, seed=3)
+        assert a == b
+        assert a != ServiceChaosPlan.generate(8, 4, seed=4)
+
+    def test_faults_land_on_distinct_requests(self):
+        from repro.resilience.chaos import ServiceChaosPlan
+
+        plan = ServiceChaosPlan.generate(6, 4, seed=0, slow_clients=2,
+                                         backend_deaths=2, drain_kills=2)
+        indices = [f.request_index for f in plan.faults]
+        assert len(indices) == len(set(indices)) == 6
+        assert indices == sorted(indices)
+
+    def test_fault_at_lookup(self):
+        from repro.resilience.chaos import ServiceChaosPlan
+
+        plan = ServiceChaosPlan.generate(5, 4, seed=0)
+        hit_indices = {f.request_index for f in plan.faults}
+        for idx in range(5):
+            fault = plan.fault_at(idx)
+            if idx in hit_indices:
+                assert fault is not None and fault.request_index == idx
+            else:
+                assert fault is None
+
+    def test_roundtrips_through_dict(self):
+        from repro.resilience.chaos import ServiceChaosPlan
+
+        plan = ServiceChaosPlan.generate(7, 3, seed=9)
+        assert ServiceChaosPlan.from_dict(plan.to_dict()) == plan
+
+    def test_malformed_dict_rejected(self):
+        from repro.resilience.chaos import ServiceChaosPlan
+
+        with pytest.raises(ConfigError, match="malformed service chaos"):
+            ServiceChaosPlan.from_dict({"seed": 0})
+
+    def test_overbooked_scenario_rejected(self):
+        from repro.resilience.chaos import ServiceChaosPlan
+
+        with pytest.raises(ConfigError, match="distinct requests"):
+            ServiceChaosPlan.generate(2, 4, slow_clients=1,
+                                      backend_deaths=1, drain_kills=1)
+        with pytest.raises(ConfigError):
+            ServiceChaosPlan.generate(5, 0)
+        with pytest.raises(ConfigError):
+            ServiceChaosPlan.generate(5, 4, drain_kills=-1)

@@ -7,11 +7,13 @@ every injected fault is named in the failure report, and degrade+resume
 reproduces the fault-free dataset bit-for-bit.
 """
 
+import threading
+
 import pytest
 
 from repro.core.cache import SweepCache
 from repro.core.sweep import SweepPlan, plan_batches, run_sweep
-from repro.errors import PoisonBatchError
+from repro.errors import PoisonBatchError, SweepCancelledError
 from repro.resilience import ChaosFault, ChaosPlan, RetryPolicy
 
 pytestmark = pytest.mark.chaos
@@ -157,3 +159,50 @@ class TestErrorPathFlushesCache:
         resumed = run_sweep(plan, cache=SweepCache(tmp_path / "cache"))
         assert resumed.n_cached_batches == n_landed
         assert resumed.records == run_sweep(plan).records
+
+
+class TestCancellation:
+    """Cooperative cancellation — the serving daemon's deadline/drain hook."""
+
+    def test_preset_handle_aborts_before_any_batch(self, tmp_path, plan):
+        cancel = threading.Event()
+        cancel.set()
+        cache = SweepCache(tmp_path / "cache")
+        with pytest.raises(SweepCancelledError, match="cancelled"):
+            run_sweep(plan, cache=cache, cancel=cancel)
+        assert len(cache) == 0
+
+    def test_mid_sweep_cancel_flushes_landed_batches(self, tmp_path, plan,
+                                                     clean_records):
+        """Cancel between batches: everything already landed is flushed
+        to the cache before the raise, so the resume picks up exactly
+        where the cancelled sweep stopped — the drain/restart contract
+        the daemon's journal replay depends on."""
+        cancel = threading.Event()
+
+        def stop_after_first(done, total, app, input_size, nthreads):
+            cancel.set()
+
+        cache = SweepCache(tmp_path / "cache")
+        with pytest.raises(SweepCancelledError):
+            run_sweep(plan, cache=cache, progress=stop_after_first,
+                      cancel=cancel)
+        n_landed = len(cache)
+        assert n_landed > 0, "completed batches must land in the cache"
+        assert n_landed < len(plan_batches(plan))
+
+        resumed = run_sweep(plan, cache=cache)
+        assert resumed.n_cached_batches == n_landed
+        assert resumed.records == clean_records
+
+    def test_cancelled_is_a_resilience_error_subtype(self):
+        """The daemon relies on the (documented) inheritance: cancel must
+        be catchable separately *before* the generic degrade handler."""
+        from repro.errors import ResilienceError
+
+        assert issubclass(SweepCancelledError, ResilienceError)
+
+    def test_unset_handle_is_inert(self, plan, clean_records):
+        cancel = threading.Event()
+        result = run_sweep(plan, cancel=cancel)
+        assert result.records == clean_records

@@ -1,0 +1,400 @@
+"""End-to-end HTTP tests for the tuning daemon.
+
+Each test talks to a real :class:`~repro.serve.app.TuningDaemon` over a
+real socket via the in-process harness — the same daemon object
+``repro-omp serve`` runs.  A module-scoped daemon with a shared cache
+keeps the suite fast (the first sweep computes, the rest hit cache);
+behaviors that need special tuning (tight deadlines, tiny rate limits,
+full queues) get their own short-lived daemons.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.core.sweep import SweepPlan, run_sweep
+from repro.serve.app import DaemonConfig, TuningDaemon
+from repro.serve.harness import DaemonHandle
+from repro.serve.render import records_payload
+
+#: The one plan every test serves (single batch; cache-warm after the
+#: first computation).
+PLAN_PAYLOAD = {
+    "arch": "milan",
+    "workloads": ["nqueens"],
+    "scale": "small",
+    "repetitions": 2,
+    "inputs_limit": 1,
+}
+PLAN = SweepPlan(arch="milan", workload_names=("nqueens",), scale="small",
+                 repetitions=2, inputs_limit=1)
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-http")
+    handle = DaemonHandle(DaemonConfig(
+        cache_dir=str(root / "cache"),
+        state_dir=str(root / "state"),
+        deadline_s=300.0,
+        max_inflight=2,
+    ))
+    yield handle
+    handle.drain()
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return records_payload(run_sweep(PLAN).records)
+
+
+def submit(handle, **overrides):
+    body = {"plan": PLAN_PAYLOAD, "client": "tests", **overrides}
+    return handle.request("POST", "/sweep", body=body)
+
+
+class TestHealth:
+    def test_healthz_snapshot(self, daemon):
+        status, body = daemon.request("GET", "/healthz")
+        assert status == 200 and body["status"] == "ok"
+        for section in ("queue", "breakers", "limiter", "coalescer",
+                        "cache"):
+            assert section in body
+        assert [b["backend"] for b in body["breakers"]] == [
+            "nodes", "pool", "serial",
+        ]
+
+    def test_readyz_when_accepting(self, daemon):
+        assert daemon.request("GET", "/readyz") == (200, {"ready": True})
+
+
+class TestSweepLifecycle:
+    def test_served_records_match_direct_run_sweep(self, daemon, truth):
+        status, resp = submit(daemon)
+        assert status == 202 and resp["state"] in ("queued", "running")
+        final = daemon.wait_for_state(
+            resp["job_id"], ("done", "failed"), timeout_s=300.0
+        )
+        assert final["state"] == "done"
+        assert final["backend_requested"] == "serial"
+        assert final["backend_used"] == "serial"
+        assert final["degraded"] is False
+        status, served = daemon.request(
+            "GET", f"/jobs/{resp['job_id']}/records"
+        )
+        assert status == 200 and served == truth
+
+    def test_records_conflict_before_done(self, daemon):
+        status, resp = submit(daemon, throttle_s=0.3)
+        job_id = resp["job_id"]
+        status, body = daemon.request("GET", f"/jobs/{job_id}/records")
+        assert status in (200, 409)   # 409 unless it already finished
+        daemon.wait_for_state(job_id, ("done",), timeout_s=300.0)
+
+    def test_events_stream_ends_with_final_state(self, daemon):
+        status, resp = submit(daemon)
+        events = daemon.stream_events(resp["job_id"], timeout=300.0)
+        assert events[-1] == {"state": "done", "final": True}
+        progress = [e for e in events if "batches_done" in e]
+        for event in progress:
+            assert event["backend"] == "serial"
+
+    def test_unknown_job_404(self, daemon):
+        assert daemon.request("GET", "/jobs/j999999")[0] == 404
+
+    def test_cancel_settled_job_conflicts(self, daemon):
+        status, resp = submit(daemon)
+        daemon.wait_for_state(resp["job_id"], ("done",), timeout_s=300.0)
+        status, body = daemon.request(
+            "POST", f"/jobs/{resp['job_id']}/cancel"
+        )
+        assert status == 409
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_share_one_job(
+        self, daemon, truth
+    ):
+        barrier = threading.Barrier(6)
+        responses = []
+
+        def client():
+            barrier.wait()
+            responses.append(submit(daemon, throttle_s=0.2))
+
+        threads = [threading.Thread(target=client) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(status == 202 for status, _body in responses)
+        job_ids = {body["job_id"] for _status, body in responses}
+        assert len(job_ids) == 1
+        coalesced = [b for _s, b in responses if b["coalesced"]]
+        assert len(coalesced) == len(responses) - 1
+        job_id = job_ids.pop()
+        daemon.wait_for_state(job_id, ("done",), timeout_s=300.0)
+        # every requester polls the same id and reads identical bodies
+        bodies = [
+            daemon.request("GET", f"/jobs/{job_id}/records")[1]
+            for _ in responses
+        ]
+        assert all(body == truth for body in bodies)
+
+    def test_different_knobs_do_not_coalesce(self, daemon):
+        status_a, a = submit(daemon, throttle_s=0.2)
+        status_b, b = submit(daemon, throttle_s=0.2, fail_policy="degrade")
+        assert a["job_id"] != b["job_id"]
+        daemon.wait_for_state(a["job_id"], ("done",), timeout_s=300.0)
+        daemon.wait_for_state(b["job_id"], ("done",), timeout_s=300.0)
+
+
+class TestRecommend:
+    def test_recommendations_from_served_sweep(self, daemon):
+        status, body = daemon.request(
+            "GET",
+            "/recommend?arch=milan&workload=nqueens&scale=small"
+            "&repetitions=2&inputs_limit=1&deadline_s=300",
+            timeout=300.0,
+        )
+        assert status == 200
+        assert body["n_recommendations"] == len(body["recommendations"])
+        for rec in body["recommendations"]:
+            assert rec["app"] == "nqueens" and rec["lift"] >= 1.3
+        assert body["job"]["state"] == "done"
+
+    def test_missing_arch_is_400(self, daemon):
+        assert daemon.request("GET", "/recommend")[0] == 400
+
+    def test_deadline_maps_to_504_with_job_id(self, tmp_path):
+        handle = DaemonHandle(DaemonConfig(
+            cache_dir=str(tmp_path / "cache"),
+            state_dir=str(tmp_path / "state"),
+            max_inflight=1,
+        ))
+        try:
+            # wedge the only worker so the recommend job stays queued
+            # past its (tiny) request deadline
+            status, blocker = submit(handle, throttle_s=0.5)
+            assert status == 202
+            status, body = handle.request(
+                "GET",
+                "/recommend?arch=milan&workload=cg&scale=small"
+                "&repetitions=2&inputs_limit=1&deadline_s=0.05",
+                timeout=60.0,
+            )
+            assert status == 504 and body["job_id"].startswith("j")
+            # the job was NOT cancelled: it finishes and warms the cache
+            handle.wait_for_state(
+                body["job_id"], ("done",), timeout_s=300.0
+            )
+        finally:
+            handle.drain()
+
+
+class TestAdmission:
+    def test_rate_limit_429_with_retry_hint(self, tmp_path):
+        handle = DaemonHandle(DaemonConfig(
+            cache_dir=str(tmp_path / "cache"), rate_per_s=0.5, burst=1,
+        ))
+        try:
+            assert submit(handle, throttle_s=0.2)[0] == 202
+            status, body = submit(handle)
+            assert status == 429
+            assert body["retry_after_s"] > 0.0
+            # an unrelated client key is not throttled
+            status, body = handle.request("POST", "/sweep", body={
+                "plan": PLAN_PAYLOAD, "client": "other",
+            })
+            assert status == 202
+        finally:
+            handle.drain()
+
+    def test_queue_capacity_429(self, tmp_path):
+        handle = DaemonHandle(DaemonConfig(
+            cache_dir=str(tmp_path / "cache"),
+            max_inflight=1, max_queued=1,
+        ))
+        try:
+            # distinct plans so coalescing cannot absorb the overflow
+            submissions = []
+            for seed in range(4):
+                payload = {**PLAN_PAYLOAD, "seed": seed}
+                submissions.append(handle.request("POST", "/sweep", body={
+                    "plan": payload, "client": "flood",
+                    "throttle_s": 0.5,
+                }))
+            statuses = [status for status, _body in submissions]
+            assert 429 in statuses
+            rejected = [body for status, body in submissions
+                        if status == 429]
+            assert all("capacity" in body["error"] for body in rejected)
+        finally:
+            handle.drain()
+
+    def test_deadline_expires_served_sweep(self, tmp_path):
+        handle = DaemonHandle(DaemonConfig(
+            cache_dir=str(tmp_path / "cache"),
+        ))
+        try:
+            # a multi-batch plan: the deadline is observed cooperatively
+            # *between* batches, so a single-batch sweep would finish
+            multi = {**PLAN_PAYLOAD, "workloads": ["nqueens", "cg"],
+                     "inputs_limit": 2}
+            status, resp = handle.request("POST", "/sweep", body={
+                "plan": multi, "client": "tests",
+                "throttle_s": 0.3, "deadline_s": 0.05,
+            })
+            assert status == 202
+            final = handle.wait_for_state(
+                resp["job_id"], ("expired",), timeout_s=60.0
+            )
+            assert final["state"] == "expired"
+        finally:
+            handle.drain()
+
+
+class TestProtocolEdges:
+    def test_slow_client_shed_with_408(self, daemon):
+        with socket.create_connection(
+            ("127.0.0.1", daemon.port), timeout=30.0
+        ) as sock:
+            sock.sendall(b"POST /sweep HTTP/1.1\r\n")   # ...and stall
+            sock.settimeout(30.0)
+            raw = sock.recv(4096)
+        assert b"408" in raw.split(b"\r\n", 1)[0]
+
+    def test_malformed_json_400(self, daemon):
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", daemon.port, timeout=30.0
+        )
+        try:
+            conn.request("POST", "/sweep", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            assert b"invalid JSON" in response.read()
+        finally:
+            conn.close()
+
+    def test_non_object_body_400(self, daemon):
+        status, body = daemon.request("POST", "/sweep", body=[1, 2])
+        assert status == 400
+
+    def test_unknown_route_404(self, daemon):
+        assert daemon.request("GET", "/nope")[0] == 404
+
+    def test_wrong_method_404(self, daemon):
+        assert daemon.request("DELETE", "/sweep")[0] == 404
+
+    def test_oversized_body_413(self, tmp_path):
+        handle = DaemonHandle(DaemonConfig(body_limit=64))
+        try:
+            status, _body = handle.request("POST", "/sweep", body={
+                "plan": PLAN_PAYLOAD, "pad": "x" * 256,
+            })
+            assert status == 413
+        finally:
+            handle.drain()
+
+    def test_unknown_plan_field_400(self, daemon):
+        status, body = daemon.request("POST", "/sweep", body={
+            "plan": {**PLAN_PAYLOAD, "turbo": True},
+        })
+        assert status == 400 and "turbo" in body["error"]
+
+
+class TestLintEndpoint:
+    def test_environment_findings(self, daemon):
+        status, body = daemon.request("POST", "/lint", body={
+            "arch": "milan",
+            "env": {"OMP_NUM_THREADS": "1000"},
+        })
+        assert status == 200 and body["n_findings"] >= 1
+        assert body["n_errors"] >= 1
+        parsed = json.loads(json.dumps(body))   # JSON-ready end to end
+        assert parsed["findings"][0]["rule"]
+
+    def test_clean_environment(self, daemon):
+        status, body = daemon.request("POST", "/lint", body={
+            "arch": "milan", "env": {"OMP_NUM_THREADS": "48"},
+        })
+        assert status == 200 and body["n_errors"] == 0
+
+    def test_missing_arch_400(self, daemon):
+        assert daemon.request("POST", "/lint", body={"env": {}})[0] == 400
+
+
+class TestDrainAndResume:
+    def test_drain_interrupts_then_restart_resumes(self, tmp_path):
+        config = DaemonConfig(
+            cache_dir=str(tmp_path / "cache"),
+            state_dir=str(tmp_path / "state"),
+            drain_grace_s=0.1,
+        )
+        handle = DaemonHandle(config)
+        interrupted = []
+        multi = {**PLAN_PAYLOAD, "workloads": ["nqueens", "cg"],
+                 "inputs_limit": 2}
+        try:
+            status, resp = handle.request("POST", "/sweep", body={
+                "plan": multi, "client": "tests", "throttle_s": 0.4,
+            })
+            job_id = resp["job_id"]
+            handle.wait_for_events(job_id, 1, timeout_s=300.0)
+        finally:
+            interrupted = handle.drain().get("interrupted", [])
+        assert interrupted == [job_id]
+
+        revived = DaemonHandle(config)
+        try:
+            assert revived.daemon.resumed_job_ids == [job_id]
+            final = revived.wait_for_state(
+                job_id, ("done",), timeout_s=300.0
+            )
+            assert final["state"] == "done"
+            status, served = revived.request(
+                "GET", f"/jobs/{job_id}/records"
+            )
+            multi_plan = SweepPlan(
+                arch="milan", workload_names=("nqueens", "cg"),
+                scale="small", repetitions=2, inputs_limit=2,
+            )
+            assert served == records_payload(run_sweep(multi_plan).records)
+            # fresh ids continue past the resumed one after restart
+            status, newer = submit(revived)
+            assert newer["job_id"] > job_id
+            revived.wait_for_state(newer["job_id"], ("done",),
+                                   timeout_s=300.0)
+        finally:
+            revived.drain()
+
+
+class TestDaemonLifecycle:
+    def test_port_file_is_published(self, tmp_path):
+        port_file = tmp_path / "port"
+        handle = DaemonHandle(DaemonConfig(port_file=str(port_file)))
+        try:
+            assert int(port_file.read_text()) == handle.port
+        finally:
+            handle.drain()
+
+    def test_run_requires_no_dirs(self):
+        # cache/state-less daemon still serves health and lint
+        handle = DaemonHandle(DaemonConfig())
+        try:
+            status, body = handle.request("GET", "/healthz")
+            assert status == 200 and "cache" not in body
+        finally:
+            handle.drain()
+
+    def test_plan_payload_matches_direct_plan(self):
+        # guards the test suite itself: the payload and SweepPlan used
+        # for ground truth must describe the same sweep
+        from repro.serve.app import _plan_from_payload
+
+        assert _plan_from_payload(PLAN_PAYLOAD) == PLAN
